@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_fig*`` module regenerates one figure of the paper at the
+``bench`` scale (see :func:`repro.experiments.config.scaled_config`) and
+prints the same rows the published plot shows: trimmed-average relative
+error per (number of sketches, target size) cell.  The ablation benches
+share the dataset/family builders here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.family import SketchFamily, SketchSpec
+from repro.core.sketch import SketchShape
+from repro.datagen.controlled import GeneratedStreams, generate_controlled
+from repro.experiments.reference import anchors_for
+from repro.experiments.runner import SweepResult
+
+
+def print_figure(result: SweepResult) -> None:
+    """Print a sweep result plus the paper's published claims next to it."""
+    print()
+    print(result.as_table())
+    for anchor in anchors_for(result.config.name):
+        print(f"paper: {anchor.claim}")
+    print(f"(elapsed {result.elapsed_seconds:.1f}s)")
+
+
+def build_families(
+    dataset: GeneratedStreams,
+    num_sketches: int,
+    num_second_level: int = 16,
+    independence: int = 8,
+    seed: int = 0,
+    domain_bits: int = 24,
+) -> dict[str, SketchFamily]:
+    """One populated sketch family per stream of a generated dataset."""
+    shape = SketchShape(
+        domain_bits=domain_bits,
+        num_second_level=num_second_level,
+        independence=independence,
+    )
+    spec = SketchSpec(num_sketches=num_sketches, shape=shape, seed=seed)
+    families = {}
+    for name in dataset.stream_names():
+        family = spec.build()
+        family.update_batch(dataset.elements[name])
+        families[name] = family
+    return families
+
+
+def intersection_dataset(
+    seed: int, union_size: int = 4096, ratio: float = 0.25
+) -> GeneratedStreams:
+    rng = np.random.default_rng(seed)
+    return generate_controlled("A & B", union_size, ratio, rng, domain_bits=24)

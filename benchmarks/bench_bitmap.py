@@ -1,0 +1,53 @@
+"""Space bench: the insert-only bitmap variant (paper Section 5.1).
+
+The paper's byte estimate for its experiments "assumes simple bits
+(instead of counters) at each cell" — valid because its accuracy runs are
+insert-only.  This bench quantifies that trade on our implementation:
+identical estimates, 8× smaller in-memory occupancy arrays, 64× smaller
+bit-packed wire payloads, at the cost of giving up deletions.
+"""
+
+from __future__ import annotations
+
+from _common import build_families, intersection_dataset
+
+from repro.core.bitmap import BitmapFamily
+from repro.core.intersection import estimate_intersection
+
+NUM_SKETCHES = 256
+
+
+def run_bitmap_comparison():
+    dataset = intersection_dataset(seed=500)
+    families = build_families(dataset, NUM_SKETCHES, seed=0)
+    bitmaps = {
+        name: BitmapFamily.from_family(family)
+        for name, family in families.items()
+    }
+    full_estimate = estimate_intersection(families["A"], families["B"], 0.1)
+    compact_estimate = estimate_intersection(bitmaps["A"], bitmaps["B"], 0.1)
+    return {
+        "full_value": full_estimate.value,
+        "compact_value": compact_estimate.value,
+        "counter_bytes": families["A"].counters.nbytes,
+        "occupancy_bytes": bitmaps["A"].memory_bytes,
+        "wire_bytes": len(bitmaps["A"].to_bytes()),
+    }
+
+
+def test_bitmap_space_trade(benchmark):
+    stats = benchmark.pedantic(run_bitmap_comparison, rounds=1, iterations=1)
+    print()
+    print(f"Insert-only bitmap variant at r={NUM_SKETCHES} sketches/stream")
+    print(f"  counter family : {stats['counter_bytes'] / 1e6:8.2f} MB")
+    print(f"  occupancy array: {stats['occupancy_bytes'] / 1e6:8.2f} MB (8x)")
+    print(f"  packed payload : {stats['wire_bytes'] / 1e6:8.2f} MB (64x)")
+    print(
+        f"  estimates identical: "
+        f"{stats['full_value'] == stats['compact_value']}"
+    )
+    print("paper: §5.1's byte accounting assumes exactly this variant")
+
+    assert stats["full_value"] == stats["compact_value"]
+    assert stats["occupancy_bytes"] * 8 == stats["counter_bytes"]
+    assert stats["wire_bytes"] * 64 <= stats["counter_bytes"]

@@ -1,0 +1,104 @@
+"""Robustness bench: behaviour under heavy deletion traffic.
+
+The paper's headline robustness claim is that a 2-level hash sketch after
+an update stream is *identical* to one that never saw the deleted items —
+so estimate quality is untouched by churn — whereas MIPs and distinct
+sampling lose state they cannot rebuild without rescanning.  This bench
+quantifies all three on the same churn-heavy workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from _common import intersection_dataset
+
+from repro.baselines.distinct_sampling import DistinctSampler
+from repro.baselines.minhash import BottomKSketch
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.core.union import estimate_union
+from repro.errors import IllegalDeletionError
+from repro.experiments.metrics import relative_error
+
+CHURN_FACTOR = 2  # deleted items per surviving item
+
+
+def run_deletion_robustness():
+    rng = np.random.default_rng(4004)
+    survivors = rng.choice(2**24, size=4096, replace=False).astype(np.uint64)
+    churn = rng.choice(2**24, size=CHURN_FACTOR * 4096, replace=False).astype(np.uint64)
+
+    shape = SketchShape(domain_bits=24, num_second_level=16, independence=8)
+    spec = SketchSpec(num_sketches=192, shape=shape, seed=1)
+
+    churned = spec.build()
+    churned.update_batch(np.concatenate([survivors, churn]))
+    churned.update_batch(churn, np.full(churn.size, -1))
+    clean = spec.build()
+    clean.update_batch(survivors)
+
+    identical = churned == clean
+    sketch_error = relative_error(
+        estimate_union([churned], 0.1).value, survivors.size
+    )
+
+    # Bottom-k MinHash on the same traffic: count unrecoverable holes.
+    bottom_k = BottomKSketch(k=128, seed=2, domain_bits=24)
+    for element in np.concatenate([survivors, churn]):
+        bottom_k.insert(int(element))
+    minhash_depletions = 0
+    for element in churn:
+        try:
+            bottom_k.delete(int(element))
+        except IllegalDeletionError:
+            minhash_depletions += 1
+    minhash_error = relative_error(bottom_k.estimate_distinct(), survivors.size)
+
+    # Distinct sampler on the same traffic.
+    sampler = DistinctSampler(capacity=128, seed=3, domain_bits=24)
+    for element in np.concatenate([survivors, churn]):
+        sampler.insert(int(element))
+    sampler_failed = False
+    for element in churn:
+        try:
+            sampler.delete(int(element))
+        except IllegalDeletionError:
+            sampler_failed = True
+            break
+    sampler_error = relative_error(sampler.estimate_distinct(), survivors.size)
+
+    return {
+        "identical": identical,
+        "sketch_error": sketch_error,
+        "minhash_depletions": minhash_depletions,
+        "minhash_error": minhash_error,
+        "sampler_failed": sampler_failed,
+        "sampler_error": sampler_error,
+    }
+
+
+def test_deletion_robustness(benchmark):
+    outcome = benchmark.pedantic(run_deletion_robustness, rounds=1, iterations=1)
+    print()
+    print(f"Deletion robustness, {CHURN_FACTOR}x churn over 4096 survivors")
+    print(
+        f"  2-level hash sketch : state identical to insert-only build: "
+        f"{outcome['identical']}; distinct-count error "
+        f"{100 * outcome['sketch_error']:.1f}%"
+    )
+    print(
+        f"  bottom-k MinHash    : {outcome['minhash_depletions']} unrecoverable "
+        f"holes; distinct-count error {100 * outcome['minhash_error']:.1f}%"
+    )
+    print(
+        f"  distinct sampler    : depleted={outcome['sampler_failed']}; "
+        f"distinct-count error {100 * outcome['sampler_error']:.1f}%"
+    )
+    print("paper: the sketch is impervious to deletions; sampling synopses")
+    print("       require rescanning past items once depleted")
+
+    assert outcome["identical"]
+    assert outcome["sketch_error"] < 0.3
+    assert outcome["minhash_depletions"] > 0
+    # The depleted baselines are badly biased on the surviving set.
+    assert outcome["minhash_error"] > outcome["sketch_error"]

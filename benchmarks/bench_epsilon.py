@@ -1,0 +1,61 @@
+"""Ablation: the ε knob's effect on the witness level and accuracy.
+
+ε enters the estimator twice: the union sub-estimate runs at ε/3, and
+the witness level is ``⌈log₂(β·û/(1−ε))⌉`` — larger ε pushes the level
+up (sparser buckets, fewer but cleaner singleton observations).  At a
+fixed synopsis budget the measured error is therefore fairly flat in ε:
+the parameter prescribes the *target*, while the synopsis size decides
+what you actually get.  This bench documents that (often misunderstood)
+behaviour.
+"""
+
+from __future__ import annotations
+
+from _common import build_families, intersection_dataset
+
+from repro.core.intersection import estimate_intersection
+from repro.experiments.metrics import relative_error, trimmed_mean_error
+
+EPSILONS = (0.05, 0.1, 0.2, 0.4)
+NUM_SKETCHES = 192
+TRIALS = 8
+
+
+def run_epsilon_sweep():
+    rows = []
+    datasets = [intersection_dataset(seed=1100 + t) for t in range(TRIALS)]
+    family_sets = [
+        build_families(dataset, NUM_SKETCHES, seed=t)
+        for t, dataset in enumerate(datasets)
+    ]
+    for epsilon in EPSILONS:
+        errors = []
+        valid_counts = []
+        for dataset, families in zip(datasets, family_sets):
+            estimate = estimate_intersection(families["A"], families["B"], epsilon)
+            errors.append(relative_error(estimate.value, dataset.target_size))
+            valid_counts.append(estimate.num_valid)
+        rows.append(
+            (
+                epsilon,
+                trimmed_mean_error(errors),
+                sum(valid_counts) / len(valid_counts),
+            )
+        )
+    return rows
+
+
+def test_epsilon_sensitivity(benchmark):
+    rows = benchmark.pedantic(run_epsilon_sweep, rounds=1, iterations=1)
+    print()
+    print(f"ε sensitivity, |A ∩ B| at ratio 0.25, r={NUM_SKETCHES}")
+    print(f"{'ε':>6s} {'trimmed error':>14s} {'avg valid obs':>14s}")
+    for epsilon, error, valid in rows:
+        print(f"{epsilon:6.2f} {100 * error:13.1f}% {valid:14.1f}")
+    print("note: with the synopsis budget fixed, ε mostly moves the witness")
+    print("level; accuracy is governed by r — ε is a target, not a dial")
+
+    errors = [error for _, error, _ in rows]
+    assert all(error < 0.6 for error in errors)
+    # Flat within generous noise — no cliff as epsilon varies 8x.
+    assert max(errors) - min(errors) < 0.35

@@ -1,0 +1,33 @@
+"""Figure 7(a): average relative error for |A ∩ B| vs number of sketches.
+
+Paper setting: u ≈ 2**18, s = 32 second-level hashes, three target
+intersection sizes, 10-15 trials with 30%-trimmed averaging.  The bench
+runs the same sweep at reduced scale (see DESIGN.md → substitutions);
+``python -m repro.experiments.run_all --scale paper`` reproduces the full
+setting.
+
+Expected shape (and what the paper reports): error falls as sketches are
+added, and larger |A ∩ B| / |A ∪ B| ratios give lower error at equal
+space.
+"""
+
+from __future__ import annotations
+
+from _common import print_figure
+
+from repro.experiments.config import FIGURES, scaled_config
+from repro.experiments.runner import run_sweep
+
+
+def test_fig7a_intersection(benchmark):
+    config = scaled_config(FIGURES["fig7a"], "bench")
+    result = benchmark.pedantic(run_sweep, args=(config,), rounds=1, iterations=1)
+    print_figure(result)
+
+    # Shape assertions mirroring the paper's qualitative claims: the
+    # largest-target series must end at a moderate error, and adding
+    # sketches must help (comparing the sweep's ends).
+    for series in result.series:
+        assert series.errors[-1] <= series.errors[0] + 0.05
+    largest_target = result.series[0]
+    assert largest_target.errors[-1] < 0.35

@@ -1,0 +1,27 @@
+"""Figure 7(b): average relative error for |A − B| vs number of sketches.
+
+Same sweep as Figure 7(a) with the set-difference target.  The paper
+highlights that the smallest target (|A − B| = u/32) starts near 48%
+error at few sketches and that all series reach ~10% at 512 sketches;
+at bench scale the same ordering and decay must hold.
+"""
+
+from __future__ import annotations
+
+from _common import print_figure
+
+from repro.experiments.config import FIGURES, scaled_config
+from repro.experiments.runner import run_sweep
+
+
+def test_fig7b_difference(benchmark):
+    config = scaled_config(FIGURES["fig7b"], "bench")
+    result = benchmark.pedantic(run_sweep, args=(config,), rounds=1, iterations=1)
+    print_figure(result)
+
+    for series in result.series:
+        assert series.errors[-1] <= series.errors[0] + 0.05
+    largest_target = result.series[0]
+    assert largest_target.errors[-1] < 0.35
+    # Larger targets are easier at the final sketch count (allowing noise).
+    assert result.series[0].errors[-1] <= result.series[-1].errors[-1] + 0.15

@@ -1,0 +1,24 @@
+"""Figure 8: average relative error for |(A − B) ∩ C| vs number of sketches.
+
+The paper's three-stream set-expression experiment: trends mirror the
+binary-operator figures — error tails off with synopsis space, larger
+target expression sizes estimate better.
+"""
+
+from __future__ import annotations
+
+from _common import print_figure
+
+from repro.experiments.config import FIGURES, scaled_config
+from repro.experiments.runner import run_sweep
+
+
+def test_fig8_expression(benchmark):
+    config = scaled_config(FIGURES["fig8"], "bench")
+    result = benchmark.pedantic(run_sweep, args=(config,), rounds=1, iterations=1)
+    print_figure(result)
+
+    for series in result.series:
+        assert series.errors[-1] <= series.errors[0] + 0.05
+    largest_target = result.series[0]
+    assert largest_target.errors[-1] < 0.40

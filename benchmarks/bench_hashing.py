@@ -1,0 +1,68 @@
+"""Hash-substrate bench: polynomial vs tabulation first-level hashing.
+
+The default first-level family is a degree-(t−1) polynomial over
+GF(2^61−1) — the construction the paper's limited-independence analysis
+(Section 3.6) covers.  Tabulation hashing is only 3-wise independent but
+evaluates by table lookups.  This bench measures raw hashing throughput
+for both and checks that each feeds the geometric LSB level distribution
+the sketches rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import random_polynomial_hash
+from repro.hashing.lsb import lsb_array
+from repro.hashing.tabulation import random_tabulation_hash
+
+N = 1 << 20
+
+
+def _elements() -> np.ndarray:
+    rng = np.random.default_rng(42)
+    return rng.integers(0, 2**30, size=N, dtype=np.uint64)
+
+
+def test_polynomial_hash_throughput(benchmark):
+    hash_fn = random_polynomial_hash(np.random.default_rng(1), independence=8)
+    elements = _elements()
+    benchmark.pedantic(hash_fn, args=(elements,), rounds=5, iterations=1)
+    rate = N / benchmark.stats["mean"]
+    print(f"\npolynomial (t=8): {rate / 1e6:.1f} M elements/s")
+
+
+def test_tabulation_hash_throughput(benchmark):
+    hash_fn = random_tabulation_hash(np.random.default_rng(2))
+    elements = _elements()
+    benchmark.pedantic(hash_fn, args=(elements,), rounds=5, iterations=1)
+    rate = N / benchmark.stats["mean"]
+    print(f"\ntabulation (3-wise): {rate / 1e6:.1f} M elements/s")
+
+
+def test_level_distribution_quality(benchmark):
+    """Both families must produce geometric LSB levels — the property
+    every estimator in the library rests on."""
+
+    def measure():
+        elements = _elements()
+        deviations = {}
+        for name, hash_fn in (
+            ("polynomial", random_polynomial_hash(np.random.default_rng(3), 8)),
+            ("tabulation", random_tabulation_hash(np.random.default_rng(4))),
+        ):
+            levels = lsb_array(hash_fn(elements))
+            worst = 0.0
+            for level in range(8):
+                frequency = float((levels == level).mean())
+                expected = 2.0 ** -(level + 1)
+                worst = max(worst, abs(frequency - expected) / expected)
+            deviations[name] = worst
+        return deviations
+
+    deviations = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print()
+    for name, worst in deviations.items():
+        print(f"{name}: worst relative deviation from 2^-(l+1) over levels "
+              f"0-7: {100 * worst:.2f}%")
+    assert all(worst < 0.05 for worst in deviations.values())

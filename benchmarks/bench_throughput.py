@@ -1,0 +1,70 @@
+"""Maintenance-cost bench: update-processing throughput.
+
+The paper claims "small processing time per update": each update touches
+``s`` counters in each of ``r`` sketches after one first-level and ``s``
+second-level hash evaluations.  This bench measures updates/second for
+the scalar path (one tuple at a time, the streaming API) and the
+vectorised batch path, across family sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+
+SHAPE = SketchShape(domain_bits=24, num_second_level=16, independence=8)
+
+
+def _batch(num_sketches: int, elements: np.ndarray) -> None:
+    family = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=1).build()
+    family.update_batch(elements)
+
+
+def _scalar(num_sketches: int, elements: np.ndarray) -> None:
+    family = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=1).build()
+    for element in elements:
+        family.update(int(element), 1)
+
+
+def test_batch_update_throughput_r64(benchmark):
+    rng = np.random.default_rng(1)
+    elements = rng.integers(0, 2**24, size=4096, dtype=np.uint64)
+    benchmark.pedantic(_batch, args=(64, elements), rounds=3, iterations=1)
+    per_update = benchmark.stats["mean"] / elements.size
+    print(f"\nbatch path, r=64: {1 / per_update:,.0f} updates/s")
+
+
+def test_batch_update_throughput_r256(benchmark):
+    rng = np.random.default_rng(2)
+    elements = rng.integers(0, 2**24, size=4096, dtype=np.uint64)
+    benchmark.pedantic(_batch, args=(256, elements), rounds=3, iterations=1)
+    per_update = benchmark.stats["mean"] / elements.size
+    print(f"\nbatch path, r=256: {1 / per_update:,.0f} updates/s")
+
+
+def test_scalar_update_throughput_r64(benchmark):
+    rng = np.random.default_rng(3)
+    elements = rng.integers(0, 2**24, size=256, dtype=np.uint64)
+    benchmark.pedantic(_scalar, args=(64, elements), rounds=3, iterations=1)
+    per_update = benchmark.stats["mean"] / elements.size
+    print(f"\nscalar path, r=64: {1 / per_update:,.0f} updates/s")
+
+
+def test_estimation_latency(benchmark):
+    """Query-time cost: estimators touch only per-level aggregates, so
+    answering should be orders of magnitude cheaper than maintenance."""
+    from repro.core.intersection import estimate_intersection
+
+    rng = np.random.default_rng(4)
+    spec = SketchSpec(num_sketches=256, shape=SHAPE, seed=5)
+    family_a, family_b = spec.build(), spec.build()
+    pool = rng.choice(2**24, size=4096, replace=False).astype(np.uint64)
+    family_a.update_batch(pool[:3000])
+    family_b.update_batch(pool[1500:])
+
+    benchmark.pedantic(
+        estimate_intersection, args=(family_a, family_b, 0.1), rounds=20, iterations=1
+    )
+    print(f"\nintersection query latency: {benchmark.stats['mean'] * 1e3:.2f} ms")

@@ -1,0 +1,66 @@
+"""Sliding-window distinct counting via deletions.
+
+Deletion support is what makes time windows possible with this synopsis:
+as sessions age out of the monitoring window, the *source* emits the
+inverse updates, and the deletion-invariant sketch ends up identical to
+one built over just the in-window traffic.
+
+The scenario: a router reports active-session source addresses; the
+operator wants "distinct sources in the last hour" and "distinct sources
+seen at both routers in the last hour" on a rolling basis.
+
+Run:  python examples/sliding_window.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ExactStreamStore, SketchSpec, StreamEngine, Update
+from repro.streams.windows import SlidingWindowDriver
+
+WINDOW = 3600.0  # one hour, in seconds
+TICKS = 4  # traffic bursts, one per half hour
+
+
+def main() -> None:
+    rng = np.random.default_rng(77)
+    engine = StreamEngine(SketchSpec(num_sketches=256, seed=5))
+    exact = ExactStreamStore()
+    driver = SlidingWindowDriver(WINDOW, engine, exact)
+
+    addresses = rng.choice(2**30, size=40_000, replace=False)
+    cursor = 0
+
+    for burst in range(TICKS):
+        now = burst * 1800.0  # every half hour
+        # Each burst: 8k sessions at R1, 6k at R2, overlapping by 4k.
+        r1 = addresses[cursor : cursor + 8000]
+        r2 = addresses[cursor + 4000 : cursor + 10_000]
+        cursor += 10_000
+        for address in r1:
+            driver.observe(Update("R1", int(address), +1), at=now)
+        for address in r2:
+            driver.observe(Update("R2", int(address), +1), at=now)
+
+        estimate = engine.query("R1 & R2", epsilon=0.15)
+        truth = exact.cardinality("R1 & R2")
+        error = abs(estimate.value - truth) / truth if truth else 0.0
+        print(
+            f"t={now / 3600:4.1f}h  in-window updates: "
+            f"{driver.in_window_count:6,}   |R1 ∩ R2| ≈ "
+            f"{estimate.value:7,.0f} (exact {truth:6,}, err {100 * error:4.1f}%)"
+        )
+
+    # Let the window drain completely: everything expires.
+    driver.advance_to(TICKS * 1800.0 + WINDOW)
+    engine.flush()
+    print(
+        f"\nafter the window drains: in-window updates = "
+        f"{driver.in_window_count}, sketches empty = "
+        f"{all(engine.family(name).is_empty() for name in engine.stream_names())}"
+    )
+
+
+if __name__ == "__main__":
+    main()

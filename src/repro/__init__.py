@@ -1,0 +1,107 @@
+"""repro — set-expression cardinality estimation over update streams.
+
+A production-quality reproduction of *"Processing Set Expressions over
+Continuous Update Streams"* (Ganguly, Garofalakis & Rastogi, SIGMOD 2003):
+2-level hash sketch synopses plus (ε, δ)-estimators for the cardinality of
+set union, difference, intersection, and general set expressions over
+streams of insertions **and deletions**.
+
+Quickstart::
+
+    from repro import SketchSpec, StreamEngine, Update
+
+    engine = StreamEngine(SketchSpec(num_sketches=256, seed=7))
+    engine.process(Update("A", element=12345, delta=+1))
+    engine.process(Update("B", element=12345, delta=+1))
+    engine.process(Update("B", element=12345, delta=-1))   # deletion
+    estimate = engine.query("A - B")
+    print(float(estimate))
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the reproduced
+evaluation.
+"""
+
+from repro.core import (
+    ExpressionExplanation,
+    SketchFamily,
+    SketchHashes,
+    SketchShape,
+    SketchSpec,
+    SynopsisPlan,
+    TwoLevelHashSketch,
+    UnionEstimate,
+    WitnessEstimate,
+    estimate_difference,
+    estimate_expression,
+    estimate_intersection,
+    estimate_union,
+    explain_expression,
+    recommend_spec,
+)
+from repro.errors import (
+    DomainError,
+    EstimationError,
+    ExpressionError,
+    IllegalDeletionError,
+    IncompatibleSketchesError,
+    ReproError,
+    UnknownStreamError,
+)
+from repro.core.intervals import ConfidenceInterval, witness_confidence_interval
+from repro.expr import SetExpression, parse
+from repro.expr import streams as stream_refs
+from repro.streams import (
+    ContinuousQueryProcessor,
+    Coordinator,
+    ExactStreamStore,
+    StreamEngine,
+    StreamSite,
+    Update,
+    checkpoint_engine,
+    load_updates,
+    restore_engine,
+    save_updates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SketchFamily",
+    "SketchHashes",
+    "SketchShape",
+    "SketchSpec",
+    "TwoLevelHashSketch",
+    "UnionEstimate",
+    "WitnessEstimate",
+    "estimate_difference",
+    "estimate_expression",
+    "estimate_intersection",
+    "estimate_union",
+    "SetExpression",
+    "parse",
+    "stream_refs",
+    "Coordinator",
+    "ExactStreamStore",
+    "StreamEngine",
+    "StreamSite",
+    "Update",
+    "checkpoint_engine",
+    "restore_engine",
+    "save_updates",
+    "load_updates",
+    "ExpressionExplanation",
+    "explain_expression",
+    "SynopsisPlan",
+    "recommend_spec",
+    "ConfidenceInterval",
+    "witness_confidence_interval",
+    "ContinuousQueryProcessor",
+    "ReproError",
+    "DomainError",
+    "EstimationError",
+    "ExpressionError",
+    "IllegalDeletionError",
+    "IncompatibleSketchesError",
+    "UnknownStreamError",
+    "__version__",
+]

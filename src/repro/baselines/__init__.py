@@ -1,0 +1,22 @@
+"""Baseline synopses the paper compares against (all insert-only)."""
+
+from repro.baselines.bjkst import BJKSTSketch
+from repro.baselines.distinct_sampling import DistinctSampler
+from repro.baselines.fm import FM_CORRECTION, FlajoletMartin
+from repro.baselines.minhash import BottomKSketch, KMinsSignature, estimate_jaccard
+from repro.baselines.mip_expressions import (
+    estimate_expression_mip,
+    estimate_union_mip,
+)
+
+__all__ = [
+    "BJKSTSketch",
+    "DistinctSampler",
+    "FlajoletMartin",
+    "FM_CORRECTION",
+    "BottomKSketch",
+    "KMinsSignature",
+    "estimate_jaccard",
+    "estimate_expression_mip",
+    "estimate_union_mip",
+]

@@ -1,0 +1,98 @@
+"""Gibbons-style distinct sampling baseline.
+
+Distinct sampling [Gibbons 2001; Gibbons & Tirthapura 2001] maintains a
+uniform random sample of the *distinct* elements of an insert-only stream
+by hashing each element to a geometric level (like the FM first level) and
+keeping every distinct element at or above a current threshold level; when
+the sample overflows its budget, the threshold rises and lower-level
+elements are discarded.  The distinct count is estimated as
+``|sample| * 2**level``.
+
+The paper's critique — which this implementation makes observable — is the
+behaviour under deletions: a deletion of a sampled element shrinks the
+sample, and once the sample empties (or merely becomes unrepresentative),
+only a rescan of past items could restore it.  ``delete`` processes legal
+deletions of sampled elements, tracks :attr:`depletions`, and raises when
+the sample underflows entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.family import _draw_family_hashes
+from repro.core.sketch import SketchShape
+from repro.errors import IllegalDeletionError
+from repro.hashing.lsb import lsb
+
+__all__ = ["DistinctSampler"]
+
+
+class DistinctSampler:
+    """Level-based uniform sample over the distinct elements of a stream."""
+
+    def __init__(
+        self, capacity: int = 256, seed: int = 0, domain_bits: int = 30
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.seed = seed
+        self.domain_bits = domain_bits
+        shape = SketchShape(domain_bits=domain_bits)
+        self._hash = _draw_family_hashes(seed, 0, 1, shape)[0].first_level
+        self.level = 0
+        self._sample: dict[int, int] = {}  # element -> its hash level
+        self.depletions = 0
+
+    # -- maintenance ---------------------------------------------------------
+
+    def insert(self, element: int) -> None:
+        """Process one element insertion."""
+        element = int(element)
+        element_level = lsb(self._hash(element))
+        if element_level < self.level or element in self._sample:
+            return
+        self._sample[element] = element_level
+        while len(self._sample) > self.capacity:
+            self.level += 1
+            self._sample = {
+                kept: kept_level
+                for kept, kept_level in self._sample.items()
+                if kept_level >= self.level
+            }
+
+    def insert_batch(self, elements) -> None:
+        """Insert many elements, one at a time."""
+        for element in np.asarray(elements, dtype=np.uint64):
+            self.insert(int(element))
+
+    def delete(self, element: int) -> None:
+        """Process a deletion; raise once the sample is depleted.
+
+        Deleting an unsampled element is invisible (correctly so — the
+        sample remains uniform over surviving distinct elements).  Deleting
+        a sampled element shrinks the sample; when the last sampled element
+        disappears while the threshold level is above zero, the sampler can
+        no longer say anything about the stream without rescanning it.
+        """
+        element = int(element)
+        if element not in self._sample:
+            return
+        del self._sample[element]
+        self.depletions += 1
+        if not self._sample and self.level > 0:
+            raise IllegalDeletionError(
+                "distinct sample depleted by deletions; a rescan of past "
+                "stream items would be required"
+            )
+
+    # -- estimation -------------------------------------------------------------
+
+    @property
+    def sample(self) -> set[int]:
+        return set(self._sample)
+
+    def estimate_distinct(self) -> float:
+        """``|sample| * 2**level`` — unbiased under insert-only streams."""
+        return float(len(self._sample) * (1 << self.level))

@@ -1,0 +1,97 @@
+"""The Flajolet-Martin distinct-count estimator (paper Figure 2).
+
+The classical bit-vector synopsis for *insert-only* streams: hash each
+incoming element, set the bit at ``LSB(h(e))``, and estimate the distinct
+count from the position of the leftmost zero, averaged over ``r``
+independent synopses and scaled by the Flajolet-Martin correction factor
+``1.2928 = 1/0.77351``.
+
+Included as the historical baseline the 2-level hash sketch generalises:
+it supports **only** insertions and **only** the union operation.  A
+deletion raises — a bit, once set, cannot be unset; that limitation is
+precisely what the paper's counter-based first level fixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.family import _draw_family_hashes
+from repro.core.sketch import SketchShape
+from repro.errors import DomainError, IllegalDeletionError
+from repro.hashing.lsb import NUM_LEVELS, lsb_array
+
+__all__ = ["FlajoletMartin", "FM_CORRECTION"]
+
+#: The magic constant of Figure 2: ``E[2**leftmostZero] = phi * n`` with
+#: ``phi ≈ 0.77351``; the estimator multiplies by ``1/phi``.
+FM_CORRECTION = 1.2928
+
+
+class FlajoletMartin:
+    """``r`` independent FM bit-vector synopses over one insertion stream.
+
+    Hash functions are drawn with the same prefix-stable scheme as
+    :class:`~repro.core.family.SketchFamily` (seeded per synopsis index),
+    so two FM summaries with equal ``(seed, num_sketches)`` are comparable
+    and can be OR-merged to summarise a union of streams.
+    """
+
+    def __init__(
+        self, num_sketches: int = 64, seed: int = 0, domain_bits: int = 30
+    ) -> None:
+        if num_sketches < 1:
+            raise ValueError("need at least one synopsis")
+        self.num_sketches = num_sketches
+        self.seed = seed
+        self.domain_bits = domain_bits
+        shape = SketchShape(domain_bits=domain_bits)
+        self._hashes = _draw_family_hashes(seed, 0, num_sketches, shape)
+        self.bits = np.zeros((num_sketches, NUM_LEVELS), dtype=bool)
+
+    # -- maintenance -------------------------------------------------------
+
+    def insert(self, element: int) -> None:
+        """Process one element insertion."""
+        self.insert_batch(np.asarray([element], dtype=np.uint64))
+
+    def insert_batch(self, elements) -> None:
+        """Insert a batch of elements (vectorised per synopsis)."""
+        elements = np.asarray(elements, dtype=np.uint64)
+        if elements.size == 0:
+            return
+        if int(elements.max()) >= (1 << self.domain_bits):
+            raise DomainError("batch contains elements outside [0, M)")
+        for index in range(self.num_sketches):
+            levels = lsb_array(self._hashes[index].first_level(elements))
+            self.bits[index, levels] = True
+
+    def delete(self, element: int) -> None:
+        """FM synopses cannot process deletions — that is the point."""
+        raise IllegalDeletionError(
+            "the Flajolet-Martin bit-vector synopsis supports insertions "
+            "only; use TwoLevelHashSketch for update streams"
+        )
+
+    # -- combination / estimation ------------------------------------------
+
+    def merged_with(self, other: "FlajoletMartin") -> "FlajoletMartin":
+        """OR-combine: summarises the union of the two input streams."""
+        if (self.seed, self.num_sketches, self.domain_bits) != (
+            other.seed,
+            other.num_sketches,
+            other.domain_bits,
+        ):
+            raise ValueError("FM summaries built with different coins")
+        merged = FlajoletMartin(self.num_sketches, self.seed, self.domain_bits)
+        merged.bits = self.bits | other.bits
+        return merged
+
+    def estimate(self) -> float:
+        """The Figure 2 estimate ``1.2928 * 2**(mean leftmost zero)``."""
+        if not self.bits.any():
+            return 0.0
+        leftmost_zeros = np.argmin(self.bits, axis=1).astype(np.float64)
+        # argmin returns 0 both for "bit 0 unset" and "all bits set"; the
+        # all-set case (needs > 2**64 distinct values) cannot happen here.
+        return float(FM_CORRECTION * 2.0 ** leftmost_zeros.mean())

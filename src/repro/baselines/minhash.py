@@ -1,0 +1,175 @@
+"""Min-wise independent permutations (MIPs) baseline.
+
+The paper identifies MIPs [Broder et al. 1998; Cohen 1997; Indyk 1999] as
+the only prior technique able to estimate non-union set operations — but
+only over *insert-only* streams.  This module implements the two standard
+variants:
+
+* :class:`KMinsSignature` — ``k`` independent hash functions, keep the
+  minimum hash value of each (the classic MinHash signature).  The
+  fraction of coordinates where two signatures agree estimates the Jaccard
+  coefficient ``|A ∩ B| / |A ∪ B|``.
+* :class:`BottomKSketch` — one hash function, keep the ``k`` smallest
+  hash values.  Supports Jaccard/union/intersection estimation and —
+  crucially for the comparison — makes the **deletion-depletion** failure
+  mode concrete: deleting an element currently *inside* the bottom-k set
+  cannot be handled without rescanning the stream, because the evicted
+  slot's rightful occupant was discarded.  ``delete`` on a member raises
+  :class:`~repro.errors.IllegalDeletionError` (after removing the value),
+  and the sketch counts how often it would have needed a rescan.
+
+Both variants share first-level hash functions with the 2-level sketches
+(same seeding scheme), so comparisons use identical coins.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.family import _draw_family_hashes
+from repro.core.sketch import SketchShape
+from repro.errors import IllegalDeletionError
+
+__all__ = ["KMinsSignature", "BottomKSketch", "estimate_jaccard"]
+
+
+class KMinsSignature:
+    """Classic MinHash: per hash function, the minimum hash value seen."""
+
+    def __init__(self, k: int = 64, seed: int = 0, domain_bits: int = 30) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.seed = seed
+        self.domain_bits = domain_bits
+        shape = SketchShape(domain_bits=domain_bits)
+        self._hashes = _draw_family_hashes(seed, 0, k, shape)
+        self.minima = np.full(k, np.iinfo(np.uint64).max, dtype=np.uint64)
+
+    def insert(self, element: int) -> None:
+        """Process one element insertion."""
+        self.insert_batch(np.asarray([element], dtype=np.uint64))
+
+    def insert_batch(self, elements) -> None:
+        """Insert a batch of elements."""
+        elements = np.asarray(elements, dtype=np.uint64)
+        if elements.size == 0:
+            return
+        for index in range(self.k):
+            hashed = self._hashes[index].first_level(elements)
+            self.minima[index] = min(self.minima[index], np.uint64(hashed.min()))
+
+    def delete(self, element: int) -> None:
+        """Deleting the current minimum would require a stream rescan."""
+        raise IllegalDeletionError(
+            "MinHash signatures cannot process deletions without rescanning "
+            "the stream"
+        )
+
+    def agreement(self, other: "KMinsSignature") -> float:
+        """Fraction of agreeing coordinates ≈ Jaccard(A, B)."""
+        self._check_coins(other)
+        return float((self.minima == other.minima).mean())
+
+    def _check_coins(self, other: "KMinsSignature") -> None:
+        if (self.k, self.seed, self.domain_bits) != (
+            other.k,
+            other.seed,
+            other.domain_bits,
+        ):
+            raise ValueError("signatures built with different coins")
+
+
+class BottomKSketch:
+    """Bottom-k sketch: the ``k`` smallest hash values under one function.
+
+    ``delete`` demonstrates MIP depletion: a deletion of a non-member is a
+    no-op (it never made the sketch), but deleting a *member* punches a
+    hole that only a rescan could refill.  The sketch removes the value,
+    increments :attr:`depletions`, and raises so callers see the failure
+    the way a production system would.
+    """
+
+    def __init__(self, k: int = 64, seed: int = 0, domain_bits: int = 30) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.seed = seed
+        self.domain_bits = domain_bits
+        shape = SketchShape(domain_bits=domain_bits)
+        self._hash = _draw_family_hashes(seed, 0, 1, shape)[0].first_level
+        # value -> element, kept as a dict plus a lazily rebuilt heap.
+        self._members: dict[int, int] = {}
+        self.depletions = 0
+
+    # -- maintenance --------------------------------------------------------
+
+    def insert(self, element: int) -> None:
+        """Process one element insertion."""
+        value = int(self._hash(int(element)))
+        if value in self._members:
+            return
+        if len(self._members) < self.k:
+            self._members[value] = int(element)
+            return
+        worst = max(self._members)
+        if value < worst:
+            del self._members[worst]
+            self._members[value] = int(element)
+
+    def insert_batch(self, elements) -> None:
+        """Insert a batch of elements."""
+        for element in np.asarray(elements, dtype=np.uint64):
+            self.insert(int(element))
+
+    def delete(self, element: int) -> None:
+        """Remove ``element``; raises if the sketch is now depleted."""
+        value = int(self._hash(int(element)))
+        if value not in self._members:
+            return
+        del self._members[value]
+        self.depletions += 1
+        raise IllegalDeletionError(
+            f"bottom-{self.k} sketch depleted by deleting element {element}; "
+            "a rescan of past stream items would be required"
+        )
+
+    # -- estimation ------------------------------------------------------------
+
+    @property
+    def values(self) -> list[int]:
+        return sorted(self._members)
+
+    def estimate_distinct(self) -> float:
+        """``(k-1) / v_k`` scaled to the hash range (standard bottom-k)."""
+        if len(self._members) < self.k:
+            return float(len(self._members))
+        kth = self.values[self.k - 1]
+        hash_range = float(2**61 - 1)
+        return (self.k - 1) * hash_range / float(kth)
+
+    def jaccard(self, other: "BottomKSketch") -> float:
+        """Bottom-k Jaccard estimate over the union's bottom-k values."""
+        self._check_coins(other)
+        union_bottom = heapq.nsmallest(self.k, set(self.values) | set(other.values))
+        if not union_bottom:
+            return 0.0
+        shared = set(self.values) & set(other.values)
+        return sum(1 for value in union_bottom if value in shared) / len(union_bottom)
+
+    def _check_coins(self, other: "BottomKSketch") -> None:
+        if (self.k, self.seed, self.domain_bits) != (
+            other.k,
+            other.seed,
+            other.domain_bits,
+        ):
+            raise ValueError("sketches built with different coins")
+
+
+def estimate_jaccard(
+    signature_a: KMinsSignature, signature_b: KMinsSignature
+) -> float:
+    """Jaccard coefficient estimate from two k-mins signatures."""
+    return signature_a.agreement(signature_b)

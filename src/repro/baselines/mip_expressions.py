@@ -1,0 +1,89 @@
+"""MIP-based set-expression estimation over insert-only streams.
+
+The paper identifies min-wise independent permutations as the only prior
+technique handling operators beyond union, citing Chen et al. [7] for the
+extension to Boolean/set expressions.  The idea: maintain one bottom-k
+sketch per stream under a *shared* hash permutation.  The k smallest hash
+values of the union of all streams are (approximately) a uniform sample
+of the union's distinct elements; because every sketch kept the bottom-k
+of its own stream, membership of each sampled element in each stream is
+known exactly.  The fraction of the union-sample satisfying the
+expression's membership condition estimates ``|E| / |∪ᵢAᵢ|``.
+
+This is the natural head-to-head comparator for the 2-level hash sketch:
+on insert-only streams it is simple and accurate, but a single deletion
+of a sketched element invalidates it (see
+:class:`repro.baselines.minhash.BottomKSketch`), whereas the 2-level
+sketch keeps working.  ``benchmarks/bench_vs_mips.py`` quantifies both
+directions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Mapping
+
+from repro.baselines.minhash import BottomKSketch
+from repro.errors import UnknownStreamError
+from repro.expr.ast import SetExpression
+from repro.expr.parser import parse
+
+__all__ = ["estimate_expression_mip", "estimate_union_mip"]
+
+
+def _union_sample(sketches: Mapping[str, BottomKSketch]) -> tuple[list[int], int]:
+    """The bottom-k hash values of the union, and the shared k."""
+    first = next(iter(sketches.values()))
+    for sketch in sketches.values():
+        first._check_coins(sketch)
+    k = first.k
+    all_values = set()
+    for sketch in sketches.values():
+        all_values.update(sketch.values)
+    return heapq.nsmallest(k, all_values), k
+
+
+def estimate_union_mip(sketches: Mapping[str, BottomKSketch]) -> float:
+    """Distinct count of the union from the combined bottom-k values."""
+    union_bottom, k = _union_sample(sketches)
+    if len(union_bottom) < k:
+        return float(len(union_bottom))
+    hash_range = float(2**61 - 1)
+    return (k - 1) * hash_range / float(union_bottom[k - 1])
+
+
+def estimate_expression_mip(
+    expression: SetExpression | str,
+    sketches: Mapping[str, BottomKSketch],
+) -> float:
+    """Estimate ``|E|`` from per-stream bottom-k sketches (insert-only).
+
+    All sketches must be built with the same coins (seed/k/domain).  The
+    union's bottom-k values form the sample; each sampled value's
+    membership pattern across streams feeds the expression's
+    :meth:`~repro.expr.ast.SetExpression.contains`.
+    """
+    if isinstance(expression, str):
+        expression = parse(expression)
+    names = sorted(expression.streams())
+    missing = [name for name in names if name not in sketches]
+    if missing:
+        raise UnknownStreamError(
+            f"no bottom-k sketch for stream(s): {', '.join(missing)}"
+        )
+    participating = {name: sketches[name] for name in names}
+
+    union_bottom, _ = _union_sample(participating)
+    if not union_bottom:
+        return 0.0
+
+    membership_sets = {
+        name: set(sketch.values) for name, sketch in participating.items()
+    }
+    matches = 0
+    for value in union_bottom:
+        membership = {name: value in membership_sets[name] for name in names}
+        if expression.contains(membership):
+            matches += 1
+    fraction = matches / len(union_bottom)
+    return fraction * estimate_union_mip(participating)

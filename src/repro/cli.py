@@ -1,0 +1,297 @@
+"""Command-line interface for the repro toolkit.
+
+Subcommands cover the full life of a deployment:
+
+``repro generate``
+    Synthesise a controlled update log for a target expression (the
+    paper's Section 5.1 generator), optionally with insert/delete churn.
+``repro ingest``
+    One-pass build of sketch synopses from an update log, checkpointed to
+    a directory.
+``repro query``
+    Estimate set-expression cardinalities from a checkpoint — no access
+    to the original stream.
+``repro plan``
+    Synopsis sizing for a target (ε, δ) from the paper's space bounds.
+``repro simplify``
+    Analyse and canonicalise a set expression (satisfiability, Venn
+    cells, minimal-ish equivalent form).
+``repro exact``
+    Ground-truth cardinalities by exact replay of an update log.
+``repro experiment``
+    Regenerate the paper's figures (delegates to
+    ``repro.experiments.run_all``).
+
+Example session::
+
+    repro generate --expression "(A - B) & C" --union-size 100000 \
+        --target-ratio 0.25 --churn 0.5 --out /tmp/updates.log.gz
+    repro ingest --log /tmp/updates.log.gz --checkpoint /tmp/synopses \
+        --sketches 256
+    repro query --checkpoint /tmp/synopses --expression "(A - B) & C" \
+        --explain
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all subcommands (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="2-level hash sketches: set-expression cardinality "
+        "estimation over update streams (SIGMOD 2003 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="synthesise a controlled update log"
+    )
+    generate.add_argument("--expression", required=True, help='e.g. "(A - B) & C"')
+    generate.add_argument("--union-size", type=int, default=1 << 14)
+    generate.add_argument("--target-ratio", type=float, default=0.25)
+    generate.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        help="phantom insert+delete pairs per real element (0 = insert-only)",
+    )
+    generate.add_argument("--domain-bits", type=int, default=30)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=pathlib.Path, required=True)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="build synopses from an update log"
+    )
+    ingest.add_argument("--log", type=pathlib.Path, required=True)
+    ingest.add_argument("--checkpoint", type=pathlib.Path, required=True)
+    ingest.add_argument("--sketches", type=int, default=256)
+    ingest.add_argument("--second-level", type=int, default=16)
+    ingest.add_argument("--independence", type=int, default=8)
+    ingest.add_argument("--domain-bits", type=int, default=30)
+    ingest.add_argument("--seed", type=int, default=0)
+
+    query = subparsers.add_parser(
+        "query", help="estimate |E| from checkpointed synopses"
+    )
+    query.add_argument("--checkpoint", type=pathlib.Path, required=True)
+    query.add_argument(
+        "--expression", action="append", required=True,
+        help="may be given multiple times",
+    )
+    query.add_argument("--epsilon", type=float, default=0.1)
+    query.add_argument(
+        "--explain", action="store_true",
+        help="also print per-subexpression estimates",
+    )
+
+    plan = subparsers.add_parser(
+        "plan", help="synopsis sizing for a target (epsilon, delta)"
+    )
+    plan.add_argument("--epsilon", type=float, default=0.1)
+    plan.add_argument("--delta", type=float, default=0.05)
+    plan.add_argument(
+        "--ratio", type=float, default=0.1,
+        help="smallest |E| / |union| the workload must resolve",
+    )
+    plan.add_argument("--streams", type=int, default=2)
+
+    simplify = subparsers.add_parser(
+        "simplify", help="analyse and canonicalise a set expression"
+    )
+    simplify.add_argument("--expression", required=True)
+
+    exact = subparsers.add_parser(
+        "exact", help="exact |E| from an update log (ground truth)"
+    )
+    exact.add_argument("--log", type=pathlib.Path, required=True)
+    exact.add_argument(
+        "--expression", action="append", required=True,
+        help="may be given multiple times",
+    )
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate the paper's figures"
+    )
+    experiment.add_argument(
+        "--scale", choices=("bench", "medium", "paper"), default="medium"
+    )
+    experiment.add_argument("--figure", nargs="*", default=None)
+    experiment.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("experiments_output")
+    )
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    from repro.datagen.controlled import generate_controlled
+    from repro.datagen.updates_gen import with_phantom_deletions
+    from repro.streams.sources import save_updates
+    from repro.streams.updates import insertions
+
+    rng = np.random.default_rng(args.seed)
+    dataset = generate_controlled(
+        args.expression,
+        args.union_size,
+        args.target_ratio,
+        rng,
+        domain_bits=args.domain_bits,
+    )
+    updates = []
+    for name in dataset.stream_names():
+        if args.churn > 0:
+            updates.extend(
+                with_phantom_deletions(
+                    name,
+                    dataset.elements[name],
+                    rng,
+                    phantom_fraction=args.churn,
+                    domain_bits=args.domain_bits,
+                )
+            )
+        else:
+            updates.extend(
+                insertions(name, (int(e) for e in dataset.elements[name]))
+            )
+    written = save_updates(args.out, updates)
+    print(f"wrote {written:,} updates to {args.out}")
+    print(f"exact |{args.expression}| = {dataset.target_size:,} "
+          f"(union {dataset.union_size:,})")
+    return 0
+
+
+def _command_ingest(args: argparse.Namespace) -> int:
+    from repro.core.family import SketchSpec
+    from repro.core.sketch import SketchShape
+    from repro.streams.checkpoint import checkpoint_engine
+    from repro.streams.engine import StreamEngine
+    from repro.streams.sources import replay_into
+
+    spec = SketchSpec(
+        num_sketches=args.sketches,
+        shape=SketchShape(
+            domain_bits=args.domain_bits,
+            num_second_level=args.second_level,
+            independence=args.independence,
+        ),
+        seed=args.seed,
+    )
+    engine = StreamEngine(spec)
+    count = replay_into(
+        args.log,
+        engine,
+        progress=lambda n: print(f"  {n:,} updates ingested ..."),
+    )
+    checkpoint_engine(engine, args.checkpoint)
+    print(
+        f"ingested {count:,} updates over streams "
+        f"{', '.join(engine.stream_names())}; checkpoint at {args.checkpoint} "
+        f"({engine.synopsis_bytes() / 1e6:.1f} MB of counters)"
+    )
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.core.explain import explain_expression
+    from repro.streams.checkpoint import restore_engine
+
+    engine = restore_engine(args.checkpoint)
+    for expression in args.expression:
+        if args.explain:
+            engine.flush()
+            families = {
+                name: engine.family(name) for name in engine.stream_names()
+            }
+            explanation = explain_expression(expression, families, args.epsilon)
+            print(f"|{expression}| ≈ {explanation.estimate.value:,.0f}")
+            print(explanation.as_table())
+        else:
+            estimate = engine.query(expression, args.epsilon)
+            print(
+                f"|{expression}| ≈ {estimate.value:,.0f}  "
+                f"(û={estimate.union_estimate:,.0f}, "
+                f"{estimate.num_witnesses}/{estimate.num_valid} witnesses)"
+            )
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    from repro.core.sizing import recommend_spec
+
+    plan = recommend_spec(
+        epsilon=args.epsilon,
+        delta=args.delta,
+        cardinality_ratio=args.ratio,
+        num_streams=args.streams,
+    )
+    print(plan.describe())
+    return 0
+
+
+def _command_simplify(args: argparse.Namespace) -> int:
+    from repro.expr.optimize import is_tautology, is_unsatisfiable, simplify
+    from repro.expr.parser import parse
+    from repro.expr.venn import cells_of_expression
+
+    expression = parse(args.expression)
+    print(f"parsed     : {expression.to_text()}")
+    print(f"streams    : {', '.join(sorted(expression.streams()))}")
+    cells = cells_of_expression(expression)
+    print(f"venn cells : {len(cells)}")
+    if is_unsatisfiable(expression):
+        print("analysis   : unsatisfiable — |E| = 0 for every input")
+    elif is_tautology(expression):
+        print("analysis   : equals the union of its streams")
+    print(f"simplified : {simplify(expression).to_text()}")
+    return 0
+
+
+def _command_exact(args: argparse.Namespace) -> int:
+    from repro.streams.exact import ExactStreamStore
+    from repro.streams.sources import replay_into
+
+    store = ExactStreamStore()
+    count = replay_into(args.log, store)
+    print(f"replayed {count:,} updates over streams {', '.join(store.streams())}")
+    for expression in args.expression:
+        print(f"|{expression}| = {store.cardinality(expression):,}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import main as run_all_main
+
+    argv = ["--scale", args.scale, "--out", str(args.out)]
+    if args.figure:
+        argv += ["--figure", *args.figure]
+    return run_all_main(argv)
+
+
+_COMMANDS = {
+    "generate": _command_generate,
+    "ingest": _command_ingest,
+    "query": _command_query,
+    "plan": _command_plan,
+    "simplify": _command_simplify,
+    "exact": _command_exact,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments, dispatch to the subcommand."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

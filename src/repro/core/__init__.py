@@ -1,0 +1,62 @@
+"""Core contribution of the paper: 2-level hash sketches and estimators."""
+
+from repro.core.bitmap import BitmapFamily
+from repro.core.boosting import (
+    boosted_estimate,
+    estimate_expression_boosted,
+    family_groups,
+)
+from repro.core.difference import atomic_difference_estimate, estimate_difference
+from repro.core.explain import ExpressionExplanation, explain_expression
+from repro.core.intervals import (
+    ConfidenceInterval,
+    wilson_interval,
+    witness_confidence_interval,
+)
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchFamily, SketchSpec, check_same_coins
+from repro.core.sizing import (
+    SynopsisPlan,
+    recommend_spec,
+    second_level_hashes_needed,
+    union_sketches_needed,
+    witness_sketches_needed,
+)
+from repro.core.intersection import (
+    atomic_intersection_estimate,
+    estimate_intersection,
+)
+from repro.core.results import UnionEstimate, WitnessEstimate
+from repro.core.sketch import SketchHashes, SketchShape, TwoLevelHashSketch
+from repro.core.union import estimate_union
+
+__all__ = [
+    "BitmapFamily",
+    "SketchFamily",
+    "SketchSpec",
+    "SketchHashes",
+    "SketchShape",
+    "TwoLevelHashSketch",
+    "check_same_coins",
+    "estimate_union",
+    "estimate_difference",
+    "estimate_intersection",
+    "estimate_expression",
+    "atomic_difference_estimate",
+    "atomic_intersection_estimate",
+    "UnionEstimate",
+    "WitnessEstimate",
+    "ExpressionExplanation",
+    "explain_expression",
+    "SynopsisPlan",
+    "recommend_spec",
+    "second_level_hashes_needed",
+    "union_sketches_needed",
+    "witness_sketches_needed",
+    "boosted_estimate",
+    "estimate_expression_boosted",
+    "family_groups",
+    "ConfidenceInterval",
+    "wilson_interval",
+    "witness_confidence_interval",
+]

@@ -1,0 +1,142 @@
+"""Elementary property checks over 2-level hash sketches (Section 3.2).
+
+The estimators never look at raw elements — they only ask three questions
+about the collection of distinct elements that landed in a given
+first-level bucket:
+
+* :func:`singleton_bucket` — does the bucket hold exactly one distinct
+  element?
+* :func:`identical_singleton_bucket` — do two streams' buckets hold the
+  same single element?
+* :func:`singleton_union_bucket` — is the *union* of two streams' buckets
+  a singleton?
+
+Each check inspects the ``s`` second-level counter pairs; by Lemma 3.1 it
+answers correctly with probability at least ``1 - 2**-s``.  (The only
+possible error is declaring a multi-element bucket a singleton, which
+requires all ``s`` pairwise-independent binary hashes to agree on every
+element pair.)
+
+Scalar versions take :class:`~repro.core.sketch.TwoLevelHashSketch`
+objects and follow the paper's pseudo-code (Figure 4) line by line; the
+``*_mask`` versions evaluate the same predicate for all ``r`` members of a
+:class:`~repro.core.family.SketchFamily` at once on ``(r, s, 2)`` counter
+slabs, which is what the estimators use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sketch import TwoLevelHashSketch
+
+__all__ = [
+    "singleton_bucket",
+    "identical_singleton_bucket",
+    "singleton_union_bucket",
+    "empty_mask",
+    "singleton_mask",
+    "identical_singleton_mask",
+    "singleton_union_mask",
+    "combined_singleton_union_mask",
+]
+
+
+# -- scalar checks (paper Figure 4) -----------------------------------------
+
+
+def singleton_bucket(sketch: TwoLevelHashSketch, level: int) -> bool:
+    """True iff bucket ``level`` (probably) holds exactly one element.
+
+    Mirrors procedure ``SingletonBucket``: an empty bucket is not a
+    singleton; a bucket where some second-level pair has both counters
+    positive provably holds at least two distinct elements.
+    """
+    bucket = sketch.bucket(level)
+    if bucket[0, 0] + bucket[0, 1] == 0:
+        return False
+    both_sides = (bucket[:, 0] > 0) & (bucket[:, 1] > 0)
+    return not bool(both_sides.any())
+
+
+def identical_singleton_bucket(
+    sketch_a: TwoLevelHashSketch, sketch_b: TwoLevelHashSketch, level: int
+) -> bool:
+    """True iff both buckets are singletons holding the same value.
+
+    Mirrors ``IdenticalSingletonBucket``: after both pass the singleton
+    test, the two elements are (probably) equal iff their second-level
+    occupancy patterns agree in every pair.
+    """
+    if not singleton_bucket(sketch_a, level) or not singleton_bucket(sketch_b, level):
+        return False
+    bucket_a = sketch_a.bucket(level)
+    bucket_b = sketch_b.bucket(level)
+    differs = ((bucket_a > 0) != (bucket_b > 0)).any()
+    return not bool(differs)
+
+
+def singleton_union_bucket(
+    sketch_a: TwoLevelHashSketch, sketch_b: TwoLevelHashSketch, level: int
+) -> bool:
+    """True iff the union of the two buckets' element sets is a singleton.
+
+    Mirrors ``SingletonUnionBucket``: either one bucket is a singleton and
+    the other empty, or both are identical singletons.
+    """
+    a_total = sketch_a.bucket_total(level)
+    b_total = sketch_b.bucket_total(level)
+    if singleton_bucket(sketch_a, level) and b_total == 0:
+        return True
+    if singleton_bucket(sketch_b, level) and a_total == 0:
+        return True
+    return identical_singleton_bucket(sketch_a, sketch_b, level)
+
+
+# -- vectorised family checks -------------------------------------------------
+#
+# Each mask function maps one or more (r, s, 2) level slabs (see
+# SketchFamily.level_slab) to an (r,) boolean array.
+
+
+def empty_mask(slab: np.ndarray) -> np.ndarray:
+    """Per-member emptiness of the bucket: ``(r,)`` bool."""
+    return (slab[:, 0, 0] + slab[:, 0, 1]) == 0
+
+
+def singleton_mask(slab: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`singleton_bucket` over all family members."""
+    non_empty = ~empty_mask(slab)
+    both_sides = ((slab[:, :, 0] > 0) & (slab[:, :, 1] > 0)).any(axis=1)
+    return non_empty & ~both_sides
+
+
+def identical_singleton_mask(slab_a: np.ndarray, slab_b: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`identical_singleton_bucket`."""
+    singles = singleton_mask(slab_a) & singleton_mask(slab_b)
+    same_pattern = ~((slab_a > 0) != (slab_b > 0)).any(axis=(1, 2))
+    return singles & same_pattern
+
+
+def singleton_union_mask(slab_a: np.ndarray, slab_b: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`singleton_union_bucket`."""
+    one_sided_a = singleton_mask(slab_a) & empty_mask(slab_b)
+    one_sided_b = singleton_mask(slab_b) & empty_mask(slab_a)
+    return one_sided_a | one_sided_b | identical_singleton_mask(slab_a, slab_b)
+
+
+def combined_singleton_union_mask(slabs: list[np.ndarray]) -> np.ndarray:
+    """Singleton test for the union of *n* streams' buckets.
+
+    Generalises ``SingletonUnionBucket`` to many streams by exploiting
+    sketch linearity: summing the slabs yields the slab of the combined
+    multiset (all net frequencies are non-negative), whose distinct-element
+    set is exactly the union of the per-stream bucket contents — so the
+    plain singleton test applies.
+    """
+    if not slabs:
+        raise ValueError("need at least one slab")
+    combined = slabs[0]
+    for slab in slabs[1:]:
+        combined = combined + slab
+    return singleton_mask(combined)

@@ -1,0 +1,91 @@
+"""The general set-expression cardinality estimator (Section 4).
+
+Generalises the witness pattern to an arbitrary expression
+``E = (((A₁ op₁ A₂) op₂ A₃) … Aₙ)``:
+
+1. estimate ``û ≈ |∪ᵢ Aᵢ|`` over every stream mentioned in ``E`` and pick
+   the bucket index ``⌈log₂(β·û / (1−ε))⌉``;
+2. discard sketches whose bucket is not a singleton for ``∪ᵢ Aᵢ`` (checked
+   on the *merged* slab — sketch linearity makes the sum of the streams'
+   counter slabs exactly the slab of the combined multiset);
+3. for the survivors, evaluate the Boolean formula ``B(E)`` over the
+   per-stream bucket non-emptiness bits: ``B(Aᵢ)`` is "bucket non-empty in
+   ``X_{Aᵢ}``", ``∪ → ∨``, ``∩ → ∧``, ``− → ∧¬``.  Conditioned on the
+   singleton event, the bucket's one element is in stream ``Aᵢ`` iff that
+   stream's bucket is non-empty, so ``B(E)`` holds iff the element
+   witnesses ``E``;
+4. the witness fraction estimates ``|E| / |∪ᵢAᵢ|``; scale by ``û``.
+
+Expressions may be passed as :class:`~repro.expr.ast.SetExpression` trees
+or as text (parsed with :func:`repro.expr.parser.parse`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.checks import combined_singleton_union_mask, empty_mask
+from repro.core.family import SketchFamily
+from repro.core.results import UnionEstimate, WitnessEstimate
+from repro.core.witness import run_witness_estimator
+from repro.errors import UnknownStreamError
+from repro.expr.ast import SetExpression
+from repro.expr.parser import parse
+
+__all__ = ["estimate_expression"]
+
+
+def estimate_expression(
+    expression: SetExpression | str,
+    families: Mapping[str, SketchFamily],
+    epsilon: float = 0.1,
+    union_estimate: float | UnionEstimate | None = None,
+    pool_levels: int = 1,
+) -> WitnessEstimate:
+    """Estimate ``|E|`` for a general set expression over update streams.
+
+    Parameters
+    ----------
+    expression:
+        A :class:`SetExpression` tree or its textual form, e.g.
+        ``"(A - B) & C"``.
+    families:
+        Maps each stream identifier mentioned in ``E`` to its
+        :class:`SketchFamily`; all families must share one spec.  Extra
+        entries are ignored.
+    epsilon:
+        Target relative error.
+    union_estimate:
+        Optional pre-computed ``û ≈ |∪ᵢ Aᵢ|`` over the participating
+        streams.
+
+    Raises
+    ------
+    UnknownStreamError
+        If the expression references a stream with no supplied family.
+    """
+    if isinstance(expression, str):
+        expression = parse(expression)
+
+    names = sorted(expression.streams())
+    missing = [name for name in names if name not in families]
+    if missing:
+        raise UnknownStreamError(
+            f"no sketch family registered for stream(s): {', '.join(missing)}"
+        )
+    participating = [families[name] for name in names]
+
+    def witness_masks(slabs: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        valid = combined_singleton_union_mask(slabs)
+        non_empty = {
+            name: ~empty_mask(slab) for name, slab in zip(names, slabs)
+        }
+        witness = expression.boolean_mask(non_empty)
+        return valid, witness
+
+    return run_witness_estimator(
+        participating, witness_masks, epsilon, union_estimate,
+        pool_levels=pool_levels,
+    )

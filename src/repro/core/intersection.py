@@ -1,0 +1,60 @@
+"""The set-intersection cardinality estimator (Section 3.5).
+
+Identical in structure to the set-difference estimator; only the witness
+condition changes: given that the chosen bucket is a singleton for
+``A ∪ B``, the atomic estimate is 1 iff the bucket is a singleton for
+*both* ``A`` and ``B`` (the single element belongs to both streams).  The
+conditional witness probability is ``|A ∩ B| / |A ∪ B|``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.checks import singleton_mask, singleton_union_mask
+from repro.core.family import SketchFamily
+from repro.core.results import UnionEstimate, WitnessEstimate
+from repro.core.sketch import TwoLevelHashSketch
+from repro.core.witness import run_witness_estimator
+
+__all__ = ["estimate_intersection", "atomic_intersection_estimate"]
+
+
+def atomic_intersection_estimate(
+    sketch_a: TwoLevelHashSketch, sketch_b: TwoLevelHashSketch, level: int
+) -> int | None:
+    """One sketch pair's atomic observation (``AtomicIntersectEstimator``).
+
+    Returns ``None`` for ``noEstimate``, else 1 iff the bucket witnesses
+    an element of ``A ∩ B``.
+    """
+    from repro.core.checks import singleton_bucket, singleton_union_bucket
+
+    if not singleton_union_bucket(sketch_a, sketch_b, level):
+        return None
+    found_witness = singleton_bucket(sketch_a, level) and singleton_bucket(sketch_b, level)
+    return 1 if found_witness else 0
+
+
+def estimate_intersection(
+    family_a: SketchFamily,
+    family_b: SketchFamily,
+    epsilon: float = 0.1,
+    union_estimate: float | UnionEstimate | None = None,
+    pool_levels: int = 1,
+) -> WitnessEstimate:
+    """Estimate ``|A ∩ B|`` from the two streams' sketch families.
+
+    Parameters mirror :func:`repro.core.difference.estimate_difference`.
+    """
+
+    def witness_masks(slabs: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+        slab_a, slab_b = slabs
+        valid = singleton_union_mask(slab_a, slab_b)
+        witness = singleton_mask(slab_a) & singleton_mask(slab_b)
+        return valid, witness
+
+    return run_witness_estimator(
+        [family_a, family_b], witness_masks, epsilon, union_estimate,
+        pool_levels=pool_levels,
+    )

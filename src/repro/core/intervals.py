@@ -1,0 +1,119 @@
+"""Confidence intervals for estimator outputs.
+
+A :class:`~repro.core.results.WitnessEstimate` is ``p̂·û`` where ``p̂`` is
+a binomial proportion over the valid atomic observations.  This module
+turns the recorded diagnostics into a confidence interval:
+
+* the proportion gets a **Wilson score interval** (well-behaved at small
+  counts and at p̂ near 0 or 1, where the Wald interval collapses);
+* the union estimate's own uncertainty is folded in as a relative-error
+  margin supplied by the caller (defaulting to the estimator's ε/3 union
+  budget).
+
+The result is honest bookkeeping, not a new guarantee: it quantifies the
+sampling noise of the witness stage given the synopses at hand.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.results import WitnessEstimate
+
+__all__ = ["ConfidenceInterval", "wilson_interval", "witness_confidence_interval"]
+
+# Two-sided normal quantiles for common confidence levels.
+_Z_BY_CONFIDENCE = {0.80: 1.282, 0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided interval around an estimate."""
+
+    low: float
+    high: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def _z_for(confidence: float) -> float:
+    if confidence in _Z_BY_CONFIDENCE:
+        return _Z_BY_CONFIDENCE[confidence]
+    if not (0.0 < confidence < 1.0):
+        raise ValueError("confidence must lie in (0, 1)")
+    # Beasley-Springer-Moro style rational approximation is overkill here;
+    # interpolate the table (flat tails beyond its range).
+    anchors = sorted(_Z_BY_CONFIDENCE)
+    if confidence <= anchors[0]:
+        return _Z_BY_CONFIDENCE[anchors[0]]
+    if confidence >= anchors[-1]:
+        return _Z_BY_CONFIDENCE[anchors[-1]]
+    for low, high in zip(anchors, anchors[1:]):
+        if low <= confidence <= high:
+            fraction = (confidence - low) / (high - low)
+            return (
+                _Z_BY_CONFIDENCE[low]
+                + fraction * (_Z_BY_CONFIDENCE[high] - _Z_BY_CONFIDENCE[low])
+            )
+    raise AssertionError("unreachable")
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not (0 <= successes <= trials):
+        raise ValueError("successes must lie in [0, trials]")
+    z = _z_for(confidence)
+    p_hat = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    return ConfidenceInterval(
+        low=max(0.0, centre - margin),
+        high=min(1.0, centre + margin),
+        confidence=confidence,
+    )
+
+
+def witness_confidence_interval(
+    estimate: WitnessEstimate,
+    confidence: float = 0.95,
+    union_relative_error: float | None = None,
+) -> ConfidenceInterval:
+    """Confidence interval for ``|E|`` from a witness estimate.
+
+    ``union_relative_error`` is the relative margin granted to the union
+    estimate ``û``; the default 1/30 reflects the estimators' internal
+    ε/3 union budget at the library's default ε = 0.1.  The proportion
+    interval and the union margin combine multiplicatively (conservative).
+    """
+    if estimate.num_valid == 0:
+        return ConfidenceInterval(0.0, 0.0, confidence)
+    if union_relative_error is None:
+        union_relative_error = 0.1 / 3.0
+    if union_relative_error < 0:
+        raise ValueError("union_relative_error must be non-negative")
+    proportion = wilson_interval(
+        estimate.num_witnesses, estimate.num_valid, confidence
+    )
+    union_low = estimate.union_estimate * (1.0 - union_relative_error)
+    union_high = estimate.union_estimate * (1.0 + union_relative_error)
+    return ConfidenceInterval(
+        low=proportion.low * union_low,
+        high=proportion.high * union_high,
+        confidence=confidence,
+    )

@@ -1,0 +1,81 @@
+"""Structured estimator results.
+
+Every estimator returns a small frozen dataclass instead of a bare float so
+that callers (and the experiment harness) can inspect *how* the estimate
+was produced — the level the estimator settled on, how many sketches
+yielded valid atomic observations, and so on.  The objects coerce to
+``float`` for convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["UnionEstimate", "WitnessEstimate"]
+
+
+@dataclass(frozen=True)
+class UnionEstimate:
+    """Result of the set-union estimator (Section 3.3).
+
+    Attributes
+    ----------
+    value:
+        The cardinality estimate for ``|A ∪ B|`` (or an n-ary union).
+    level:
+        The first-level bucket index the scan settled on — the smallest
+        index whose non-empty fraction fell below the ``(1+ε)/8``
+        threshold.
+    non_empty_fraction:
+        The observed fraction ``p̂`` of non-empty buckets at that level.
+    num_sketches:
+        Number of sketches averaged over (the ``r`` of the analysis).
+    """
+
+    value: float
+    level: int
+    non_empty_fraction: float
+    num_sketches: int
+
+    def __float__(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class WitnessEstimate:
+    """Result of a witness-based estimator (Sections 3.4, 3.5, 4).
+
+    Attributes
+    ----------
+    value:
+        The cardinality estimate for ``|E|``.
+    level:
+        The first-level bucket index ``⌈log₂(β·û/(1−ε))⌉`` used.
+    union_estimate:
+        The union estimate ``û`` the witness fraction was scaled by.
+    num_valid:
+        Number of sketches whose chosen bucket passed the singleton-union
+        test (the ``r'`` valid atomic observations).
+    num_witnesses:
+        Among the valid observations, how many satisfied the witness
+        condition for the operator/expression.
+    num_sketches:
+        Total number of sketches examined (``r``).
+    """
+
+    value: float
+    level: int
+    union_estimate: float
+    num_valid: int
+    num_witnesses: int
+    num_sketches: int
+
+    def __float__(self) -> float:
+        return self.value
+
+    @property
+    def witness_fraction(self) -> float:
+        """The ``p̂ = num_witnesses / num_valid`` ratio (0 if no valid obs)."""
+        if self.num_valid == 0:
+            return 0.0
+        return self.num_witnesses / self.num_valid

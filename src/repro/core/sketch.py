@@ -1,0 +1,286 @@
+"""The 2-level hash sketch synopsis (Section 3.1 of the paper).
+
+A :class:`TwoLevelHashSketch` summarises one update stream rendering a
+multi-set over the integer domain ``[M]``.  Conceptually it is the
+three-dimensional counter array of Figure 3:
+
+* **first level** — ``LSB(h(e))`` places element ``e`` in one of
+  ``Theta(log M)`` buckets with geometrically decreasing probability;
+* **second level** — each of ``s`` pairwise-independent binary hashes
+  ``g_j`` splits the bucket's elements over a ``{0, 1}`` counter pair.
+
+Each update ``<e, +/-v>`` adds ``v`` (or ``-v``) to the ``s`` counters
+``X[LSB(h(e)), j, g_j(e)]``.  Because the counters are a *linear* function
+of the element-frequency vector, the sketch is
+
+* **deletion-invariant** — inserting and then deleting an element leaves
+  the sketch bit-for-bit identical to one that never saw the element; and
+* **mergeable** — the sketch of the multiset sum of two streams is the
+  entrywise sum of their sketches (the basis of the distributed model in
+  :mod:`repro.streams.distributed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DomainError, IncompatibleSketchesError
+from repro.hashing.families import (
+    BinaryHashBank,
+    PolynomialHash,
+    random_binary_bank,
+    random_polynomial_hash,
+)
+from repro.hashing.lsb import NUM_LEVELS, lsb_array
+
+__all__ = ["SketchShape", "SketchHashes", "TwoLevelHashSketch", "scatter_add"]
+
+# Above this total weight, float64 bincount accumulation could round; the
+# exact (slower) np.add.at path is used instead.
+_EXACT_FLOAT_LIMIT = 1 << 52
+
+
+@dataclass(frozen=True)
+class SketchShape:
+    """Structural parameters of a 2-level hash sketch.
+
+    ``domain_bits`` fixes the element domain ``[0, 2**domain_bits)`` (the
+    paper's ``[M]``); ``num_second_level`` is the paper's ``s``;
+    ``independence`` is the ``t`` of the ``t``-wise independent first-level
+    hash family (Section 3.6 suggests ``t = Theta(log 1/eps)``).
+    """
+
+    domain_bits: int = 30
+    num_second_level: int = 16
+    independence: int = 8
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.domain_bits <= 60):
+            raise ValueError("domain_bits must be in [1, 60]")
+        if self.num_second_level < 1:
+            raise ValueError("need at least one second-level hash")
+        if self.independence < 2:
+            raise ValueError("first-level independence must be at least 2")
+
+    @property
+    def domain_size(self) -> int:
+        """The ``M`` of the paper: elements must lie in ``[0, M)``."""
+        return 1 << self.domain_bits
+
+    @property
+    def num_levels(self) -> int:
+        """Number of first-level buckets maintained."""
+        return NUM_LEVELS
+
+    @property
+    def counter_shape(self) -> tuple[int, int, int]:
+        """Shape of the counter array: ``(levels, s, 2)``."""
+        return (NUM_LEVELS, self.num_second_level, 2)
+
+
+@dataclass(frozen=True)
+class SketchHashes:
+    """The concrete hash functions of one sketch instance.
+
+    Two sketches are *comparable* (usable together in an estimator) exactly
+    when they share equal ``SketchHashes`` — the same first-level
+    polynomial and the same second-level bank.
+    """
+
+    first_level: PolynomialHash
+    second_level: BinaryHashBank
+
+    @classmethod
+    def draw(cls, rng: np.random.Generator, shape: SketchShape) -> "SketchHashes":
+        """Draw a fresh, independent pair of hash levels from ``rng``."""
+        return cls(
+            first_level=random_polynomial_hash(rng, shape.independence),
+            second_level=random_binary_bank(rng, shape.num_second_level),
+        )
+
+
+def scatter_add(target: np.ndarray, indices: np.ndarray, weights: np.ndarray | None) -> None:
+    """Add ``weights`` into ``target`` (flat, int64) at ``indices``.
+
+    Uses ``np.bincount`` (fast, float64 accumulation) whenever the total
+    absolute weight provably fits the float53 exact-integer window, and
+    falls back to the exact-but-slower ``np.add.at`` otherwise.
+    """
+    if weights is None:
+        target += np.bincount(indices, minlength=target.size)
+        return
+    if np.abs(weights, dtype=np.float64).sum() < _EXACT_FLOAT_LIMIT:
+        binned = np.bincount(indices, weights=weights.astype(np.float64), minlength=target.size)
+        target += np.rint(binned).astype(np.int64)
+    else:
+        np.add.at(target, indices, weights)
+
+
+class TwoLevelHashSketch:
+    """A 2-level hash sketch over one update stream.
+
+    Parameters
+    ----------
+    hashes:
+        The first-/second-level hash functions.  Pass the same object (or
+        an equal one) for every stream that should be comparable.
+    shape:
+        Structural parameters; defaults match the library-wide defaults.
+    counters:
+        Optional pre-existing counter array to *wrap* (shared, not copied)
+        — used by :class:`repro.core.family.SketchFamily` to expose its
+        stacked storage as individual sketches.
+    """
+
+    __slots__ = ("hashes", "shape", "counters")
+
+    def __init__(
+        self,
+        hashes: SketchHashes,
+        shape: SketchShape | None = None,
+        counters: np.ndarray | None = None,
+    ) -> None:
+        self.shape = shape if shape is not None else SketchShape(
+            num_second_level=hashes.second_level.size,
+            independence=hashes.first_level.independence,
+        )
+        if hashes.second_level.size != self.shape.num_second_level:
+            raise IncompatibleSketchesError(
+                "second-level bank size does not match the sketch shape"
+            )
+        self.hashes = hashes
+        if counters is None:
+            counters = np.zeros(self.shape.counter_shape, dtype=np.int64)
+        elif counters.shape != self.shape.counter_shape:
+            raise IncompatibleSketchesError(
+                f"counter array has shape {counters.shape}, "
+                f"expected {self.shape.counter_shape}"
+            )
+        self.counters = counters
+
+    # -- maintenance ------------------------------------------------------
+
+    def update(self, element: int, count: int = 1) -> None:
+        """Process one update ``<element, +/-count>``.
+
+        ``count`` may be negative (a deletion); the caller is responsible
+        for deletion legality, exactly as in the paper's stream model.
+        """
+        self._check_domain(element)
+        level = self._level_of(element)
+        bits = self.hashes.second_level.bits(np.uint64(element))[0]
+        for j in range(self.shape.num_second_level):
+            self.counters[level, j, bits[j]] += count
+
+    def update_batch(self, elements, counts=None) -> None:
+        """Vectorised maintenance over many updates at once.
+
+        ``elements`` is an integer array; ``counts`` (optional) the signed
+        frequency delta per element, defaulting to one insertion each.
+        Exactly equivalent to calling :meth:`update` per element.
+        """
+        elements = np.asarray(elements, dtype=np.uint64)
+        if elements.size == 0:
+            return
+        if int(elements.max()) >= self.shape.domain_size:
+            raise DomainError("batch contains elements outside [0, M)")
+        if counts is not None:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != elements.shape:
+                raise ValueError("counts must align with elements")
+
+        s = self.shape.num_second_level
+        levels = lsb_array(self.hashes.first_level(elements))  # (n,)
+        bits = self.hashes.second_level.bits(elements).astype(np.int64)  # (n, s)
+        # Flat index into (L, s, 2): ((level * s) + j) * 2 + bit.
+        flat = (levels[:, None] * s + np.arange(s)[None, :]) * 2 + bits
+        weights = None if counts is None else np.repeat(counts, s)
+        scatter_add(self.counters.reshape(-1), flat.reshape(-1), weights)
+
+    # -- bucket accessors used by the property checks ---------------------
+
+    def bucket_total(self, level: int) -> int:
+        """Net number of stream items whose element hashes to ``level``.
+
+        Every update lands in exactly one cell of each second-level pair,
+        so the first pair's sum is the bucket's total item count (the
+        emptiness test ``X[i,1,0] + X[i,1,1] = 0`` of the paper).
+        """
+        return int(self.counters[level, 0, 0] + self.counters[level, 0, 1])
+
+    def bucket(self, level: int) -> np.ndarray:
+        """The ``(s, 2)`` counter slab of one first-level bucket."""
+        return self.counters[level]
+
+    # -- algebra -----------------------------------------------------------
+
+    def merged_with(self, other: "TwoLevelHashSketch") -> "TwoLevelHashSketch":
+        """Sketch of the multiset sum of the two underlying streams."""
+        self._check_compatible(other)
+        return TwoLevelHashSketch(self.hashes, self.shape, self.counters + other.counters)
+
+    def merge_in_place(self, other: "TwoLevelHashSketch") -> None:
+        """Fold ``other`` into this sketch (coordinator-side combine)."""
+        self._check_compatible(other)
+        self.counters += other.counters
+
+    def copy(self) -> "TwoLevelHashSketch":
+        """A deep copy with independent counter storage."""
+        return TwoLevelHashSketch(self.hashes, self.shape, self.counters.copy())
+
+    def is_empty(self) -> bool:
+        """True iff the summarised multiset has no items (net)."""
+        return int(self.counters[:, 0, :].sum()) == 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TwoLevelHashSketch):
+            return NotImplemented
+        return (
+            self.hashes == other.hashes
+            and self.shape == other.shape
+            and np.array_equal(self.counters, other.counters)
+        )
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("TwoLevelHashSketch is mutable and unhashable")
+
+    # -- serialisation (synopses ship from sites to the coordinator) ------
+
+    def to_bytes(self) -> bytes:
+        """Serialise the counter state (hash seeds travel separately)."""
+        return self.counters.astype("<i8").tobytes()
+
+    @classmethod
+    def from_bytes(
+        cls, payload: bytes, hashes: SketchHashes, shape: SketchShape | None = None
+    ) -> "TwoLevelHashSketch":
+        """Rebuild a sketch from :meth:`to_bytes` output plus its hashes."""
+        sketch = cls(hashes, shape)
+        expected = sketch.counters.size * 8
+        if len(payload) != expected:
+            raise IncompatibleSketchesError(
+                f"payload is {len(payload)} bytes, expected {expected}"
+            )
+        counters = np.frombuffer(payload, dtype="<i8").astype(np.int64)
+        sketch.counters = counters.reshape(sketch.shape.counter_shape).copy()
+        return sketch
+
+    # -- internals ---------------------------------------------------------
+
+    def _level_of(self, element: int) -> int:
+        hashed = self.hashes.first_level(element)
+        return int(lsb_array(np.asarray([hashed], dtype=np.uint64))[0])
+
+    def _check_domain(self, element: int) -> None:
+        if not (0 <= element < self.shape.domain_size):
+            raise DomainError(
+                f"element {element} outside domain [0, {self.shape.domain_size})"
+            )
+
+    def _check_compatible(self, other: "TwoLevelHashSketch") -> None:
+        if self.hashes != other.hashes or self.shape != other.shape:
+            raise IncompatibleSketchesError(
+                "sketches use different hash functions or shapes"
+            )

@@ -1,0 +1,145 @@
+"""Shared machinery for the witness-based estimators (Sections 3.4–4).
+
+The difference, intersection, and general set-expression estimators all
+follow one pattern:
+
+1. obtain a union estimate ``û`` for all participating streams;
+2. fix the first-level bucket ``index = ⌈log₂(β·û / (1−ε))⌉`` (with
+   ``β = 2``, the paper's optimal constant) so that, per sketch, the
+   chosen bucket is a *singleton* for the combined stream with constant
+   probability;
+3. for each of the ``r`` sketches, discard the observation unless the
+   bucket passes the singleton-union test (``noEstimate``), otherwise emit
+   a 0/1 atomic estimate of whether the singleton is a *witness* for the
+   target expression;
+4. average the valid atomic estimates into ``p̂ ≈ |E| / |∪ᵢAᵢ|`` and return
+   ``p̂ · û``.
+
+:func:`run_witness_estimator` implements steps 2–4 given vectorised
+``valid`` and ``witness`` masks; the per-operator modules supply those.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.family import SketchFamily, check_same_coins
+from repro.core.results import UnionEstimate, WitnessEstimate
+from repro.core.union import estimate_union
+from repro.errors import EstimationError
+
+__all__ = ["BETA", "choose_witness_level", "run_witness_estimator"]
+
+#: The paper's optimal level-selection constant (Section 3.4 analysis).
+BETA = 2.0
+
+
+def choose_witness_level(
+    union_estimate: float, epsilon: float, num_levels: int
+) -> int:
+    """The bucket index ``⌈log₂(β·û / (1−ε))⌉``, clamped to valid levels.
+
+    At this level ``R = 2^(index+1) ≥ β·|∪ᵢAᵢ|`` with high probability,
+    which makes the singleton-union event occur with the constant
+    probability ``≥ (β−1)/β²`` the analysis requires.
+    """
+    if union_estimate <= 0:
+        return 0
+    raw = math.ceil(math.log2(BETA * union_estimate / (1.0 - epsilon)))
+    return int(min(max(raw, 0), num_levels - 1))
+
+
+def run_witness_estimator(
+    families: Sequence[SketchFamily],
+    witness_masks: Callable[[list[np.ndarray]], tuple[np.ndarray, np.ndarray]],
+    epsilon: float,
+    union_estimate: float | UnionEstimate | None = None,
+    pool_levels: int = 1,
+) -> WitnessEstimate:
+    """Drive the witness-estimation pattern over vectorised masks.
+
+    Parameters
+    ----------
+    families:
+        One sketch family per participating stream (same spec).
+    witness_masks:
+        Given the per-stream ``(r, s, 2)`` counter slabs at the chosen
+        level, returns ``(valid, witness)`` boolean ``(r,)`` arrays:
+        ``valid[i]`` — sketch ``i`` produced a 0/1 atomic observation
+        (its bucket is a singleton for the combined stream); ``witness[i]``
+        — that observation was 1.  ``witness`` need not be pre-masked by
+        ``valid``; the intersection is taken here.
+    epsilon:
+        Target relative error.  The union sub-estimate is requested at
+        ``ε/3`` as in the paper's error budget.
+    union_estimate:
+        Optional externally supplied ``û`` (ablation hook / reuse across
+        queries).  When omitted it is computed from the same families.
+    pool_levels:
+        Number of consecutive first-level buckets, starting at the chosen
+        index, to harvest observations from.  The paper's algorithms use
+        exactly one (the default).  Pooling is an *extension*: conditioned
+        on a bucket being a singleton for the combined stream, the witness
+        probability is ``|E| / |∪ᵢAᵢ|`` at **every** level, so pooled
+        observations stay unbiased while (roughly) doubling the valid
+        count; observations within one sketch are no longer independent,
+        which the paper's variance analysis does not cover (see
+        ``benchmarks/bench_pooling.py`` for the measured effect).
+
+    Raises
+    ------
+    EstimationError
+        If no sketch produced a valid observation (probability vanishes
+        exponentially in ``r``; typically indicates far too few sketches).
+    """
+    if not (0 < epsilon < 1):
+        raise ValueError("epsilon must be in (0, 1)")
+    check_same_coins(*families)
+
+    if union_estimate is None:
+        union_estimate = estimate_union(families, epsilon / 3.0)
+    union_value = float(union_estimate)
+
+    if union_value <= 0.0:
+        # All streams are (estimated) empty; every expression over them is too.
+        return WitnessEstimate(
+            value=0.0,
+            level=0,
+            union_estimate=union_value,
+            num_valid=0,
+            num_witnesses=0,
+            num_sketches=families[0].num_sketches,
+        )
+
+    if pool_levels < 1:
+        raise ValueError("pool_levels must be at least 1")
+    num_levels = families[0].shape.num_levels
+    level = choose_witness_level(union_value, epsilon, num_levels)
+
+    num_valid = 0
+    num_witnesses = 0
+    for pooled in range(level, min(level + pool_levels, num_levels)):
+        slabs = [family.level_slab(pooled) for family in families]
+        valid, witness = witness_masks(slabs)
+        valid = np.asarray(valid, dtype=bool)
+        witness = np.asarray(witness, dtype=bool) & valid
+        num_valid += int(valid.sum())
+        num_witnesses += int(witness.sum())
+    if num_valid == 0:
+        raise EstimationError(
+            f"no sketch yielded a valid atomic observation at level {level}; "
+            f"maintain more sketches (have {families[0].num_sketches})"
+        )
+
+    value = (num_witnesses / num_valid) * union_value
+    return WitnessEstimate(
+        value=value,
+        level=level,
+        union_estimate=union_value,
+        num_valid=num_valid,
+        num_witnesses=num_witnesses,
+        num_sketches=families[0].num_sketches,
+    )

@@ -1,0 +1,25 @@
+"""Synthetic data generation for experiments and examples."""
+
+from repro.datagen.cells import CellAssignment, balanced_cell_probabilities
+from repro.datagen.controlled import (
+    GeneratedStreams,
+    generate_binary,
+    generate_controlled,
+)
+from repro.datagen.distributions import uniform_multiset, zipf_multiset
+from repro.datagen.sessions import SessionEvent, session_trace
+from repro.datagen.updates_gen import multiset_updates, with_phantom_deletions
+
+__all__ = [
+    "CellAssignment",
+    "balanced_cell_probabilities",
+    "GeneratedStreams",
+    "generate_binary",
+    "generate_controlled",
+    "uniform_multiset",
+    "zipf_multiset",
+    "multiset_updates",
+    "with_phantom_deletions",
+    "SessionEvent",
+    "session_trace",
+]

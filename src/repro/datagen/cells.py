@@ -1,0 +1,130 @@
+"""Venn-cell probability assignment for controlled stream generation.
+
+Section 5.1 of the paper generates data "in a controlled manner": every
+generated element is assigned to one cell of the Venn diagram over the
+participating streams, with cell probabilities chosen so that
+
+* the cells comprising the target expression ``E`` carry total probability
+  ``|E| / u`` (the target cardinality ratio), and
+* all underlying streams have (roughly) the same expected size.
+
+:func:`balanced_cell_probabilities` computes such an assignment: it starts
+from probability uniformly spread within the ``E``-cells and within the
+complement cells, then — when scipy is available — polishes the split with
+a small constrained least-squares solve that minimises the variance of the
+expected stream sizes while keeping the two group totals fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.expr.ast import SetExpression
+from repro.expr.venn import Cell, all_cells, cells_of_expression
+
+__all__ = ["CellAssignment", "balanced_cell_probabilities"]
+
+
+class CellAssignment:
+    """Cells and their probabilities for one controlled generation run."""
+
+    def __init__(self, cells: list[Cell], probabilities: np.ndarray) -> None:
+        if len(cells) != len(probabilities):
+            raise ValueError("cells and probabilities must align")
+        if abs(float(probabilities.sum()) - 1.0) > 1e-9:
+            raise ValueError("probabilities must sum to 1")
+        if float(probabilities.min()) < -1e-12:
+            raise ValueError("probabilities must be non-negative")
+        self.cells = list(cells)
+        self.probabilities = np.clip(probabilities, 0.0, None)
+        self.probabilities /= self.probabilities.sum()
+
+    def expected_stream_ratio(self, stream: str) -> float:
+        """Expected |stream| / u under this assignment."""
+        member = np.array([stream in cell for cell in self.cells])
+        return float(self.probabilities[member].sum())
+
+
+def balanced_cell_probabilities(
+    expression: SetExpression, target_ratio: float
+) -> CellAssignment:
+    """Cell probabilities hitting ``target_ratio = |E| / u`` with balanced
+    stream sizes.
+
+    Raises ``ValueError`` when the expression has no satisfying cell (e.g.
+    ``A - A``) but a positive ratio is requested, or when the complement is
+    empty but ``target_ratio < 1``.
+    """
+    if not (0.0 <= target_ratio <= 1.0):
+        raise ValueError("target_ratio must lie in [0, 1]")
+    names = sorted(expression.streams())
+    cells = all_cells(names)
+    in_expression = np.array(
+        [cell in set(cells_of_expression(expression)) for cell in cells]
+    )
+
+    if target_ratio > 0 and not in_expression.any():
+        raise ValueError(
+            f"expression {expression} is unsatisfiable; cannot target a "
+            f"positive cardinality ratio"
+        )
+    if target_ratio < 1 and in_expression.all():
+        raise ValueError(
+            f"expression {expression} covers the whole union; cannot target "
+            f"a ratio below 1"
+        )
+
+    probabilities = np.zeros(len(cells))
+    if in_expression.any():
+        probabilities[in_expression] = target_ratio / in_expression.sum()
+    if (~in_expression).any():
+        probabilities[~in_expression] = (1.0 - target_ratio) / (~in_expression).sum()
+
+    polished = _polish_balance(cells, names, probabilities, in_expression, target_ratio)
+    return CellAssignment(cells, polished)
+
+
+def _polish_balance(
+    cells: list[Cell],
+    names: list[str],
+    start: np.ndarray,
+    in_expression: np.ndarray,
+    target_ratio: float,
+) -> np.ndarray:
+    """Minimise the variance of expected stream sizes, keeping the two
+    group totals (expression cells vs complement cells) fixed.
+
+    Falls back to the uniform-within-groups start if scipy is missing or
+    the solver does not improve on it.
+    """
+    try:
+        from scipy.optimize import minimize
+    except ImportError:  # pragma: no cover - scipy is a hard dev dependency
+        return start
+
+    membership = np.array(
+        [[name in cell for cell in cells] for name in names], dtype=np.float64
+    )
+
+    def imbalance(p: np.ndarray) -> float:
+        sizes = membership @ p
+        return float(((sizes - sizes.mean()) ** 2).sum())
+
+    constraints = [
+        {"type": "eq", "fun": lambda p: p[in_expression].sum() - target_ratio},
+        {"type": "eq", "fun": lambda p: p.sum() - 1.0},
+    ]
+    bounds = [(0.0, 1.0)] * len(cells)
+    result = minimize(
+        imbalance, start, method="SLSQP", bounds=bounds, constraints=constraints
+    )
+    if not result.success or imbalance(result.x) > imbalance(start):
+        return start
+    polished = np.clip(result.x, 0.0, None)
+    # Re-impose the group totals exactly (SLSQP satisfies them to ~1e-9;
+    # rescale within each group so downstream accounting is exact).
+    if in_expression.any() and polished[in_expression].sum() > 0:
+        polished[in_expression] *= target_ratio / polished[in_expression].sum()
+    if (~in_expression).any() and polished[~in_expression].sum() > 0:
+        polished[~in_expression] *= (1.0 - target_ratio) / polished[~in_expression].sum()
+    return polished

@@ -1,0 +1,48 @@
+"""Element-value distributions for example workloads.
+
+The controlled generators draw uniform distinct elements (as the paper
+does); the example applications want more life-like traffic — repeated
+elements with skewed popularity.  These helpers produce *multisets* (with
+duplicates) from a fixed pool of distinct values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["uniform_multiset", "zipf_multiset"]
+
+
+def uniform_multiset(
+    pool: np.ndarray, total_items: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``total_items`` draws from ``pool`` with equal probability each."""
+    if total_items < 0:
+        raise ValueError("total_items must be non-negative")
+    if len(pool) == 0:
+        raise ValueError("pool must be non-empty")
+    return rng.choice(pool, size=total_items, replace=True)
+
+
+def zipf_multiset(
+    pool: np.ndarray,
+    total_items: int,
+    rng: np.random.Generator,
+    skew: float = 1.1,
+) -> np.ndarray:
+    """``total_items`` draws from ``pool`` with Zipf(``skew``) popularity.
+
+    Rank ``k`` (1-based, in pool order) is drawn with probability
+    proportional to ``k**-skew`` — the classic heavy-hitter shape of IP
+    flows and retail transactions.
+    """
+    if total_items < 0:
+        raise ValueError("total_items must be non-negative")
+    if len(pool) == 0:
+        raise ValueError("pool must be non-empty")
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    return rng.choice(pool, size=total_items, replace=True, p=weights)

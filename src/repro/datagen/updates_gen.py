@@ -1,0 +1,82 @@
+"""Update-stream generation: turning element sets into insert/delete traffic.
+
+The sketch is deletion-invariant, so the accuracy experiments feed it
+insert-only data (exactly as the paper does).  The generators here build
+*general* update streams for the robustness experiments: phantom elements
+that are inserted and later fully deleted, duplicated insertions with
+partial deletions, and random interleavings — traffic under which the
+final sketch state must equal the insert-only sketch of the surviving
+elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.updates import Update, insertions, interleave
+
+__all__ = ["with_phantom_deletions", "multiset_updates"]
+
+
+def with_phantom_deletions(
+    stream: str,
+    elements: np.ndarray,
+    rng: np.random.Generator,
+    phantom_fraction: float = 0.5,
+    domain_bits: int = 30,
+) -> list[Update]:
+    """An update sequence whose net effect is inserting ``elements`` once.
+
+    In addition to the real insertions, a batch of *phantom* elements
+    (``phantom_fraction`` times as many, drawn fresh from the domain) is
+    inserted and then fully deleted, with the deletions interleaved
+    randomly after each phantom's insertion.  The resulting stream
+    exercises the deletion path heavily while leaving the net multiset
+    equal to ``elements``.
+
+    Phantoms are drawn from the domain at random, so with a sparse domain
+    they are almost surely distinct from the real elements — and even on
+    collision the sequence stays legal (insert before delete) and the net
+    effect of the phantom pair is nil.
+    """
+    if not (0.0 <= phantom_fraction):
+        raise ValueError("phantom_fraction must be non-negative")
+    real = insertions(stream, (int(e) for e in elements))
+    num_phantoms = int(len(real) * phantom_fraction)
+    if num_phantoms == 0:
+        return real
+    domain = 1 << domain_bits
+    phantoms = rng.integers(0, domain, size=num_phantoms, dtype=np.uint64)
+    phantom_pairs: list[Update] = []
+    for phantom in phantoms:
+        phantom_pairs.append(Update(stream, int(phantom), +1))
+        phantom_pairs.append(Update(stream, int(phantom), -1))
+    # Interleaving keeps each sequence's internal order, so every phantom's
+    # insertion precedes its deletion: the merged stream is legal.
+    return list(interleave([real, phantom_pairs], rng))
+
+
+def multiset_updates(
+    stream: str,
+    elements: np.ndarray,
+    rng: np.random.Generator,
+    max_multiplicity: int = 4,
+) -> list[Update]:
+    """Updates giving each element a random positive net frequency.
+
+    Each element receives a frequency in ``[1, max_multiplicity]``,
+    delivered as an insertion of ``frequency + extra`` copies followed by
+    a deletion of the ``extra`` surplus — so both signs of update appear
+    while every element survives with positive net frequency (cardinality
+    ground truth is unchanged).
+    """
+    if max_multiplicity < 1:
+        raise ValueError("max_multiplicity must be at least 1")
+    updates: list[Update] = []
+    frequencies = rng.integers(1, max_multiplicity + 1, size=len(elements))
+    extras = rng.integers(0, max_multiplicity + 1, size=len(elements))
+    for element, frequency, extra in zip(elements, frequencies, extras):
+        updates.append(Update(stream, int(element), int(frequency + extra)))
+        if extra:
+            updates.append(Update(stream, int(element), -int(extra)))
+    return updates

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still being able to distinguish input problems (``DomainError``,
+``IllegalDeletionError``, ``IncompatibleSketchesError``) from estimation
+failures (``EstimationError``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "IllegalDeletionError",
+    "IncompatibleSketchesError",
+    "EstimationError",
+    "ExpressionError",
+    "UnknownStreamError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DomainError(ReproError, ValueError):
+    """An element lies outside the configured domain ``[0, M)``."""
+
+
+class IllegalDeletionError(ReproError, ValueError):
+    """A deletion would drive an element's net frequency below zero.
+
+    The paper's update model (Section 2.1) assumes all deletions are legal;
+    the exact reference store enforces the assumption so that experiment
+    inputs are guaranteed well-formed.
+    """
+
+
+class IncompatibleSketchesError(ReproError, ValueError):
+    """Sketches built with different hash functions/shapes were combined.
+
+    Estimators require the synopses of all participating streams to share
+    the same first- and second-level hash functions ("stored coins"); this
+    error signals a violation before any nonsense estimate can be produced.
+    """
+
+
+class EstimationError(ReproError, RuntimeError):
+    """An estimator could not produce an estimate from the given synopses.
+
+    Typical cause: none of the maintained sketches yielded a valid atomic
+    observation (every first-level bucket at the chosen level failed the
+    singleton test), which the theory predicts to be exponentially unlikely
+    once enough sketches are maintained.
+    """
+
+
+class ExpressionError(ReproError, ValueError):
+    """A set expression could not be parsed or is structurally invalid."""
+
+
+class UnknownStreamError(ReproError, KeyError):
+    """An expression referenced a stream id with no registered synopsis."""

@@ -1,0 +1,32 @@
+"""Experiment harness: configurations, sweep runner, and metrics."""
+
+from repro.experiments.compare import AnchorVerdict, check_anchors, to_csv
+from repro.experiments.config import FIGURES, ExperimentConfig, scaled_config
+from repro.experiments.metrics import (
+    TRIM_FRACTION,
+    relative_error,
+    trimmed_mean_error,
+)
+from repro.experiments.report import load_sweep_csv, render_report
+from repro.experiments.reference import PAPER_ANCHORS, PaperAnchor, anchors_for
+from repro.experiments.runner import SweepResult, SweepSeries, run_sweep
+
+__all__ = [
+    "AnchorVerdict",
+    "check_anchors",
+    "to_csv",
+    "FIGURES",
+    "ExperimentConfig",
+    "scaled_config",
+    "TRIM_FRACTION",
+    "relative_error",
+    "trimmed_mean_error",
+    "PAPER_ANCHORS",
+    "PaperAnchor",
+    "anchors_for",
+    "SweepResult",
+    "SweepSeries",
+    "run_sweep",
+    "load_sweep_csv",
+    "render_report",
+]

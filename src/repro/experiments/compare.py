@@ -1,0 +1,72 @@
+"""Paper-vs-measured comparison of sweep results.
+
+Turns a :class:`~repro.experiments.runner.SweepResult` into verdicts
+against the published anchor points (:mod:`repro.experiments.reference`)
+and into CSV for external plotting.  ``EXPERIMENTS.md`` is written from
+this module's output.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.experiments.reference import PaperAnchor, anchors_for
+from repro.experiments.runner import SweepResult
+
+__all__ = ["AnchorVerdict", "check_anchors", "to_csv"]
+
+
+@dataclass(frozen=True)
+class AnchorVerdict:
+    """One anchor's outcome on a measured sweep."""
+
+    anchor: PaperAnchor
+    measured_max_error: float | None
+    holds: bool | None  # None when the sweep did not cover the anchor
+
+    def describe(self) -> str:
+        """One-line HOLDS/MISSES/SKIP rendering of the verdict."""
+        if self.holds is None:
+            return (
+                f"SKIP  ({self.anchor.claim}) — sweep does not include "
+                f"{self.anchor.sketch_count} sketches"
+            )
+        status = "HOLDS" if self.holds else "MISSES"
+        return (
+            f"{status} measured worst-series error "
+            f"{100 * self.measured_max_error:.1f}% vs paper bound "
+            f"{100 * self.anchor.max_error:.0f}% at "
+            f"{self.anchor.sketch_count} sketches — {self.anchor.claim}"
+        )
+
+
+def check_anchors(result: SweepResult) -> list[AnchorVerdict]:
+    """Evaluate every published claim that touches this figure.
+
+    An anchor bounds the error at a given sketch count; the measured
+    value compared is the *worst* series (target size) at that count,
+    which is the conservative reading of "across the tested sizes".
+    """
+    verdicts = []
+    for anchor in anchors_for(result.config.name):
+        if anchor.sketch_count not in result.config.sketch_counts:
+            verdicts.append(AnchorVerdict(anchor, None, None))
+            continue
+        index = result.config.sketch_counts.index(anchor.sketch_count)
+        measured = max(series.errors[index] for series in result.series)
+        verdicts.append(AnchorVerdict(anchor, measured, measured <= anchor.max_error))
+    return verdicts
+
+
+def to_csv(result: SweepResult) -> str:
+    """CSV rows: ``sketches,target_size,target_ratio,trimmed_error``."""
+    buffer = io.StringIO()
+    buffer.write("sketches,target_size,target_ratio,trimmed_error\n")
+    for series in result.series:
+        for count, error in zip(series.sketch_counts, series.errors):
+            buffer.write(
+                f"{count},{series.target_size},{series.target_ratio:g},"
+                f"{error:.6f}\n"
+            )
+    return buffer.getvalue()

@@ -1,0 +1,104 @@
+"""Experiment configurations for the paper's figures.
+
+Each figure of Section 5.2 sweeps the number of maintained 2-level hash
+sketches for a fixed target expression, at three target-cardinality
+ratios, plotting the trimmed-average relative error.  The paper runs at
+``u ≈ 2**18`` with 10–15 trials and 32 second-level hashes; pure-Python
+maintenance makes that heavy for a test/bench cycle, so three scales are
+provided.  The error of the estimators depends on the *ratios*
+``|E|/u`` and on ``(r, s)`` — not on the absolute ``u`` — so the reduced
+scales preserve the figures' shape (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ExperimentConfig", "FIGURES", "scaled_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One figure's sweep definition."""
+
+    name: str
+    title: str
+    expression: str
+    union_size: int = 1 << 18
+    #: Target ``|E| / u`` ratios — one plotted series each.
+    target_ratios: tuple[float, ...] = (1 / 2, 1 / 8, 1 / 32)
+    #: The x-axis: number of 2-level hash sketches per stream.
+    sketch_counts: tuple[int, ...] = (32, 64, 128, 256, 512)
+    trials: int = 12
+    num_second_level: int = 32
+    independence: int = 8
+    epsilon: float = 0.1
+    domain_bits: int = 30
+    base_seed: int = 2003
+    #: Level-pooling extension (1 = the paper's single-level algorithm).
+    pool_levels: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.target_ratios or not self.sketch_counts:
+            raise ValueError("need at least one ratio and one sketch count")
+        if self.trials < 1:
+            raise ValueError("need at least one trial")
+
+    @property
+    def max_sketches(self) -> int:
+        return max(self.sketch_counts)
+
+    def target_size(self, ratio: float) -> int:
+        """The |E| a ratio corresponds to at this union size."""
+        return int(round(ratio * self.union_size))
+
+
+#: The three figures of the paper's evaluation, at paper scale.
+FIGURES: dict[str, ExperimentConfig] = {
+    "fig7a": ExperimentConfig(
+        name="fig7a",
+        title="Figure 7(a): relative error for |A ∩ B|",
+        expression="A & B",
+    ),
+    "fig7b": ExperimentConfig(
+        name="fig7b",
+        title="Figure 7(b): relative error for |A - B|",
+        expression="A - B",
+    ),
+    "fig8": ExperimentConfig(
+        name="fig8",
+        title="Figure 8: relative error for |(A - B) ∩ C|",
+        expression="(A - B) & C",
+    ),
+}
+
+
+def scaled_config(config: ExperimentConfig, scale: str) -> ExperimentConfig:
+    """A figure config at one of the supported run scales.
+
+    ``bench``
+        Small: runs inside the benchmark suite in tens of seconds.
+    ``medium``
+        The default for ``python -m repro.experiments.run_all``; a few
+        minutes per figure.
+    ``paper``
+        The paper's ``u ≈ 2**18`` and full sketch sweep; expect an hour+
+        for all figures in pure Python.
+    """
+    if scale == "bench":
+        return replace(
+            config,
+            union_size=1 << 12,
+            sketch_counts=(32, 64, 128, 256),
+            trials=5,
+        )
+    if scale == "medium":
+        return replace(
+            config,
+            union_size=1 << 14,
+            sketch_counts=(32, 64, 128, 256, 512),
+            trials=8,
+        )
+    if scale == "paper":
+        return config
+    raise ValueError(f"unknown scale {scale!r}; use bench, medium, or paper")

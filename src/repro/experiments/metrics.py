@@ -1,0 +1,47 @@
+"""Accuracy metrics used by the experimental study (Section 5.1).
+
+The paper gauges estimators with the absolute relative error
+``|ê − |E|| / |E||`` and reports, per configuration, the average over
+repeated trials *after trimming away the 30% highest errors* — a robust
+mean that damps the heavy upper tail of a randomised estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+__all__ = ["relative_error", "trimmed_mean_error", "TRIM_FRACTION"]
+
+#: Fraction of the highest errors discarded before averaging (paper §5.1).
+TRIM_FRACTION = 0.3
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Absolute relative error ``|estimate − truth| / truth``.
+
+    A zero truth is meaningful for set expressions (the result can be
+    empty): the error is 0 when the estimate is also 0 and ``inf``
+    otherwise.
+    """
+    if truth == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - truth) / abs(truth)
+
+
+def trimmed_mean_error(
+    errors: Iterable[float], trim_fraction: float = TRIM_FRACTION
+) -> float:
+    """The paper's trimmed-average error: drop the worst ``trim_fraction``
+    of the observations, average the rest.
+
+    At least one observation always survives the trim.
+    """
+    if not (0.0 <= trim_fraction < 1.0):
+        raise ValueError("trim_fraction must lie in [0, 1)")
+    ordered = sorted(errors)
+    if not ordered:
+        raise ValueError("need at least one error observation")
+    keep = max(1, len(ordered) - int(len(ordered) * trim_fraction))
+    kept = ordered[:keep]
+    return sum(kept) / len(kept)

@@ -1,0 +1,67 @@
+"""Reference points read off the paper's published figures.
+
+The paper shows plots, not tables, so exact values are not recoverable;
+these coarse anchor points come from the prose of Section 5.2 and the
+visible shape of Figures 7(a), 7(b), and 8.  They are used by
+``EXPERIMENTS.md`` and by the benchmark output to label how the measured
+series compare with the published ones.
+
+All values are *relative errors* (fractions, not percent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PaperAnchor", "PAPER_ANCHORS", "anchors_for"]
+
+
+@dataclass(frozen=True)
+class PaperAnchor:
+    """One claim the paper's text makes about a figure."""
+
+    figure: str
+    claim: str
+    sketch_count: int
+    max_error: float
+
+
+PAPER_ANCHORS: tuple[PaperAnchor, ...] = (
+    PaperAnchor(
+        figure="fig7a",
+        claim="with 128-256 sketches the intersection error is close to or "
+        "below 20% across the tested target sizes",
+        sketch_count=256,
+        max_error=0.25,
+    ),
+    PaperAnchor(
+        figure="fig7a",
+        claim="at 512 sketches the intersection error drops to <= 10%",
+        sketch_count=512,
+        max_error=0.15,
+    ),
+    PaperAnchor(
+        figure="fig7b",
+        claim="small difference sizes (|A-B| = u/32) start around 48% error "
+        "at few sketches",
+        sketch_count=32,
+        max_error=1.00,
+    ),
+    PaperAnchor(
+        figure="fig7b",
+        claim="at 512 sketches all difference errors are around 10% or lower",
+        sketch_count=512,
+        max_error=0.15,
+    ),
+    PaperAnchor(
+        figure="fig8",
+        claim="expression errors tail off to 20% or lower at 512 sketches",
+        sketch_count=512,
+        max_error=0.25,
+    ),
+)
+
+
+def anchors_for(figure: str) -> tuple[PaperAnchor, ...]:
+    """The published claims touching one figure."""
+    return tuple(anchor for anchor in PAPER_ANCHORS if anchor.figure == figure)

@@ -1,0 +1,113 @@
+"""Markdown report generation from saved experiment results.
+
+``repro.experiments.run_all`` writes one CSV per figure; this module
+turns a directory of those CSVs back into the paper-shaped markdown
+tables (and anchor verdicts) without re-running anything::
+
+    python -m repro.experiments.report --results experiments_output \
+        --scale medium --out experiments_output/REPORT.md
+
+Useful for CI: regenerate the report from archived results and diff it
+against the committed one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import pathlib
+import sys
+from collections import defaultdict
+
+from repro.experiments.compare import check_anchors
+from repro.experiments.config import FIGURES, scaled_config
+from repro.experiments.runner import SweepResult, SweepSeries
+
+__all__ = ["load_sweep_csv", "render_report", "main"]
+
+
+def load_sweep_csv(path: str | pathlib.Path, figure: str, scale: str) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from a ``run_all`` CSV.
+
+    The config is reconstructed from the named figure at the named scale;
+    the CSV supplies the measured series.  Elapsed time is not stored in
+    the CSV and is reported as 0.
+    """
+    config = scaled_config(FIGURES[figure], scale)
+    by_ratio: dict[float, dict[int, float]] = defaultdict(dict)
+    sizes: dict[float, int] = {}
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.DictReader(handle):
+            ratio = float(row["target_ratio"])
+            by_ratio[ratio][int(row["sketches"])] = float(row["trimmed_error"])
+            sizes[ratio] = int(row["target_size"])
+
+    series = []
+    for ratio in sorted(by_ratio, reverse=True):
+        cells = by_ratio[ratio]
+        counts = tuple(sorted(cells))
+        series.append(
+            SweepSeries(
+                target_ratio=ratio,
+                target_size=sizes[ratio],
+                sketch_counts=counts,
+                errors=tuple(cells[count] for count in counts),
+            )
+        )
+    return SweepResult(config=config, series=tuple(series), elapsed_seconds=0.0)
+
+
+def render_report(results_dir: str | pathlib.Path, scale: str) -> str:
+    """Markdown report over every figure CSV present in ``results_dir``."""
+    results_dir = pathlib.Path(results_dir)
+    lines = [
+        f"# Experiment report ({scale} scale)",
+        "",
+        f"Regenerated from CSVs under `{results_dir}` by "
+        "`python -m repro.experiments.report`.",
+        "",
+    ]
+    found_any = False
+    for figure in sorted(FIGURES):
+        csv_path = results_dir / f"{figure}_{scale}.csv"
+        if not csv_path.is_file():
+            lines.append(f"*{figure}: no results file ({csv_path.name}).*")
+            lines.append("")
+            continue
+        found_any = True
+        result = load_sweep_csv(csv_path, figure, scale)
+        lines.append(f"## {result.config.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.as_table())
+        lines.append("```")
+        lines.append("")
+        for verdict in check_anchors(result):
+            lines.append(f"* {verdict.describe()}")
+        lines.append("")
+    if not found_any:
+        lines.append("*No result CSVs found — run `repro experiment` first.*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Render the report and write it (or print to stdout)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results", type=pathlib.Path, default=pathlib.Path("experiments_output")
+    )
+    parser.add_argument("--scale", choices=("bench", "medium", "paper"), default="medium")
+    parser.add_argument("--out", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+    report = render_report(args.results, args.scale)
+    if args.out is None:
+        print(report)
+    else:
+        args.out.write_text(report)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Command-line driver regenerating every figure of the paper.
+
+Usage::
+
+    python -m repro.experiments.run_all [--scale bench|medium|paper]
+                                        [--figure fig7a fig7b fig8]
+                                        [--out experiments_output]
+
+Writes one text table per figure (and prints them), in the shape of the
+published plots: trimmed-average relative error per (sketch count, target
+size) cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments.compare import check_anchors, to_csv
+from repro.experiments.config import FIGURES, scaled_config
+from repro.experiments.runner import run_sweep
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the requested figures at the requested scale; write tables/CSVs."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=("bench", "medium", "paper"),
+        default="medium",
+        help="run scale (see repro.experiments.config.scaled_config)",
+    )
+    parser.add_argument(
+        "--figure",
+        nargs="*",
+        choices=sorted(FIGURES),
+        default=sorted(FIGURES),
+        help="which figures to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("experiments_output"),
+        help="directory for the result tables",
+    )
+    args = parser.parse_args(argv)
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in args.figure:
+        config = scaled_config(FIGURES[name], args.scale)
+        print(f"== running {name} at scale {args.scale!r} "
+              f"(u={config.union_size}, trials={config.trials}) ==")
+        result = run_sweep(config, progress=lambda line: print("  " + line))
+        table = result.as_table()
+        print(table)
+        print(f"  elapsed: {result.elapsed_seconds:.1f}s")
+        for verdict in check_anchors(result):
+            print(f"  {verdict.describe()}")
+        output_path = args.out / f"{name}_{args.scale}.txt"
+        output_path.write_text(table + "\n")
+        csv_path = args.out / f"{name}_{args.scale}.csv"
+        csv_path.write_text(to_csv(result))
+        print(f"  wrote {output_path} and {csv_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

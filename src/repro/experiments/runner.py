@@ -1,0 +1,161 @@
+"""Sweep runner regenerating the paper's figures.
+
+For one :class:`~repro.experiments.config.ExperimentConfig` the runner
+repeats, per target ratio and trial:
+
+1. generate a controlled dataset with
+   :func:`repro.datagen.controlled.generate_controlled`;
+2. build one sketch family per stream at the *largest* swept sketch count;
+3. for every swept count, estimate ``|E|`` on a
+   :meth:`~repro.core.family.SketchFamily.prefix` view (valid because hash
+   derivation is prefix-stable — the prefix behaves exactly like a family
+   that was maintained at that size all along);
+4. record the absolute relative error against the generator's exact
+   ground truth.
+
+Per (ratio, sketch count) cell the trial errors are combined with the
+paper's 30%-trimmed mean.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchFamily, SketchSpec
+from repro.core.sketch import SketchShape
+from repro.datagen.controlled import generate_controlled
+from repro.errors import EstimationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import relative_error, trimmed_mean_error
+from repro.expr.parser import parse
+
+__all__ = ["SweepResult", "SweepSeries", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One plotted line: errors vs sketch count at a fixed target size."""
+
+    target_ratio: float
+    target_size: int
+    sketch_counts: tuple[int, ...]
+    errors: tuple[float, ...]  # trimmed mean relative errors, one per count
+
+    def error_at(self, sketch_count: int) -> float:
+        """The series' trimmed error at one swept sketch count."""
+        return self.errors[self.sketch_counts.index(sketch_count)]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All series of one figure, plus run metadata."""
+
+    config: ExperimentConfig
+    series: tuple[SweepSeries, ...]
+    elapsed_seconds: float
+
+    def as_table(self) -> str:
+        """ASCII rendering in the shape of the paper's figure."""
+        header = ["sketches"] + [
+            f"|E|={one.target_size}" for one in self.series
+        ]
+        widths = [max(10, len(column) + 2) for column in header]
+        lines = [self.config.title]
+        lines.append(
+            "  ".join(column.rjust(width) for column, width in zip(header, widths))
+        )
+        for index, count in enumerate(self.config.sketch_counts):
+            row = [str(count)]
+            for one in self.series:
+                row.append(f"{100.0 * one.errors[index]:.1f}%")
+            lines.append(
+                "  ".join(column.rjust(width) for column, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+def run_sweep(config: ExperimentConfig, progress=None) -> SweepResult:
+    """Run one figure's sweep and return its series.
+
+    ``progress`` (optional) is called with a short string after each
+    completed trial — handy for the long paper-scale runs.
+    """
+    expression = parse(config.expression)
+    shape = SketchShape(
+        domain_bits=config.domain_bits,
+        num_second_level=config.num_second_level,
+        independence=config.independence,
+    )
+    started = time.perf_counter()
+
+    series = []
+    for ratio_index, ratio in enumerate(config.target_ratios):
+        # errors[count_index][trial]
+        errors: list[list[float]] = [[] for _ in config.sketch_counts]
+        realised_sizes = []
+        for trial in range(config.trials):
+            rng = np.random.default_rng(
+                [config.base_seed, ratio_index, trial]
+            )
+            dataset = generate_controlled(
+                expression,
+                config.union_size,
+                ratio,
+                rng,
+                domain_bits=config.domain_bits,
+            )
+            truth = dataset.target_size
+            realised_sizes.append(truth)
+
+            spec = SketchSpec(
+                num_sketches=config.max_sketches,
+                shape=shape,
+                seed=config.base_seed + 1000 * ratio_index + trial,
+            )
+            families: dict[str, SketchFamily] = {}
+            for name in dataset.stream_names():
+                family = spec.build()
+                family.update_batch(dataset.elements[name])
+                families[name] = family
+
+            for count_index, count in enumerate(config.sketch_counts):
+                prefixes = {
+                    name: family.prefix(count) for name, family in families.items()
+                }
+                try:
+                    estimate = estimate_expression(
+                        expression,
+                        prefixes,
+                        config.epsilon,
+                        pool_levels=config.pool_levels,
+                    )
+                    value = estimate.value
+                except EstimationError:
+                    # No valid atomic observation at this (small) sketch
+                    # count: score it as a total miss rather than crashing
+                    # the sweep.
+                    value = 0.0
+                errors[count_index].append(relative_error(value, truth))
+            if progress is not None:
+                progress(
+                    f"{config.name}: ratio {ratio:g} trial {trial + 1}/"
+                    f"{config.trials} done"
+                )
+
+        series.append(
+            SweepSeries(
+                target_ratio=ratio,
+                target_size=int(np.mean(realised_sizes)),
+                sketch_counts=tuple(config.sketch_counts),
+                errors=tuple(
+                    trimmed_mean_error(cell) for cell in errors
+                ),
+            )
+        )
+
+    elapsed = time.perf_counter() - started
+    return SweepResult(config=config, series=tuple(series), elapsed_seconds=elapsed)

@@ -1,0 +1,46 @@
+"""Set-expression trees, parsing, and Venn-partition algebra."""
+
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    SetExpression,
+    StreamRef,
+    UnionExpr,
+    streams,
+)
+from repro.expr.optimize import (
+    canonical_cells,
+    equivalent,
+    is_tautology,
+    is_unsatisfiable,
+    simplify,
+)
+from repro.expr.parser import parse
+from repro.expr.sql import cardinality_sql, to_sql
+from repro.expr.venn import (
+    Cell,
+    all_cells,
+    cells_of_expression,
+    expression_size_from_cells,
+)
+
+__all__ = [
+    "DifferenceExpr",
+    "IntersectionExpr",
+    "SetExpression",
+    "StreamRef",
+    "UnionExpr",
+    "streams",
+    "parse",
+    "canonical_cells",
+    "equivalent",
+    "is_tautology",
+    "is_unsatisfiable",
+    "simplify",
+    "to_sql",
+    "cardinality_sql",
+    "Cell",
+    "all_cells",
+    "cells_of_expression",
+    "expression_size_from_cells",
+]

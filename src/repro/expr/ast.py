@@ -1,0 +1,194 @@
+"""Set-expression abstract syntax trees.
+
+The paper's general estimator (Section 4) works on expressions of the form
+``E := (((A₁ op₁ A₂) op₂ A₃) … Aₙ)`` with ``op ∈ {∪, ∩, −}``.  This module
+models such expressions as immutable trees that know how to
+
+* report the stream identifiers they mention (:meth:`SetExpression.streams`),
+* evaluate themselves **exactly** over materialised Python sets
+  (:meth:`SetExpression.evaluate` — the ground truth used in tests and
+  experiments),
+* map themselves to the Boolean formula ``B(E)`` over per-stream bucket
+  non-emptiness masks (:meth:`SetExpression.boolean_mask` — the witness
+  condition of the estimator), and
+* evaluate membership of a hypothetical element given which streams contain
+  it (:meth:`SetExpression.contains` — the basis of the Venn-partition
+  algebra in :mod:`repro.expr.venn`).
+
+Python's set operators are overloaded so expressions read naturally::
+
+    from repro.expr import streams
+    A, B, C = streams("A", "B", "C")
+    expression = (A - B) & C
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import AbstractSet, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "SetExpression",
+    "StreamRef",
+    "UnionExpr",
+    "IntersectionExpr",
+    "DifferenceExpr",
+    "streams",
+]
+
+
+class SetExpression(ABC):
+    """Base class for nodes of a set-expression tree."""
+
+    @abstractmethod
+    def streams(self) -> frozenset[str]:
+        """The stream identifiers mentioned anywhere in the expression."""
+
+    @abstractmethod
+    def evaluate(self, sets: Mapping[str, AbstractSet]) -> set:
+        """Exact evaluation over materialised distinct-element sets."""
+
+    @abstractmethod
+    def boolean_mask(self, masks: Mapping[str, np.ndarray]) -> np.ndarray:
+        """The paper's ``B(E)`` over per-stream bucket non-emptiness masks.
+
+        ``masks[name]`` is a boolean array ("bucket non-empty in the
+        sketch of stream *name*"); the result combines them with the
+        ∨/∧/∧¬ mapping of Section 4 and has the same shape.
+        """
+
+    @abstractmethod
+    def contains(self, membership: Mapping[str, bool]) -> bool:
+        """Whether an element with the given per-stream membership is in E."""
+
+    @abstractmethod
+    def to_text(self) -> str:
+        """A parseable textual rendering of the expression."""
+
+    def subexpressions(self) -> Iterator["SetExpression"]:
+        """Depth-first iteration over this node and all descendants."""
+        yield self
+        for child in self._children():
+            yield from child.subexpressions()
+
+    def _children(self) -> tuple["SetExpression", ...]:
+        return ()
+
+    # Operator sugar: StreamRef("A") | StreamRef("B"), etc.
+
+    def __or__(self, other: "SetExpression") -> "UnionExpr":
+        return UnionExpr(self, _require_expression(other))
+
+    def __and__(self, other: "SetExpression") -> "IntersectionExpr":
+        return IntersectionExpr(self, _require_expression(other))
+
+    def __sub__(self, other: "SetExpression") -> "DifferenceExpr":
+        return DifferenceExpr(self, _require_expression(other))
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+def _require_expression(value: object) -> "SetExpression":
+    if not isinstance(value, SetExpression):
+        raise TypeError(f"expected a SetExpression, got {type(value).__name__}")
+    return value
+
+
+@dataclass(frozen=True)
+class StreamRef(SetExpression):
+    """A leaf referring to one update stream by identifier."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise ValueError(f"invalid stream name: {self.name!r}")
+
+    def streams(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, sets: Mapping[str, AbstractSet]) -> set:
+        return set(sets[self.name])
+
+    def boolean_mask(self, masks: Mapping[str, np.ndarray]) -> np.ndarray:
+        return np.asarray(masks[self.name], dtype=bool)
+
+    def contains(self, membership: Mapping[str, bool]) -> bool:
+        return bool(membership.get(self.name, False))
+
+    def to_text(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class _BinaryExpr(SetExpression):
+    """Shared plumbing for the three binary operators."""
+
+    left: SetExpression
+    right: SetExpression
+
+    #: Operator glyph used by :meth:`to_text`; overridden per subclass.
+    _symbol = "?"
+
+    def streams(self) -> frozenset[str]:
+        return self.left.streams() | self.right.streams()
+
+    def _children(self) -> tuple[SetExpression, ...]:
+        return (self.left, self.right)
+
+    def to_text(self) -> str:
+        return f"({self.left.to_text()} {self._symbol} {self.right.to_text()})"
+
+
+class UnionExpr(_BinaryExpr):
+    """Set union: ``B(E₁ ∪ E₂) = B(E₁) ∨ B(E₂)``."""
+
+    _symbol = "|"
+
+    def evaluate(self, sets: Mapping[str, AbstractSet]) -> set:
+        return self.left.evaluate(sets) | self.right.evaluate(sets)
+
+    def boolean_mask(self, masks: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.left.boolean_mask(masks) | self.right.boolean_mask(masks)
+
+    def contains(self, membership: Mapping[str, bool]) -> bool:
+        return self.left.contains(membership) or self.right.contains(membership)
+
+
+class IntersectionExpr(_BinaryExpr):
+    """Set intersection: ``B(E₁ ∩ E₂) = B(E₁) ∧ B(E₂)``."""
+
+    _symbol = "&"
+
+    def evaluate(self, sets: Mapping[str, AbstractSet]) -> set:
+        return self.left.evaluate(sets) & self.right.evaluate(sets)
+
+    def boolean_mask(self, masks: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.left.boolean_mask(masks) & self.right.boolean_mask(masks)
+
+    def contains(self, membership: Mapping[str, bool]) -> bool:
+        return self.left.contains(membership) and self.right.contains(membership)
+
+
+class DifferenceExpr(_BinaryExpr):
+    """Set difference: ``B(E₁ − E₂) = B(E₁) ∧ ¬B(E₂)``."""
+
+    _symbol = "-"
+
+    def evaluate(self, sets: Mapping[str, AbstractSet]) -> set:
+        return self.left.evaluate(sets) - self.right.evaluate(sets)
+
+    def boolean_mask(self, masks: Mapping[str, np.ndarray]) -> np.ndarray:
+        return self.left.boolean_mask(masks) & ~self.right.boolean_mask(masks)
+
+    def contains(self, membership: Mapping[str, bool]) -> bool:
+        return self.left.contains(membership) and not self.right.contains(membership)
+
+
+def streams(*names: str) -> tuple[StreamRef, ...]:
+    """Convenience constructor: ``A, B = streams("A", "B")``."""
+    return tuple(StreamRef(name) for name in names)

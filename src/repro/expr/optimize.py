@@ -1,0 +1,186 @@
+"""Set-expression analysis and simplification.
+
+Because set operators only observe per-stream membership, an expression
+over streams ``S`` is *semantically* nothing more than the set of Venn
+cells it covers (see :mod:`repro.expr.venn`).  That gives a complete
+decision procedure:
+
+* :func:`canonical_cells` — the expression's meaning as a frozenset of
+  cells;
+* :func:`equivalent` — two expressions denote the same set function iff
+  their cell sets (over the union of their stream sets) coincide;
+* :func:`is_unsatisfiable` / :func:`is_tautology` — empty / full cover;
+* :func:`simplify` — rebuild a (often smaller) expression tree from the
+  cell set in disjunctive normal form, with special-casing for the empty
+  and full covers.
+
+The estimators use :func:`is_unsatisfiable` to answer ``|E| = 0`` without
+touching any synopsis, and the engine's planner can use
+:func:`equivalent` to reuse cached estimates across spellings of the
+same query.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+
+from repro.errors import ExpressionError
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    SetExpression,
+    StreamRef,
+    UnionExpr,
+)
+from repro.expr.venn import Cell, all_cells, cells_of_expression
+
+__all__ = [
+    "canonical_cells",
+    "equivalent",
+    "is_unsatisfiable",
+    "is_tautology",
+    "simplify",
+]
+
+
+def canonical_cells(
+    expression: SetExpression, over_streams: frozenset[str] | None = None
+) -> frozenset[Cell]:
+    """The expression's meaning as a set of Venn cells.
+
+    ``over_streams`` (optional) widens the cell universe — needed to
+    compare expressions that mention different stream sets.  Each cell of
+    the wider universe is projected onto the expression's own streams for
+    the membership test.
+    """
+    names = expression.streams()
+    universe = names if over_streams is None else frozenset(over_streams) | names
+    selected = []
+    for cell in all_cells(sorted(universe)):
+        membership = {name: name in cell for name in universe}
+        if expression.contains(membership):
+            selected.append(cell)
+    return frozenset(selected)
+
+
+def equivalent(first: SetExpression, second: SetExpression) -> bool:
+    """True iff the two expressions denote the same set for all inputs."""
+    universe = first.streams() | second.streams()
+    return canonical_cells(first, universe) == canonical_cells(second, universe)
+
+
+def is_unsatisfiable(expression: SetExpression) -> bool:
+    """True iff ``E`` is empty for every possible stream contents."""
+    return not cells_of_expression(expression)
+
+
+def is_tautology(expression: SetExpression) -> bool:
+    """True iff ``E`` equals the union of its streams for every input."""
+    names = expression.streams()
+    return len(cells_of_expression(expression)) == 2 ** len(names) - 1
+
+
+def simplify(expression: SetExpression) -> SetExpression:
+    """An equivalent expression rebuilt from the canonical cell set.
+
+    Simplification proceeds in two steps:
+
+    1. **stream elimination** — a stream whose membership never changes
+       the outcome (e.g. ``C`` in ``(A & B) | (A - B) | (A & B & C)``)
+       is dropped from the universe;
+    2. **DNF rebuild** over the essential streams: each covered Venn cell
+       becomes the intersection of its member streams minus the union of
+       the rest, the terms joined by union.  Degenerate covers collapse —
+       unsatisfiable → ``A - A`` (there is no empty-set literal in the
+       grammar), full cover → the plain union of the essential streams.
+
+    The output is not guaranteed minimal in general — minimal two-level
+    form is set-cover-hard — but it is canonical: equivalent inputs map
+    to structurally equal outputs.
+    """
+    names = sorted(expression.streams())
+    if not names:
+        raise ExpressionError("expression mentions no streams")
+
+    essential = _essential_streams(expression, names)
+    if not essential:
+        # The expression ignores every stream; since the all-false pattern
+        # evaluates to False, it is unsatisfiable.
+        anchor = StreamRef(names[0])
+        return DifferenceExpr(anchor, anchor)
+
+    cells = _cells_over(expression, names, essential)
+    if not cells:
+        anchor = StreamRef(essential[0])
+        return DifferenceExpr(anchor, anchor)
+    if len(cells) == 2 ** len(essential) - 1:
+        return _union_of([StreamRef(name) for name in essential])
+
+    terms = [_cell_term(cell, essential) for cell in sorted(cells, key=_cell_key)]
+    return _union_of(terms)
+
+
+def _essential_streams(expression: SetExpression, names: list[str]) -> list[str]:
+    """Streams whose membership can change the expression's outcome.
+
+    A stream ``s`` is redundant iff flipping its membership bit never
+    changes ``contains`` — checked over all patterns of the remaining
+    (still-essential) streams, so elimination cascades.
+    """
+    essential = list(names)
+    changed = True
+    while changed:
+        changed = False
+        for candidate in list(essential):
+            others = [name for name in essential if name != candidate]
+            if _is_redundant(expression, candidate, others):
+                essential.remove(candidate)
+                changed = True
+    return essential
+
+
+def _is_redundant(
+    expression: SetExpression, candidate: str, others: list[str]
+) -> bool:
+    for pattern in range(2 ** len(others)):
+        membership = {
+            name: bool(pattern >> index & 1) for index, name in enumerate(others)
+        }
+        with_candidate = dict(membership, **{candidate: True})
+        without_candidate = dict(membership, **{candidate: False})
+        if expression.contains(with_candidate) != expression.contains(
+            without_candidate
+        ):
+            return False
+    return True
+
+
+def _cells_over(
+    expression: SetExpression, all_names: list[str], essential: list[str]
+) -> list[Cell]:
+    """Covered cells over the essential universe (eliminated streams are
+    membership-irrelevant, so they are fixed to False)."""
+    selected = []
+    for cell in all_cells(essential):
+        membership = {name: name in cell for name in all_names}
+        if expression.contains(membership):
+            selected.append(cell)
+    return selected
+
+
+def _cell_key(cell: Cell) -> tuple:
+    return (len(cell), tuple(sorted(cell)))
+
+
+def _cell_term(cell: Cell, names: list[str]) -> SetExpression:
+    """The expression denoting exactly one Venn cell."""
+    inside = [StreamRef(name) for name in sorted(cell)]
+    outside = [StreamRef(name) for name in names if name not in cell]
+    term = reduce(IntersectionExpr, inside[1:], inside[0])
+    if outside:
+        term = DifferenceExpr(term, _union_of(outside))
+    return term
+
+
+def _union_of(parts: list[SetExpression]) -> SetExpression:
+    return reduce(UnionExpr, parts[1:], parts[0])

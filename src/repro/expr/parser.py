@@ -1,0 +1,163 @@
+"""Text parser for set expressions.
+
+Accepts the operator spellings people actually write:
+
+=============  =======================================
+operation      accepted tokens
+=============  =======================================
+union          ``|``  ``∪``  ``+``  ``UNION``
+intersection   ``&``  ``∩``  ``INTERSECT``
+difference     ``-``  ``−``  ``\\``  ``EXCEPT`` ``MINUS``
+=============  =======================================
+
+Grammar (intersection binds tighter than union/difference, mirroring SQL's
+``INTERSECT`` vs ``UNION``/``EXCEPT`` precedence; union and difference are
+left-associative at the same level)::
+
+    expression := term (( "|" | "-" ) term)*
+    term       := factor ("&" factor)*
+    factor     := NAME | "(" expression ")"
+
+``parse("(A - B) & C")`` returns the same tree as ``(A - B) & C`` built
+from :func:`repro.expr.ast.streams`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ExpressionError
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    SetExpression,
+    StreamRef,
+    UnionExpr,
+)
+
+__all__ = ["parse"]
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<union>[|∪+])"
+    r"|(?P<intersect>[&∩])"
+    r"|(?P<difference>[-−\\])"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\)))"
+)
+
+_WORD_OPERATORS = {
+    "union": "union",
+    "intersect": "intersect",
+    "except": "difference",
+    "minus": "difference",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            remainder = text[position:].lstrip()
+            if not remainder:
+                break
+            raise ExpressionError(
+                f"unexpected character {remainder[0]!r} at position {position}"
+            )
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "name" and value.lower() in _WORD_OPERATORS:
+            kind = _WORD_OPERATORS[value.lower()]
+        tokens.append(_Token(kind, value, match.start(kind)))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+
+    def parse(self) -> SetExpression:
+        expression = self._expression()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ExpressionError(
+                f"unexpected {token.text!r} at position {token.position} "
+                f"in {self._source!r}"
+            )
+        return expression
+
+    def _expression(self) -> SetExpression:
+        node = self._term()
+        while True:
+            token = self._peek()
+            if token is None or token.kind not in ("union", "difference"):
+                return node
+            self._advance()
+            right = self._term()
+            if token.kind == "union":
+                node = UnionExpr(node, right)
+            else:
+                node = DifferenceExpr(node, right)
+
+    def _term(self) -> SetExpression:
+        node = self._factor()
+        while True:
+            token = self._peek()
+            if token is None or token.kind != "intersect":
+                return node
+            self._advance()
+            node = IntersectionExpr(node, self._factor())
+
+    def _factor(self) -> SetExpression:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError(f"unexpected end of expression in {self._source!r}")
+        if token.kind == "name":
+            self._advance()
+            return StreamRef(token.text)
+        if token.kind == "lparen":
+            self._advance()
+            node = self._expression()
+            closing = self._peek()
+            if closing is None or closing.kind != "rparen":
+                raise ExpressionError(f"missing ')' in {self._source!r}")
+            self._advance()
+            return node
+        raise ExpressionError(
+            f"unexpected {token.text!r} at position {token.position} "
+            f"in {self._source!r}"
+        )
+
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> None:
+        self._index += 1
+
+
+def parse(text: str) -> SetExpression:
+    """Parse ``text`` into a :class:`~repro.expr.ast.SetExpression`.
+
+    Raises :class:`~repro.errors.ExpressionError` on malformed input.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExpressionError("empty expression")
+    return _Parser(tokens, text).parse()

@@ -1,0 +1,85 @@
+"""Rendering set expressions as SQL.
+
+The paper motivates set-expression cardinality estimation partly through
+SQL's ``UNION`` / ``INTERSECT`` / ``EXCEPT`` operators over compatible
+tables.  :func:`to_sql` renders an expression tree as the corresponding
+SQL statement, so an optimiser integration can round-trip between the
+estimator's expression language and the queries it is sizing::
+
+    >>> from repro.expr.parser import parse
+    >>> from repro.expr.sql import to_sql
+    >>> to_sql(parse("(A - B) & C"), column="customer_id")
+    'SELECT customer_id FROM (SELECT customer_id FROM A EXCEPT SELECT customer_id FROM B) AS sub1 INTERSECT SELECT customer_id FROM C'
+
+SQL's set operators deduplicate (bag semantics need ``ALL``, which
+cardinality-of-distinct estimation deliberately avoids), matching the
+paper's distinct-count semantics exactly.
+"""
+
+from __future__ import annotations
+
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    SetExpression,
+    StreamRef,
+    UnionExpr,
+)
+
+__all__ = ["to_sql", "cardinality_sql"]
+
+_OPERATOR_SQL = {
+    UnionExpr: "UNION",
+    IntersectionExpr: "INTERSECT",
+    DifferenceExpr: "EXCEPT",
+}
+
+
+def to_sql(expression: SetExpression, column: str = "element") -> str:
+    """The SQL set-operation statement computing ``E``.
+
+    ``column`` is the (shared, compatible) column selected from each
+    stream's table; stream identifiers become table names verbatim.
+    Nested compounds are rendered as wrapped subselects
+    (``SELECT col FROM (…) AS subN``) rather than bare parenthesised
+    operands, which not every engine (e.g. SQLite) accepts.
+    """
+    _check_identifier(column)
+    statement, _ = _render(expression, column, alias_counter=0)
+    return statement
+
+
+def cardinality_sql(expression: SetExpression, column: str = "element") -> str:
+    """The SQL query computing the exact ``|E|`` the estimators estimate."""
+    return f"SELECT COUNT(*) FROM ({to_sql(expression, column)}) AS result"
+
+
+def _render(
+    expression: SetExpression, column: str, alias_counter: int
+) -> tuple[str, int]:
+    if isinstance(expression, StreamRef):
+        return f"SELECT {column} FROM {expression.name}", alias_counter
+    operator = _OPERATOR_SQL[type(expression)]
+    left, alias_counter = _render_operand(expression.left, column, alias_counter)
+    right, alias_counter = _render_operand(expression.right, column, alias_counter)
+    return f"{left} {operator} {right}", alias_counter
+
+
+def _render_operand(
+    expression: SetExpression, column: str, alias_counter: int
+) -> tuple[str, int]:
+    """An operand usable inside a compound: leaves render plainly,
+    nested compounds become wrapped subselects."""
+    if isinstance(expression, StreamRef):
+        return f"SELECT {column} FROM {expression.name}", alias_counter
+    inner, alias_counter = _render(expression, column, alias_counter)
+    alias_counter += 1
+    return (
+        f"SELECT {column} FROM ({inner}) AS sub{alias_counter}",
+        alias_counter,
+    )
+
+
+def _check_identifier(column: str) -> None:
+    if not column or not column.replace("_", "").isalnum():
+        raise ValueError(f"invalid column identifier: {column!r}")

@@ -1,0 +1,83 @@
+"""Venn-partition algebra for set expressions.
+
+For an expression over streams ``A₁ … Aₙ``, the universe splits into the
+``2**n − 1`` non-empty cells of the Venn diagram ("element is in exactly
+this subset of streams").  Any set expression is a union of whole cells, so
+
+* the exact cardinality ``|E|`` is a sum of cell sizes, and
+* the controlled data generator of Section 5.1 works by assigning elements
+  to cells with chosen probabilities so that the cells comprising ``E``
+  carry total probability ``|E| / u``.
+
+A cell is encoded as a frozenset of stream names (the streams the cell's
+elements belong to); the empty cell is excluded throughout.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping
+
+from repro.expr.ast import SetExpression
+
+__all__ = [
+    "Cell",
+    "all_cells",
+    "cells_of_expression",
+    "expression_size_from_cells",
+]
+
+Cell = frozenset
+
+
+def all_cells(stream_names: Iterable[str]) -> list[Cell]:
+    """The ``2**n − 1`` non-empty Venn cells over the given streams.
+
+    Cells are returned in a deterministic order (by size, then by sorted
+    member names) so that generator configurations are reproducible.
+    """
+    names = sorted(set(stream_names))
+    if not names:
+        raise ValueError("need at least one stream")
+    cells = []
+    for size in range(1, len(names) + 1):
+        for combo in combinations(names, size):
+            cells.append(Cell(combo))
+    return cells
+
+
+def cells_of_expression(expression: SetExpression) -> list[Cell]:
+    """The Venn cells (over ``expression.streams()``) that comprise ``E``.
+
+    An element in cell ``c`` is in ``E`` iff ``E.contains`` holds for the
+    membership pattern ``{name: name in c}``; since membership is the only
+    thing set operators can observe, ``E`` equals the union of the returned
+    cells exactly.
+    """
+    names = sorted(expression.streams())
+    selected = []
+    for cell in all_cells(names):
+        membership = {name: name in cell for name in names}
+        if expression.contains(membership):
+            selected.append(cell)
+    return selected
+
+
+def expression_size_from_cells(
+    expression: SetExpression, cell_sizes: Mapping[Cell, int]
+) -> int:
+    """Exact ``|E|`` from a map of Venn-cell sizes.
+
+    ``cell_sizes`` may omit cells (treated as empty) and may include cells
+    over a superset of the expression's streams; each provided cell is
+    projected onto the expression's streams before the membership test, so
+    ground truth computed over many streams remains usable for
+    sub-expressions.
+    """
+    names = expression.streams()
+    total = 0
+    for cell, size in cell_sizes.items():
+        membership = {name: name in cell for name in names}
+        if expression.contains(membership):
+            total += size
+    return total

@@ -1,0 +1,35 @@
+"""Hash-function substrate for 2-level hash sketches.
+
+Exposes vectorised Mersenne-prime field arithmetic, ``t``-wise independent
+polynomial hash families, pairwise binary hash banks, and least-significant
+set-bit helpers.
+"""
+
+from repro.hashing.families import (
+    BinaryHashBank,
+    PairwiseBinaryHash,
+    PolynomialHash,
+    random_binary_bank,
+    random_polynomial_hash,
+)
+from repro.hashing.lsb import NUM_LEVELS, lsb, lsb_array
+from repro.hashing.mersenne import MERSENNE_P, addmod, horner_mod, mod_p, mulmod
+from repro.hashing.tabulation import TabulationHash, random_tabulation_hash
+
+__all__ = [
+    "BinaryHashBank",
+    "PairwiseBinaryHash",
+    "PolynomialHash",
+    "random_binary_bank",
+    "random_polynomial_hash",
+    "NUM_LEVELS",
+    "lsb",
+    "lsb_array",
+    "MERSENNE_P",
+    "addmod",
+    "horner_mod",
+    "mod_p",
+    "mulmod",
+    "TabulationHash",
+    "random_tabulation_hash",
+]

@@ -1,0 +1,163 @@
+"""Hash-function families used by 2-level hash sketches.
+
+Two kinds of hash functions appear in the paper:
+
+* **First-level** hashes ``h : [M] -> [M**k]`` that feed the ``LSB``
+  bucketing.  The analysis in Section 3.6 of the paper shows that
+  ``t = Theta(log 1/eps)``-wise independence suffices; a *t*-wise
+  independent family is realised here as degree-``t - 1`` polynomials with
+  random coefficients over ``GF(2**61 - 1)`` (the classical Carter-Wegman
+  construction, storable as a seed of ``t`` field elements).
+* **Second-level** binary hashes ``g_j : [M] -> {0, 1}``, for which
+  pairwise independence suffices (Lemma 3.1).  These are GF(2)-linear
+  hashes ``g(e) = parity(mask & e) XOR flip`` with a uniformly random
+  64-bit ``mask`` and a random ``flip`` bit.  For distinct elements
+  ``x != y`` the inner product ``<mask, x XOR y>`` is a uniform bit and
+  ``flip`` makes each output marginally uniform, so the family is exactly
+  pairwise independent — and it vectorises to three word operations,
+  which matters because second-level hashing dominates maintenance cost.
+
+Every family is deterministic given its coefficient seed, so two sketches
+built from equal seeds are *comparable* — the property that lets sketches
+for different streams be combined by the estimators, and that implements
+the "stored coins" of the distributed-streams model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hashing.mersenne import MERSENNE_P, horner_mod
+
+__all__ = [
+    "PolynomialHash",
+    "PairwiseBinaryHash",
+    "BinaryHashBank",
+    "random_polynomial_hash",
+    "random_binary_bank",
+]
+
+_P_INT = int(MERSENNE_P)
+_WORD = 1 << 64
+
+
+@dataclass(frozen=True)
+class PolynomialHash:
+    """A ``t``-wise independent hash ``h : [p] -> [p]`` over ``GF(2**61-1)``.
+
+    ``coefficients`` are ordered highest degree first; the degree of the
+    polynomial is ``len(coefficients) - 1`` and the family is
+    ``len(coefficients)``-wise independent.  To keep the map injective over
+    the element domain (the role of the ``[M] -> [M**k]`` range in the
+    paper), the leading coefficient is forced non-zero by the constructor
+    helpers below.
+    """
+
+    coefficients: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise ValueError("a polynomial hash needs at least one coefficient")
+        if any(not (0 <= c < _P_INT) for c in self.coefficients):
+            raise ValueError("coefficients must be residues modulo 2**61 - 1")
+
+    @property
+    def independence(self) -> int:
+        """The ``t`` for which this family is ``t``-wise independent."""
+        return len(self.coefficients)
+
+    def __call__(self, element):
+        """Hash a scalar element or a ``uint64`` array of elements."""
+        scalar = np.isscalar(element)
+        values = np.atleast_1d(np.asarray(element, dtype=np.uint64))
+        if values.size and int(values.max()) >= _P_INT:
+            raise ValueError("elements must lie in [0, 2**61 - 1)")
+        hashed = horner_mod(self.coefficients, values)
+        return int(hashed[0]) if scalar else hashed
+
+
+@dataclass(frozen=True)
+class PairwiseBinaryHash:
+    """A pairwise-independent binary hash ``g : [2**64] -> {0, 1}``.
+
+    GF(2)-linear: ``g(e) = parity(popcount(mask & e)) XOR flip``.
+    """
+
+    mask: int
+    flip: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.mask < _WORD):
+            raise ValueError("mask must be a 64-bit word")
+        if self.flip not in (0, 1):
+            raise ValueError("flip must be 0 or 1")
+
+    def __call__(self, element):
+        scalar = np.isscalar(element)
+        values = np.atleast_1d(np.asarray(element, dtype=np.uint64))
+        bits = (
+            np.bitwise_count(values & np.uint64(self.mask)) & np.uint8(1)
+        ) ^ np.uint8(self.flip)
+        return int(bits[0]) if scalar else bits.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class BinaryHashBank:
+    """A bank of ``s`` independent pairwise binary hashes.
+
+    The bank evaluates all ``s`` functions at once: ``bits(elements)``
+    returns an ``(n, s)`` 0/1 matrix computed with a single broadcast
+    AND / popcount / XOR — the innermost hot path of sketch maintenance.
+    """
+
+    masks: tuple[int, ...]
+    flips: tuple[int, ...]
+    _mask_arr: np.ndarray = field(init=False, repr=False, compare=False)
+    _flip_arr: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.masks) != len(self.flips) or not self.masks:
+            raise ValueError("need equal, non-empty mask/flip tuples")
+        if any(not (0 <= m < _WORD) for m in self.masks):
+            raise ValueError("every mask must be a 64-bit word")
+        if any(f not in (0, 1) for f in self.flips):
+            raise ValueError("every flip must be 0 or 1")
+        object.__setattr__(self, "_mask_arr", np.asarray(self.masks, dtype=np.uint64))
+        object.__setattr__(self, "_flip_arr", np.asarray(self.flips, dtype=np.uint8))
+
+    @property
+    def size(self) -> int:
+        return len(self.masks)
+
+    def __getitem__(self, j: int) -> PairwiseBinaryHash:
+        return PairwiseBinaryHash(self.masks[j], self.flips[j])
+
+    def bits(self, elements) -> np.ndarray:
+        """Evaluate all ``s`` hashes: returns an ``(n, s)`` 0/1 int8 matrix."""
+        values = np.atleast_1d(np.asarray(elements, dtype=np.uint64))
+        anded = values[:, None] & self._mask_arr[None, :]
+        return ((np.bitwise_count(anded) & np.uint8(1)) ^ self._flip_arr).astype(np.int8)
+
+
+def random_polynomial_hash(rng: np.random.Generator, independence: int) -> PolynomialHash:
+    """Draw a ``t``-wise independent polynomial hash from ``rng``.
+
+    The leading coefficient is drawn from ``[1, p)`` so the polynomial has
+    true degree ``t - 1``; the rest are uniform over ``[0, p)``.
+    """
+    if independence < 1:
+        raise ValueError("independence must be at least 1")
+    leading = int(rng.integers(1, _P_INT))
+    rest = [int(c) for c in rng.integers(0, _P_INT, size=independence - 1)]
+    return PolynomialHash(tuple([leading] + rest))
+
+
+def random_binary_bank(rng: np.random.Generator, size: int) -> BinaryHashBank:
+    """Draw a bank of ``size`` independent pairwise binary hashes."""
+    if size < 1:
+        raise ValueError("bank size must be at least 1")
+    masks = tuple(int(m) for m in rng.integers(0, _WORD, size=size, dtype=np.uint64))
+    flips = tuple(int(f) for f in rng.integers(0, 2, size=size))
+    return BinaryHashBank(masks, flips)

@@ -1,0 +1,49 @@
+"""Least-significant-set-bit utilities.
+
+The first level of a 2-level hash sketch maps an element ``e`` to bucket
+``LSB(h(e))``, the position of the lowest set bit of the hashed value.
+Because ``h(e)`` is (approximately) uniform over a ``2**61``-sized range,
+``Pr[LSB(h(e)) = l] = 2**-(l+1)`` — the geometric level distribution that
+both the Flajolet-Martin estimator and the 2-level hash sketch rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lsb", "lsb_array", "NUM_LEVELS"]
+
+#: Number of first-level buckets a sketch keeps.  A 61-bit hash value has an
+#: LSB in ``[0, 60]``; the all-zero hash (probability ``2**-61``) is parked
+#: at the top level.  64 keeps the array shape round.
+NUM_LEVELS = 64
+
+
+def lsb(value: int) -> int:
+    """Return the position of the least-significant set bit of ``value``.
+
+    The value ``0`` has no set bit; it is mapped to ``NUM_LEVELS - 1``, a
+    level whose natural hit probability (``2**-61``) is far below anything
+    the estimators inspect, so the convention is statistically invisible.
+    """
+    if value < 0:
+        raise ValueError("lsb is defined for non-negative integers")
+    if value == 0:
+        return NUM_LEVELS - 1
+    return (value & -value).bit_length() - 1
+
+
+def lsb_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`lsb` over a ``uint64`` array.
+
+    Isolating the lowest set bit with ``v & -v`` yields a power of two,
+    which converts to ``float64`` exactly (single-bit mantissa), so
+    ``log2`` recovers the bit index without error for inputs below
+    ``2**64``.  Zeros map to ``NUM_LEVELS - 1`` as in the scalar version.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    isolated = values & (~values + np.uint64(1))
+    out = np.full(values.shape, NUM_LEVELS - 1, dtype=np.int64)
+    nonzero = isolated != 0
+    out[nonzero] = np.log2(isolated[nonzero].astype(np.float64)).astype(np.int64)
+    return out

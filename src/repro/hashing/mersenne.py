@@ -1,0 +1,120 @@
+"""Vectorised modular arithmetic over the Mersenne prime ``p = 2**61 - 1``.
+
+The hash families used throughout this library (see
+:mod:`repro.hashing.families`) are polynomials evaluated modulo a prime
+field.  For the first-level hash of a 2-level hash sketch the paper asks for
+a mapping ``h : [M] -> [M**k]`` (with ``k`` a small constant, e.g. 2) so
+that ``h`` is injective over the stream elements with high probability.
+With the default domain of ``M = 2**30`` elements, the field
+``GF(2**61 - 1)`` gives a range comparable to ``[M**2]`` and is the largest
+prime field whose multiplication can be carried out exactly with 64-bit
+integer limbs, which is what the functions in this module implement.
+
+All functions accept either Python ints or ``numpy`` arrays of ``uint64``
+and are branch-free so they vectorise cleanly; they are the innermost hot
+loop of sketch maintenance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MERSENNE_P",
+    "MERSENNE_EXP",
+    "mod_p",
+    "mulmod",
+    "addmod",
+    "horner_mod",
+]
+
+#: Exponent of the Mersenne prime used by every hash family in this library.
+MERSENNE_EXP = 61
+
+#: The Mersenne prime ``2**61 - 1``.
+MERSENNE_P = np.uint64((1 << MERSENNE_EXP) - 1)
+
+_LOW32 = np.uint64(0xFFFFFFFF)
+_EXP = np.uint64(MERSENNE_EXP)
+_THIRTYTWO = np.uint64(32)
+_P64 = np.uint64(MERSENNE_P)
+
+
+def mod_p(x):
+    """Reduce ``x`` (any value < 2**64) modulo ``p = 2**61 - 1``.
+
+    Uses the Mersenne identity ``2**61 === 1 (mod p)``: splitting ``x`` into
+    its low 61 bits and the remaining high bits and adding them is a partial
+    reduction; two rounds plus one conditional subtraction give the exact
+    residue for any 64-bit input.
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    x = (x >> _EXP) + (x & _P64)
+    x = (x >> _EXP) + (x & _P64)
+    # x is now < p + 2; a masked subtract canonicalises without branching.
+    return x - (x >= _P64).astype(np.uint64) * _P64
+
+
+def addmod(a, b):
+    """Return ``(a + b) mod p`` for residues ``a, b < p``.
+
+    The sum of two residues is below ``2**62`` so a single 64-bit addition
+    followed by :func:`mod_p` is exact.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    return mod_p(a + b)
+
+
+def mulmod(a, b):
+    """Return ``(a * b) mod p`` for residues ``a, b < p``, without overflow.
+
+    Standard 32-bit limb decomposition: with ``a = ah*2**32 + al`` and
+    ``b = bh*2**32 + bl``::
+
+        a*b = ah*bh*2**64 + (ah*bl + al*bh)*2**32 + al*bl
+
+    Each partial product fits in 64 bits (limbs are < 2**32, and for the
+    cross terms the inputs are < 2**61 so ``ah, bh < 2**29``), and the
+    power-of-two factors reduce via ``2**61 === 1 (mod p)``.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+
+    ah = a >> _THIRTYTWO  # < 2**29 since a < 2**61
+    al = a & _LOW32
+    bh = b >> _THIRTYTWO
+    bl = b & _LOW32
+
+    # a*b = ah*bh*2**64 + (ah*bl + al*bh)*2**32 + al*bl.  Partial sums use
+    # lazy reduction: only the final mod_p canonicalises.
+    high = ah * bh  # < 2**58, coefficient of 2**64 === 2**3 (mod p)
+    mid = ah * bl + al * bh  # < 2**62, coefficient of 2**32
+    low = al * bl  # < 2**64
+
+    # mid*2**32 = (mid >> 29)*2**61 + (mid & (2**29-1))*2**32
+    #          === (mid >> 29) + ((mid & (2**29-1)) << 32)   (mod p)
+    acc = (high << np.uint64(3)) + (mid >> np.uint64(29))
+    acc += (mid & np.uint64((1 << 29) - 1)) << _THIRTYTWO
+    # acc < 2**61 + 2**61 + 2**33 < 2**63; one fold keeps headroom for `low`.
+    acc = (acc >> _EXP) + (acc & _P64)
+    acc += (low >> _EXP) + (low & _P64)
+    return mod_p(acc)
+
+
+def horner_mod(coefficients, x):
+    """Evaluate a polynomial at ``x`` modulo ``p`` by Horner's rule.
+
+    ``coefficients`` is an iterable ordered from the highest-degree term to
+    the constant term (as produced by the hash-family seed generators).
+    ``x`` may be a scalar or an array of residues; the result has the same
+    shape as ``x``.
+    """
+    coefficients = [np.uint64(c) for c in coefficients]
+    if not coefficients:
+        raise ValueError("polynomial needs at least one coefficient")
+    x = np.asarray(x, dtype=np.uint64)
+    acc = np.broadcast_to(coefficients[0], x.shape).copy()
+    for coefficient in coefficients[1:]:
+        acc = addmod(mulmod(acc, x), coefficient)
+    return acc

@@ -1,0 +1,75 @@
+"""Simple tabulation hashing — an alternative first-level family.
+
+Tabulation hashing (Zobrist; analysed by Pǎtraşcu & Thorup) splits a key
+into ``c`` character bytes and XORs ``c`` random table entries::
+
+    h(x) = T₀[x₀] ⊕ T₁[x₁] ⊕ … ⊕ T₇[x₇]
+
+It is only 3-wise independent, yet behaves like a fully random function
+for many hashing applications (including distinct-element estimation),
+and evaluates with table lookups instead of modular multiplications.
+The library keeps ``t``-wise polynomial hashing as the default first
+level — it is what the paper's Section 3.6 analysis covers — and offers
+tabulation as a measured alternative (see ``benchmarks/bench_hashing.py``
+for the speed/accuracy trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TabulationHash", "random_tabulation_hash"]
+
+_NUM_CHARS = 8  # 64-bit keys split into 8 byte-characters
+_TABLE_SIZE = 256
+# Output is masked to 61 bits so tabulation drops into the same LSB/level
+# pipeline as the polynomial family (whose range is [2**61 - 1]).
+_OUTPUT_MASK = np.uint64((1 << 61) - 1)
+
+
+@dataclass(frozen=True)
+class TabulationHash:
+    """A simple (3-wise independent) tabulation hash ``[2**64] -> [2**61]``."""
+
+    tables: tuple[tuple[int, ...], ...]
+    _table_array: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.tables) != _NUM_CHARS or any(
+            len(table) != _TABLE_SIZE for table in self.tables
+        ):
+            raise ValueError(
+                f"need {_NUM_CHARS} tables of {_TABLE_SIZE} 64-bit entries"
+            )
+        object.__setattr__(
+            self, "_table_array", np.asarray(self.tables, dtype=np.uint64)
+        )
+
+    @property
+    def independence(self) -> int:
+        """Tabulation hashing is exactly 3-wise independent."""
+        return 3
+
+    def __call__(self, element):
+        scalar = np.isscalar(element)
+        values = np.atleast_1d(np.asarray(element, dtype=np.uint64))
+        hashed = np.zeros_like(values)
+        for char_index in range(_NUM_CHARS):
+            chars = (values >> np.uint64(8 * char_index)) & np.uint64(0xFF)
+            hashed ^= self._table_array[char_index][chars.astype(np.intp)]
+        hashed &= _OUTPUT_MASK
+        return int(hashed[0]) if scalar else hashed
+
+
+def random_tabulation_hash(rng: np.random.Generator) -> TabulationHash:
+    """Draw a tabulation hash with uniform random tables."""
+    tables = tuple(
+        tuple(
+            int(entry)
+            for entry in rng.integers(0, 2**64, size=_TABLE_SIZE, dtype=np.uint64)
+        )
+        for _ in range(_NUM_CHARS)
+    )
+    return TabulationHash(tables)

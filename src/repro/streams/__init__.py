@@ -1,0 +1,42 @@
+"""Update-stream processing substrate: data model, engine, exact store,
+sources, checkpointing, and the distributed-sites model."""
+
+from repro.streams.checkpoint import CheckpointError, checkpoint_engine, restore_engine
+from repro.streams.continuous import (
+    ContinuousQueryProcessor,
+    Observation,
+    StandingQuery,
+)
+from repro.streams.distributed import Coordinator, StreamSite
+from repro.streams.engine import StreamEngine
+from repro.streams.exact import ExactStreamStore
+from repro.streams.sources import (
+    UpdateLogError,
+    load_updates,
+    replay_into,
+    save_updates,
+)
+from repro.streams.updates import Update, deletions, insertions, interleave
+from repro.streams.windows import SlidingWindowDriver
+
+__all__ = [
+    "ContinuousQueryProcessor",
+    "Observation",
+    "StandingQuery",
+    "CheckpointError",
+    "checkpoint_engine",
+    "restore_engine",
+    "Coordinator",
+    "StreamSite",
+    "StreamEngine",
+    "ExactStreamStore",
+    "UpdateLogError",
+    "load_updates",
+    "replay_into",
+    "save_updates",
+    "Update",
+    "deletions",
+    "insertions",
+    "interleave",
+    "SlidingWindowDriver",
+]

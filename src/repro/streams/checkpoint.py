@@ -1,0 +1,86 @@
+"""Engine checkpointing.
+
+Stream processing is one-pass: if the process dies, the stream cannot be
+replayed to rebuild the synopses.  A checkpoint writes the engine's whole
+state — the sketch spec (the coins) and every stream's counter array — to
+a directory that :func:`restore_engine` turns back into a live engine.
+
+Layout::
+
+    <checkpoint>/
+        manifest.json          # format version, spec, stream names
+        streams/<name>.sketch  # counter payload (SketchFamily.to_bytes)
+
+The counters are the only state; hash functions regenerate from the spec
+seed, so checkpoints are small and portable across machines.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.family import SketchFamily, SketchSpec
+from repro.errors import ReproError
+from repro.streams.engine import StreamEngine
+
+__all__ = ["checkpoint_engine", "restore_engine", "CheckpointError"]
+
+_FORMAT_VERSION = 1
+
+
+class CheckpointError(ReproError, ValueError):
+    """A checkpoint directory is missing, malformed, or incompatible."""
+
+
+def checkpoint_engine(engine: StreamEngine, directory: str | pathlib.Path) -> None:
+    """Write the engine's flushed state into ``directory`` (created if
+    needed; existing checkpoint files are overwritten)."""
+    directory = pathlib.Path(directory)
+    streams_dir = directory / "streams"
+    streams_dir.mkdir(parents=True, exist_ok=True)
+
+    engine.flush()
+    stream_names = engine.stream_names()
+    for name in stream_names:
+        payload = engine.family(name).to_bytes()
+        (streams_dir / f"{name}.sketch").write_bytes(payload)
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "spec": engine.spec.to_json_dict(),
+        "streams": stream_names,
+        "updates_processed": engine.updates_processed,
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+
+def restore_engine(
+    directory: str | pathlib.Path, batch_size: int = 4096
+) -> StreamEngine:
+    """Rebuild a live engine from a checkpoint directory."""
+    directory = pathlib.Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.is_file():
+        raise CheckpointError(f"no manifest.json under {directory}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt manifest: {exc}") from exc
+
+    version = manifest.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint format {version!r} not supported (expected "
+            f"{_FORMAT_VERSION})"
+        )
+    spec = SketchSpec.from_json_dict(manifest["spec"])
+    engine = StreamEngine(spec, batch_size=batch_size)
+    for name in manifest["streams"]:
+        payload_path = directory / "streams" / f"{name}.sketch"
+        if not payload_path.is_file():
+            raise CheckpointError(f"missing sketch payload for stream {name!r}")
+        family = SketchFamily.from_bytes(payload_path.read_bytes(), spec)
+        engine.adopt_family(name, family)
+    engine.mark_replayed(int(manifest.get("updates_processed", 0)))
+    return engine

@@ -1,0 +1,161 @@
+"""Continuous (standing) queries over the stream engine.
+
+The architecture of the paper's Figure 1 serves queries *online* while
+updates keep streaming in.  :class:`ContinuousQueryProcessor` wraps a
+:class:`~repro.streams.engine.StreamEngine` with standing set-expression
+queries that re-evaluate every ``every`` processed updates, keep a
+history of observations, and fire alert callbacks on threshold crossings
+— the "detect the DoS attack as it happens" loop of the paper's
+introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.results import WitnessEstimate
+from repro.errors import ReproError
+from repro.expr.ast import SetExpression
+from repro.expr.parser import parse
+from repro.streams.engine import StreamEngine
+from repro.streams.updates import Update
+
+__all__ = ["Observation", "StandingQuery", "ContinuousQueryProcessor"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One evaluation of a standing query."""
+
+    at_update: int  # engine.updates_processed when evaluated
+    estimate: WitnessEstimate
+
+    @property
+    def value(self) -> float:
+        """The cardinality estimate of this observation."""
+        return self.estimate.value
+
+
+@dataclass
+class StandingQuery:
+    """A registered continuous query and its observation history."""
+
+    name: str
+    expression: SetExpression
+    epsilon: float
+    every: int
+    threshold: float | None
+    on_alert: Callable[["StandingQuery", Observation], None] | None
+    history: list[Observation] = field(default_factory=list)
+    alerts: list[Observation] = field(default_factory=list)
+
+    @property
+    def latest(self) -> Observation | None:
+        """The most recent observation, if any."""
+        return self.history[-1] if self.history else None
+
+    def breached(self, observation: Observation) -> bool:
+        """Whether an observation exceeds the query's alert threshold."""
+        return self.threshold is not None and observation.value > self.threshold
+
+
+class ContinuousQueryProcessor:
+    """Evaluates standing queries as updates flow through the engine.
+
+    Usage::
+
+        processor = ContinuousQueryProcessor(engine)
+        processor.register(
+            "bypass", "(R1 & R2) - R3", every=10_000,
+            threshold=50_000, on_alert=page_the_oncall,
+        )
+        for update in traffic:
+            processor.process(update)
+
+    Evaluation cost is bounded: queries touch only per-level aggregates of
+    the maintained synopses, so even aggressive cadences stay cheap
+    relative to maintenance.
+    """
+
+    def __init__(self, engine: StreamEngine) -> None:
+        self.engine = engine
+        self._queries: dict[str, StandingQuery] = {}
+
+    # -- registration -----------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        expression: SetExpression | str,
+        epsilon: float = 0.1,
+        every: int = 10_000,
+        threshold: float | None = None,
+        on_alert: Callable[[StandingQuery, Observation], None] | None = None,
+    ) -> StandingQuery:
+        """Register a standing query evaluated every ``every`` updates.
+
+        ``threshold``/``on_alert`` make it an alerting rule: when an
+        observation exceeds the threshold, it is recorded in
+        ``query.alerts`` and the callback (if any) fires.
+        """
+        if name in self._queries:
+            raise ReproError(f"standing query {name!r} already registered")
+        if every < 1:
+            raise ValueError("every must be positive")
+        if not (0 < epsilon < 1):
+            raise ValueError("epsilon must be in (0, 1)")
+        if isinstance(expression, str):
+            expression = parse(expression)
+        query = StandingQuery(
+            name=name,
+            expression=expression,
+            epsilon=epsilon,
+            every=every,
+            threshold=threshold,
+            on_alert=on_alert,
+        )
+        self._queries[name] = query
+        return query
+
+    def unregister(self, name: str) -> None:
+        """Remove a standing query (its history is discarded)."""
+        del self._queries[name]
+
+    def query_names(self) -> list[str]:
+        """Names of the registered standing queries."""
+        return sorted(self._queries)
+
+    def __getitem__(self, name: str) -> StandingQuery:
+        return self._queries[name]
+
+    # -- streaming ----------------------------------------------------------
+
+    def process(self, update: Update) -> None:
+        """Feed one update; evaluate any queries whose cadence is due."""
+        self.engine.process(update)
+        position = self.engine.updates_processed
+        for query in self._queries.values():
+            if position % query.every == 0:
+                self._evaluate(query, position)
+
+    def process_many(self, updates) -> None:
+        """Feed a sequence of updates through :meth:`process`."""
+        for update in updates:
+            self.process(update)
+
+    def evaluate_now(self, name: str) -> Observation:
+        """Force an immediate evaluation of one standing query."""
+        return self._evaluate(self._queries[name], self.engine.updates_processed)
+
+    # -- internals -------------------------------------------------------------
+
+    def _evaluate(self, query: StandingQuery, position: int) -> Observation:
+        estimate = self.engine.query(query.expression, query.epsilon)
+        observation = Observation(at_update=position, estimate=estimate)
+        query.history.append(observation)
+        if query.breached(observation):
+            query.alerts.append(observation)
+            if query.on_alert is not None:
+                query.on_alert(query, observation)
+        return observation

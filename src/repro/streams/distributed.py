@@ -1,0 +1,125 @@
+"""The distributed-streams model with stored coins.
+
+The paper notes (Sections 1 and 4) that its estimators extend naturally to
+the distributed model of Gibbons and Tirthapura: each stream (or part of a
+stream) is observed by its own party, summarised locally, and the synopses
+are shipped — e.g. periodically — to a central site where queries over the
+whole collection are answered.
+
+Two properties of the 2-level hash sketch make this work:
+
+* **stored coins** — all sites draw their hash functions from the same
+  :class:`~repro.core.family.SketchSpec` (a shared seed), so their
+  sketches are comparable;
+* **linearity** — a stream split across sites is summarised correctly by
+  *adding* the sites' counter arrays, because the sketch of a multiset sum
+  is the entrywise sum of sketches.
+
+:class:`StreamSite` plays the per-party observer; :class:`Coordinator`
+collects serialised synopses and answers set-expression queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchFamily, SketchSpec
+from repro.core.results import UnionEstimate, WitnessEstimate
+from repro.core.union import estimate_union
+from repro.expr.ast import SetExpression
+from repro.streams.engine import StreamEngine
+from repro.streams.updates import Update
+
+__all__ = ["StreamSite", "Coordinator"]
+
+
+class StreamSite:
+    """One observing party: summarises its local share of the streams.
+
+    A thin wrapper over :class:`StreamEngine` that adds the ship-to-
+    coordinator step: :meth:`export` serialises every locally maintained
+    synopsis (counters only — the coins are shared via the spec).
+    """
+
+    def __init__(self, site_id: str, spec: SketchSpec) -> None:
+        self.site_id = site_id
+        self.spec = spec
+        self._engine = StreamEngine(spec)
+
+    def observe(self, update: Update) -> None:
+        """Observe one local update tuple."""
+        self._engine.process(update)
+
+    def observe_many(self, updates: Iterable[Update]) -> None:
+        """Observe a sequence of local updates."""
+        self._engine.process_many(updates)
+
+    def export(self) -> dict[str, bytes]:
+        """Serialised synopses, one payload per locally seen stream."""
+        self._engine.flush()
+        return {
+            name: self._engine.family(name).to_bytes()
+            for name in self._engine.stream_names()
+        }
+
+
+class Coordinator:
+    """Central site: merges site synopses and answers cardinality queries."""
+
+    def __init__(self, spec: SketchSpec) -> None:
+        self.spec = spec
+        self._families: dict[str, SketchFamily] = {}
+        self._sites_collected = 0
+
+    def collect(self, payloads: Mapping[str, bytes]) -> None:
+        """Fold one site's exported synopses into the global ones.
+
+        A stream observed at several sites ends up with the sum of the
+        sites' sketches — by linearity, exactly the sketch of the full
+        stream.
+        """
+        for stream, payload in payloads.items():
+            incoming = SketchFamily.from_bytes(payload, self.spec)
+            if stream in self._families:
+                self._families[stream].merge_in_place(incoming)
+            else:
+                self._families[stream] = incoming
+        self._sites_collected += 1
+
+    def collect_from(self, site: StreamSite) -> None:
+        """Convenience: export from a site object and collect."""
+        self.collect(site.export())
+
+    @property
+    def sites_collected(self) -> int:
+        return self._sites_collected
+
+    def stream_names(self) -> list[str]:
+        """Streams with a merged synopsis at the coordinator."""
+        return sorted(self._families)
+
+    def query(
+        self, expression: SetExpression | str, epsilon: float = 0.1
+    ) -> WitnessEstimate:
+        """Estimate ``|E|`` over the merged global synopses."""
+        return estimate_expression(expression, self._families, epsilon)
+
+    def query_union(
+        self, stream_names: Iterable[str], epsilon: float = 0.1
+    ) -> UnionEstimate:
+        """Estimate the distinct-element count of a union of streams."""
+        families = [self._families[name] for name in stream_names]
+        return estimate_union(families, epsilon)
+
+    def to_engine(self, batch_size: int = 4096) -> StreamEngine:
+        """Hand the merged global synopses to a live engine.
+
+        The engine adopts each merged family (shared storage) and can then
+        keep ingesting updates — e.g. a coordinator that also tails a
+        local stream after the periodic collection round.
+        """
+        engine = StreamEngine(self.spec, batch_size=batch_size)
+        for name, family in self._families.items():
+            engine.adopt_family(name, family)
+        return engine

@@ -1,0 +1,200 @@
+"""The update-stream processing engine (Figure 1 of the paper).
+
+:class:`StreamEngine` is the query-processing architecture the paper
+sketches: it maintains one synopsis (a :class:`SketchFamily`) per update
+stream, in one pass over the update tuples, in arbitrary arrival order —
+and answers set-expression cardinality queries from the synopses alone.
+
+Updates are micro-batched per stream: ``process`` appends to an in-memory
+buffer and the vectorised sketch-maintenance path runs when the buffer
+fills (or on ``flush``/query).  The buffered updates are a constant-size
+staging area, not a violation of the streaming model — updates are still
+seen once, in order, and never re-read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchFamily, SketchSpec
+from repro.core.results import UnionEstimate, WitnessEstimate
+from repro.core.union import estimate_union
+from repro.expr.ast import SetExpression
+from repro.expr.parser import parse
+from repro.streams.updates import Update
+
+__all__ = ["StreamEngine"]
+
+
+class StreamEngine:
+    """Maintains per-stream 2-level hash sketch synopses and answers queries.
+
+    Parameters
+    ----------
+    spec:
+        The sketch recipe every stream synopsis follows.  One spec for the
+        whole engine — synopses must share "coins" to be combinable.
+    batch_size:
+        Number of buffered updates per stream that triggers the vectorised
+        maintenance path.
+    """
+
+    def __init__(self, spec: SketchSpec, batch_size: int = 4096) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.spec = spec
+        self._batch_size = batch_size
+        self._families: dict[str, SketchFamily] = {}
+        self._buffers: dict[str, tuple[list[int], list[int]]] = {}
+        self._updates_processed = 0
+        # (canonical cells, streams, epsilon, pool) -> (as-of position, estimate)
+        self._query_cache: dict[tuple, tuple[int, WitnessEstimate]] = {}
+
+    # -- ingest --------------------------------------------------------------
+
+    def process(self, update: Update) -> None:
+        """Ingest one update tuple ``<stream, element, ±delta>``."""
+        elements, deltas = self._buffers.setdefault(update.stream, ([], []))
+        elements.append(update.element)
+        deltas.append(update.delta)
+        self._updates_processed += 1
+        if len(elements) >= self._batch_size:
+            self._flush_stream(update.stream)
+
+    def process_many(self, updates: Iterable[Update]) -> None:
+        """Ingest a sequence of update tuples."""
+        for update in updates:
+            self.process(update)
+
+    def flush(self) -> None:
+        """Push all buffered updates into the synopses."""
+        for stream in list(self._buffers):
+            self._flush_stream(stream)
+
+    # -- queries ----------------------------------------------------------------
+
+    def query(
+        self,
+        expression: SetExpression | str,
+        epsilon: float = 0.1,
+        pool_levels: int = 1,
+        use_cache: bool = True,
+    ) -> WitnessEstimate:
+        """Estimate ``|E|`` for a set expression over the engine's streams.
+
+        ``pool_levels`` enables the level-pooling extension (see
+        :func:`repro.core.witness.run_witness_estimator`).
+
+        Repeat queries are served from a semantic cache: the key is the
+        expression's canonical Venn-cell set, so equivalent spellings
+        (``"A & B"`` vs ``"B & A"`` vs ``"A - (A - B)"``) share one entry.
+        Entries are invalidated as soon as any update has been processed
+        since they were computed.  ``use_cache=False`` bypasses it.
+        """
+        if isinstance(expression, str):
+            expression = parse(expression)
+        self.flush()
+
+        from repro.expr.optimize import canonical_cells
+
+        key = (
+            canonical_cells(expression),
+            frozenset(expression.streams()),
+            epsilon,
+            pool_levels,
+        )
+        if use_cache:
+            cached = self._query_cache.get(key)
+            if cached is not None and cached[0] == self._updates_processed:
+                return cached[1]
+
+        families = {
+            name: self._family(name) for name in expression.streams()
+        }
+        estimate = estimate_expression(
+            expression, families, epsilon, pool_levels=pool_levels
+        )
+        if use_cache:
+            self._query_cache[key] = (self._updates_processed, estimate)
+        return estimate
+
+    def query_union(
+        self, stream_names: Iterable[str], epsilon: float = 0.1
+    ) -> UnionEstimate:
+        """Estimate the distinct-element count of a union of streams."""
+        self.flush()
+        families = [self._family(name) for name in stream_names]
+        return estimate_union(families, epsilon)
+
+    def explain(self, expression: SetExpression | str, epsilon: float = 0.1):
+        """Per-subexpression cardinality breakdown (one consistent scan).
+
+        Returns an :class:`~repro.core.explain.ExpressionExplanation`.
+        """
+        from repro.core.explain import explain_expression
+
+        if isinstance(expression, str):
+            expression = parse(expression)
+        self.flush()
+        families = {name: self._family(name) for name in expression.streams()}
+        return explain_expression(expression, families, epsilon)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def updates_processed(self) -> int:
+        return self._updates_processed
+
+    def stream_names(self) -> list[str]:
+        """Streams with a registered synopsis or buffered updates."""
+        return sorted(set(self._families) | set(self._buffers))
+
+    def family(self, stream: str) -> SketchFamily:
+        """The maintained synopsis for ``stream`` (flushed first)."""
+        self._flush_stream(stream)
+        return self._family(stream)
+
+    def synopsis_bytes(self) -> int:
+        """Total size of all maintained counter arrays, in bytes."""
+        return sum(family.counters.nbytes for family in self._families.values())
+
+    # -- checkpoint support -----------------------------------------------
+
+    def adopt_family(self, stream: str, family: SketchFamily) -> None:
+        """Install a pre-built synopsis for ``stream`` (checkpoint restore,
+        or hand-off from a :class:`~repro.streams.distributed.Coordinator`).
+
+        The family must follow the engine's spec; any buffered updates for
+        the stream are discarded in favour of the adopted state.
+        """
+        if family.spec != self.spec:
+            from repro.errors import IncompatibleSketchesError
+
+            raise IncompatibleSketchesError(
+                "adopted family does not follow the engine's SketchSpec"
+            )
+        self._families[stream] = family
+        self._buffers.pop(stream, None)
+
+    def mark_replayed(self, num_updates: int) -> None:
+        """Record updates that were applied before this engine existed
+        (restored state); keeps ``updates_processed`` meaningful."""
+        if num_updates < 0:
+            raise ValueError("num_updates must be non-negative")
+        self._updates_processed += num_updates
+
+    # -- internals ------------------------------------------------------------
+
+    def _family(self, stream: str) -> SketchFamily:
+        if stream not in self._families:
+            self._families[stream] = self.spec.build()
+        return self._families[stream]
+
+    def _flush_stream(self, stream: str) -> None:
+        buffered = self._buffers.get(stream)
+        if not buffered or not buffered[0]:
+            return
+        elements, deltas = buffered
+        self._family(stream).update_batch(elements, deltas)
+        self._buffers[stream] = ([], [])

@@ -1,0 +1,79 @@
+"""Exact reference store for update streams.
+
+:class:`ExactStreamStore` maintains the true net frequency of every element
+of every stream — the ground truth that experiments and tests compare the
+sketch estimates against.  It enforces the paper's legality assumption
+(net frequencies never go negative) and answers exact set-expression
+cardinalities via the expression AST.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Iterable
+
+from repro.errors import IllegalDeletionError
+from repro.expr.ast import SetExpression
+from repro.expr.parser import parse
+from repro.streams.updates import Update
+
+__all__ = ["ExactStreamStore"]
+
+
+class ExactStreamStore:
+    """True net-frequency bookkeeping for a collection of update streams."""
+
+    def __init__(self) -> None:
+        self._frequencies: dict[str, Counter] = defaultdict(Counter)
+
+    # -- maintenance ------------------------------------------------------
+
+    def apply(self, update: Update) -> None:
+        """Apply one update, enforcing deletion legality."""
+        frequencies = self._frequencies[update.stream]
+        new_frequency = frequencies[update.element] + update.delta
+        if new_frequency < 0:
+            raise IllegalDeletionError(
+                f"deleting {-update.delta} of element {update.element} from "
+                f"stream {update.stream!r} would leave net frequency "
+                f"{new_frequency}"
+            )
+        if new_frequency == 0:
+            del frequencies[update.element]
+        else:
+            frequencies[update.element] = new_frequency
+
+    def apply_many(self, updates: Iterable[Update]) -> None:
+        """Apply a sequence of updates in order."""
+        for update in updates:
+            self.apply(update)
+
+    # -- queries -----------------------------------------------------------
+
+    def streams(self) -> list[str]:
+        """Identifiers of all streams that ever received an update."""
+        return sorted(self._frequencies)
+
+    def frequency(self, stream: str, element: int) -> int:
+        """Net frequency of one element (0 if absent)."""
+        return self._frequencies[stream][element]
+
+    def distinct_set(self, stream: str) -> set[int]:
+        """Elements with positive net frequency in ``stream``."""
+        return set(self._frequencies[stream])
+
+    def distinct_count(self, stream: str) -> int:
+        """Number of elements with positive net frequency."""
+        return len(self._frequencies[stream])
+
+    def total_items(self, stream: str) -> int:
+        """Sum of net frequencies (the multi-set's total size)."""
+        return sum(self._frequencies[stream].values())
+
+    def cardinality(self, expression: SetExpression | str) -> int:
+        """Exact ``|E|`` — distinct elements with positive net frequency
+        in the expression result."""
+        if isinstance(expression, str):
+            expression = parse(expression)
+        sets = {name: self.distinct_set(name) for name in expression.streams()}
+        return len(expression.evaluate(sets))

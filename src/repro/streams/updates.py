@@ -1,0 +1,88 @@
+"""The update-stream data model (Section 2.1).
+
+A stream renders a multi-set of elements from ``[M]`` as a sequence of
+updates ``<i, e, ±v>``: ``i`` names the multi-set, ``e`` is the element
+whose net frequency changes, and ``v`` is the (positive) magnitude —
+``+v`` for insertions, ``-v`` for deletions.  :class:`Update` is that
+triple; helpers build well-formed update sequences and shuffle insertions
+and deletions together for robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Update", "insertions", "deletions", "interleave"]
+
+
+@dataclass(frozen=True)
+class Update:
+    """One update tuple ``<stream, element, delta>``.
+
+    ``delta`` is the signed net change of the element's frequency:
+    positive for insertions, negative for deletions.  Zero deltas carry no
+    information and are rejected.
+    """
+
+    stream: str
+    element: int
+    delta: int
+
+    def __post_init__(self) -> None:
+        if self.delta == 0:
+            raise ValueError("an update must change a frequency (delta != 0)")
+        if self.element < 0:
+            raise ValueError("elements are non-negative integers")
+
+    @property
+    def is_insertion(self) -> bool:
+        return self.delta > 0
+
+    @property
+    def is_deletion(self) -> bool:
+        return self.delta < 0
+
+    def inverse(self) -> "Update":
+        """The update that exactly undoes this one."""
+        return Update(self.stream, self.element, -self.delta)
+
+
+def insertions(stream: str, elements: Iterable[int], count: int = 1) -> list[Update]:
+    """Insertion updates adding ``count`` copies of each element."""
+    if count < 1:
+        raise ValueError("insertion count must be positive")
+    return [Update(stream, int(element), count) for element in elements]
+
+
+def deletions(stream: str, elements: Iterable[int], count: int = 1) -> list[Update]:
+    """Deletion updates removing ``count`` copies of each element."""
+    if count < 1:
+        raise ValueError("deletion count must be positive")
+    return [Update(stream, int(element), -count) for element in elements]
+
+
+def interleave(
+    sequences: Sequence[Sequence[Update]], rng: np.random.Generator
+) -> Iterator[Update]:
+    """Randomly interleave several update sequences, preserving each one's
+    internal order.
+
+    Per-stream prefix legality is preserved whenever each input sequence is
+    itself legal and streams do not share elements across sequences — the
+    situation the robustness tests construct (e.g. an insertion sequence
+    interleaved with the deletion sequence of a *prior* insertion batch).
+    """
+    remaining = [list(sequence) for sequence in sequences if sequence]
+    positions = [0] * len(remaining)
+    sizes = np.array([len(sequence) for sequence in remaining], dtype=np.float64)
+    while remaining:
+        pick = int(rng.choice(len(remaining), p=sizes / sizes.sum()))
+        yield remaining[pick][positions[pick]]
+        positions[pick] += 1
+        sizes[pick] -= 1
+        if positions[pick] == len(remaining[pick]):
+            del remaining[pick], positions[pick]
+            sizes = np.delete(sizes, pick)

@@ -1,0 +1,114 @@
+"""Sliding-window semantics via deletions.
+
+The paper's footnote treats modifications as deletion+insertion; the same
+move turns its deletion-proof synopses into *sliding-window* synopses: as
+items age out of the window, the source issues the inverse updates, and
+the sketch — being deletion-invariant — ends up identical to a sketch
+over only the in-window items.
+
+:class:`SlidingWindowDriver` implements the source side: it forwards each
+timestamped update to its sink(s) and remembers it; when time advances
+past ``window_span``, it emits the inverse updates of everything that
+fell out.  Memory is proportional to the number of *in-window* updates —
+that state lives at the observing source (which sees its own traffic
+anyway), not at the query processor, so the streaming model downstream is
+untouched.
+
+Feed the driver **insert-only** observation streams ("items seen
+recently").  Windowing a stream that itself contains deletions is
+ill-defined for non-negative multiset semantics: expiring a deletion
+emits an insertion, and the interleaving can transiently drive an
+element's net in-window frequency negative (the sketch tolerates that;
+the exact reference store — correctly — does not).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.streams.updates import Update
+
+__all__ = ["SlidingWindowDriver"]
+
+
+class SlidingWindowDriver:
+    """Maintains time-based sliding-window semantics over sinks.
+
+    Parameters
+    ----------
+    window_span:
+        Width of the window in the caller's time unit.  An update observed
+        at time ``t`` expires as soon as the clock reaches ``t +
+        window_span`` (exclusive bound: ``observe(..., at=0)`` with span 10
+        is still in-window at ``advance_to(9)`` and gone at 10).
+    sinks:
+        Objects with ``process(update)`` or ``apply(update)``; every
+        forwarded and inverse update goes to all of them.
+    """
+
+    def __init__(self, window_span: float, *sinks) -> None:
+        if window_span <= 0:
+            raise ValueError("window_span must be positive")
+        if not sinks:
+            raise ValueError("need at least one sink")
+        self.window_span = window_span
+        self._handlers = []
+        for sink in sinks:
+            handler = getattr(sink, "process", None) or getattr(sink, "apply", None)
+            if handler is None:
+                raise TypeError(
+                    f"{type(sink).__name__} has no process()/apply() method"
+                )
+            self._handlers.append(handler)
+        self._clock = float("-inf")
+        self._in_window: deque[tuple[float, Update]] = deque()
+
+    # -- ingest ---------------------------------------------------------------
+
+    def observe(self, update: Update, at: float) -> None:
+        """Forward one update observed at time ``at`` (non-decreasing)."""
+        if at < self._clock:
+            raise ValueError(
+                f"time went backwards: {at} after {self._clock}"
+            )
+        self.advance_to(at)
+        self._emit(update)
+        self._in_window.append((at, update))
+
+    def observe_many(self, updates: Iterable[tuple[Update, float]]) -> None:
+        """Observe a sequence of (update, timestamp) pairs."""
+        for update, at in updates:
+            self.observe(update, at)
+
+    def advance_to(self, now: float) -> int:
+        """Move the clock, expiring (deleting) everything out of window.
+
+        Returns the number of updates expired.
+        """
+        if now < self._clock:
+            raise ValueError(f"time went backwards: {now} after {self._clock}")
+        self._clock = now
+        expired = 0
+        while self._in_window and self._in_window[0][0] + self.window_span <= now:
+            _, update = self._in_window.popleft()
+            self._emit(update.inverse())
+            expired += 1
+        return expired
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def clock(self) -> float:
+        return self._clock
+
+    @property
+    def in_window_count(self) -> int:
+        """Number of updates currently inside the window."""
+        return len(self._in_window)
+
+    # -- internals -------------------------------------------------------------
+
+    def _emit(self, update: Update) -> None:
+        for handler in self._handlers:
+            handler(update)

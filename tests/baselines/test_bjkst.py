@@ -1,0 +1,68 @@
+"""Unit tests for the BJKST distinct-count baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.bjkst import BJKSTSketch
+from repro.errors import IllegalDeletionError
+
+
+class TestEstimation:
+    def test_small_stream_exact(self):
+        sketch = BJKSTSketch(epsilon=0.5, seed=1)
+        sketch.insert_batch(np.arange(20, dtype=np.uint64))
+        assert sketch.estimate_distinct() == 20.0
+        assert sketch.threshold == 0
+
+    @pytest.mark.parametrize("true_count", [5_000, 50_000])
+    def test_large_stream_accuracy(self, true_count: int):
+        rng = np.random.default_rng(true_count)
+        elements = rng.choice(2**30, size=true_count, replace=False)
+        sketch = BJKSTSketch(epsilon=0.2, seed=2)
+        sketch.insert_batch(elements)
+        estimate = sketch.estimate_distinct()
+        assert abs(estimate - true_count) / true_count < 0.25
+
+    def test_duplicates_ignored(self):
+        sketch = BJKSTSketch(epsilon=0.5, seed=3)
+        for _ in range(100):
+            sketch.insert(42)
+        assert sketch.estimate_distinct() == 1.0
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(600)
+        elements = rng.choice(2**30, size=50_000, replace=False)
+        sketch = BJKSTSketch(epsilon=0.3, seed=4)
+        sketch.insert_batch(elements)
+        assert sketch.kept_size <= sketch.capacity
+        assert sketch.threshold > 0
+
+    def test_scalar_and_batch_agree(self):
+        rng = np.random.default_rng(601)
+        elements = rng.choice(2**30, size=3000, replace=False)
+        batched = BJKSTSketch(epsilon=0.3, seed=5)
+        batched.insert_batch(elements)
+        scalar = BJKSTSketch(epsilon=0.3, seed=5)
+        for element in elements:
+            scalar.insert(int(element))
+        assert batched.estimate_distinct() == scalar.estimate_distinct()
+        assert batched.threshold == scalar.threshold
+
+    def test_tighter_epsilon_larger_budget(self):
+        assert BJKSTSketch(epsilon=0.05).capacity > BJKSTSketch(epsilon=0.2).capacity
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BJKSTSketch(epsilon=0.0)
+        with pytest.raises(ValueError):
+            BJKSTSketch(epsilon=1.0)
+
+
+class TestLimitations:
+    def test_deletion_raises(self):
+        sketch = BJKSTSketch(epsilon=0.3)
+        sketch.insert(1)
+        with pytest.raises(IllegalDeletionError):
+            sketch.delete(1)

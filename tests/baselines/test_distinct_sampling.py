@@ -1,0 +1,99 @@
+"""Unit tests for the distinct-sampling baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.distinct_sampling import DistinctSampler
+from repro.errors import IllegalDeletionError
+
+
+class TestInsertOnlyBehaviour:
+    def test_small_stream_kept_exactly(self):
+        sampler = DistinctSampler(capacity=64, seed=1)
+        sampler.insert_batch(np.arange(50, dtype=np.uint64))
+        assert sampler.level == 0
+        assert sampler.estimate_distinct() == 50.0
+
+    def test_duplicates_ignored(self):
+        sampler = DistinctSampler(capacity=8, seed=2)
+        for _ in range(10):
+            sampler.insert(7)
+        assert sampler.estimate_distinct() == 1.0
+
+    @pytest.mark.parametrize("true_count", [2000, 20_000])
+    def test_large_stream_estimate(self, true_count: int):
+        rng = np.random.default_rng(true_count)
+        elements = rng.choice(2**30, size=true_count, replace=False)
+        sampler = DistinctSampler(capacity=512, seed=3)
+        sampler.insert_batch(elements)
+        estimate = sampler.estimate_distinct()
+        assert abs(estimate - true_count) / true_count < 0.3
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(111)
+        elements = rng.choice(2**30, size=5000, replace=False)
+        sampler = DistinctSampler(capacity=100, seed=4)
+        sampler.insert_batch(elements)
+        assert len(sampler.sample) <= 100
+        assert sampler.level > 0
+
+    def test_sample_contains_only_stream_elements(self):
+        rng = np.random.default_rng(112)
+        elements = set(int(e) for e in rng.choice(2**30, size=2000, replace=False))
+        sampler = DistinctSampler(capacity=64, seed=5)
+        sampler.insert_batch(np.asarray(sorted(elements), dtype=np.uint64))
+        assert sampler.sample <= elements
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistinctSampler(capacity=0)
+
+
+class TestDeletions:
+    def test_unsampled_deletion_invisible(self):
+        rng = np.random.default_rng(113)
+        elements = rng.choice(2**30, size=3000, replace=False)
+        sampler = DistinctSampler(capacity=32, seed=6)
+        sampler.insert_batch(elements)
+        unsampled = next(int(e) for e in elements if int(e) not in sampler.sample)
+        before = sampler.estimate_distinct()
+        sampler.delete(unsampled)
+        assert sampler.estimate_distinct() == before
+        assert sampler.depletions == 0
+
+    def test_sampled_deletion_shrinks_sample(self):
+        rng = np.random.default_rng(114)
+        elements = rng.choice(2**30, size=3000, replace=False)
+        sampler = DistinctSampler(capacity=32, seed=7)
+        sampler.insert_batch(elements)
+        victim = next(iter(sampler.sample))
+        size_before = len(sampler.sample)
+        sampler.delete(victim)
+        assert len(sampler.sample) == size_before - 1
+        assert sampler.depletions == 1
+
+    def test_full_depletion_raises(self):
+        """Deleting every sampled element at a raised threshold level
+        leaves the sampler unable to answer — the rescan requirement the
+        paper criticises."""
+        rng = np.random.default_rng(115)
+        elements = rng.choice(2**30, size=3000, replace=False)
+        sampler = DistinctSampler(capacity=16, seed=8)
+        sampler.insert_batch(elements)
+        assert sampler.level > 0
+        victims = list(sampler.sample)
+        with pytest.raises(IllegalDeletionError):
+            for victim in victims:
+                sampler.delete(victim)
+        assert not sampler.sample
+
+    def test_level_zero_depletion_is_legal(self):
+        """At level 0 the sample IS the distinct set, so deleting everything
+        is just an empty stream — no rescan needed, no error."""
+        sampler = DistinctSampler(capacity=64, seed=9)
+        sampler.insert_batch(np.arange(10, dtype=np.uint64))
+        for element in range(10):
+            sampler.delete(element)
+        assert sampler.estimate_distinct() == 0.0

@@ -1,0 +1,85 @@
+"""Unit tests for the Flajolet-Martin baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fm import FM_CORRECTION, FlajoletMartin
+from repro.errors import DomainError, IllegalDeletionError
+
+
+class TestEstimation:
+    def test_empty_estimates_zero(self):
+        assert FlajoletMartin(num_sketches=16).estimate() == 0.0
+
+    @pytest.mark.parametrize("true_count", [500, 5000, 50_000])
+    def test_accuracy_within_fm_guarantees(self, true_count: int):
+        rng = np.random.default_rng(true_count)
+        elements = rng.choice(2**30, size=true_count, replace=False)
+        fm = FlajoletMartin(num_sketches=64, seed=1)
+        fm.insert_batch(elements)
+        estimate = fm.estimate()
+        # FM with r=64 averages is typically within ~30%; allow 2x slack.
+        assert true_count / 2 < estimate < true_count * 2
+
+    def test_duplicates_do_not_inflate(self):
+        fm_once = FlajoletMartin(num_sketches=32, seed=2)
+        fm_many = FlajoletMartin(num_sketches=32, seed=2)
+        elements = np.arange(1000, dtype=np.uint64)
+        fm_once.insert_batch(elements)
+        for _ in range(5):
+            fm_many.insert_batch(elements)
+        assert fm_once.estimate() == fm_many.estimate()
+
+    def test_correction_constant(self):
+        assert FM_CORRECTION == pytest.approx(1.2928)
+
+    def test_scalar_insert(self):
+        fm = FlajoletMartin(num_sketches=8)
+        fm.insert(123)
+        assert fm.estimate() > 0
+
+
+class TestLimitations:
+    def test_deletion_raises(self):
+        fm = FlajoletMartin(num_sketches=8)
+        fm.insert(1)
+        with pytest.raises(IllegalDeletionError):
+            fm.delete(1)
+
+    def test_domain_enforced(self):
+        fm = FlajoletMartin(num_sketches=8, domain_bits=10)
+        with pytest.raises(DomainError):
+            fm.insert_batch(np.asarray([1 << 10], dtype=np.uint64))
+
+
+class TestMerging:
+    def test_or_merge_estimates_union(self):
+        rng = np.random.default_rng(103)
+        pool = rng.choice(2**30, size=8000, replace=False)
+        fm_a = FlajoletMartin(num_sketches=64, seed=3)
+        fm_b = FlajoletMartin(num_sketches=64, seed=3)
+        fm_a.insert_batch(pool[:5000])
+        fm_b.insert_batch(pool[3000:])
+        merged = fm_a.merged_with(fm_b)
+        estimate = merged.estimate()
+        assert 8000 / 2 < estimate < 8000 * 2
+
+    def test_merge_equals_single_pass(self):
+        elements = np.arange(2000, dtype=np.uint64)
+        fm_a = FlajoletMartin(num_sketches=16, seed=4)
+        fm_b = FlajoletMartin(num_sketches=16, seed=4)
+        fm_whole = FlajoletMartin(num_sketches=16, seed=4)
+        fm_a.insert_batch(elements[:1000])
+        fm_b.insert_batch(elements[1000:])
+        fm_whole.insert_batch(elements)
+        assert np.array_equal(fm_a.merged_with(fm_b).bits, fm_whole.bits)
+
+    def test_merge_requires_same_coins(self):
+        with pytest.raises(ValueError):
+            FlajoletMartin(seed=1).merged_with(FlajoletMartin(seed=2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlajoletMartin(num_sketches=0)

@@ -1,0 +1,129 @@
+"""Unit tests for the min-wise hashing (MIPs) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.minhash import BottomKSketch, KMinsSignature, estimate_jaccard
+from repro.errors import IllegalDeletionError
+
+
+def overlapping_pools(rng, total=4000, jaccard=0.5):
+    """Two sets whose Jaccard coefficient is ``jaccard`` by construction."""
+    shared = int(total * jaccard)
+    per_side = (total - shared) // 2
+    pool = rng.choice(2**30, size=total, replace=False)
+    a = np.concatenate([pool[:shared], pool[shared : shared + per_side]])
+    b = np.concatenate([pool[:shared], pool[shared + per_side :]])
+    return a, b
+
+
+class TestKMins:
+    def test_jaccard_estimate(self):
+        rng = np.random.default_rng(104)
+        a, b = overlapping_pools(rng, jaccard=0.5)
+        sig_a = KMinsSignature(k=256, seed=1)
+        sig_b = KMinsSignature(k=256, seed=1)
+        sig_a.insert_batch(a)
+        sig_b.insert_batch(b)
+        assert abs(estimate_jaccard(sig_a, sig_b) - 0.5) < 0.12
+
+    def test_identical_sets_agree_fully(self):
+        rng = np.random.default_rng(105)
+        elements = rng.choice(2**30, size=500, replace=False)
+        sig_a = KMinsSignature(k=32, seed=2)
+        sig_b = KMinsSignature(k=32, seed=2)
+        sig_a.insert_batch(elements)
+        sig_b.insert_batch(elements)
+        assert estimate_jaccard(sig_a, sig_b) == 1.0
+
+    def test_disjoint_sets_rarely_agree(self):
+        rng = np.random.default_rng(106)
+        pool = rng.choice(2**30, size=2000, replace=False)
+        sig_a = KMinsSignature(k=128, seed=3)
+        sig_b = KMinsSignature(k=128, seed=3)
+        sig_a.insert_batch(pool[:1000])
+        sig_b.insert_batch(pool[1000:])
+        assert estimate_jaccard(sig_a, sig_b) < 0.05
+
+    def test_deletion_unsupported(self):
+        signature = KMinsSignature(k=4)
+        signature.insert(1)
+        with pytest.raises(IllegalDeletionError):
+            signature.delete(1)
+
+    def test_coins_checked(self):
+        with pytest.raises(ValueError):
+            KMinsSignature(k=4, seed=1).agreement(KMinsSignature(k=4, seed=2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMinsSignature(k=0)
+
+
+class TestBottomK:
+    def test_distinct_estimate(self):
+        rng = np.random.default_rng(107)
+        elements = rng.choice(2**30, size=10_000, replace=False)
+        sketch = BottomKSketch(k=256, seed=4)
+        sketch.insert_batch(elements)
+        estimate = sketch.estimate_distinct()
+        assert abs(estimate - 10_000) / 10_000 < 0.25
+
+    def test_small_stream_exact(self):
+        sketch = BottomKSketch(k=64, seed=5)
+        sketch.insert_batch(np.arange(10, dtype=np.uint64))
+        assert sketch.estimate_distinct() == 10.0
+
+    def test_duplicates_ignored(self):
+        sketch = BottomKSketch(k=8, seed=6)
+        for _ in range(3):
+            sketch.insert(42)
+        assert sketch.estimate_distinct() == 1.0
+
+    def test_jaccard(self):
+        rng = np.random.default_rng(108)
+        a, b = overlapping_pools(rng, jaccard=0.4)
+        sketch_a = BottomKSketch(k=256, seed=7)
+        sketch_b = BottomKSketch(k=256, seed=7)
+        sketch_a.insert_batch(a)
+        sketch_b.insert_batch(b)
+        assert abs(sketch_a.jaccard(sketch_b) - 0.4) < 0.12
+
+    def test_depletion_on_member_delete(self):
+        """The paper's critique made concrete: deleting a sketched element
+        punches an unfillable hole."""
+        rng = np.random.default_rng(109)
+        elements = rng.choice(2**30, size=1000, replace=False)
+        sketch = BottomKSketch(k=16, seed=8)
+        sketch.insert_batch(elements)
+        # Find a member of the bottom-k set and delete it.
+        member_values = set(sketch.values)
+        member = next(
+            int(e) for e in elements if int(sketch._hash(int(e))) in member_values
+        )
+        with pytest.raises(IllegalDeletionError):
+            sketch.delete(member)
+        assert sketch.depletions == 1
+        assert len(sketch.values) == 15  # the hole remains
+
+    def test_nonmember_delete_is_noop(self):
+        rng = np.random.default_rng(110)
+        elements = rng.choice(2**30, size=1000, replace=False)
+        sketch = BottomKSketch(k=8, seed=9)
+        sketch.insert_batch(elements)
+        member_values = set(sketch.values)
+        nonmember = next(
+            int(e) for e in elements if int(sketch._hash(int(e))) not in member_values
+        )
+        sketch.delete(nonmember)  # must not raise
+        assert sketch.depletions == 0
+
+    def test_coins_checked(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(k=4, seed=1).jaccard(BottomKSketch(k=4, seed=2))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BottomKSketch(k=0)

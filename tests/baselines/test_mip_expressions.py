@@ -1,0 +1,106 @@
+"""Unit tests for MIP-based set-expression estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.minhash import BottomKSketch
+from repro.baselines.mip_expressions import (
+    estimate_expression_mip,
+    estimate_union_mip,
+)
+from repro.datagen.controlled import generate_controlled
+from repro.errors import UnknownStreamError
+
+
+def sketches_for(dataset, k=256, seed=0):
+    built = {}
+    for name in dataset.stream_names():
+        sketch = BottomKSketch(k=k, seed=seed, domain_bits=24)
+        sketch.insert_batch(dataset.elements[name])
+        built[name] = sketch
+    return built
+
+
+class TestUnionMip:
+    def test_accuracy(self):
+        rng = np.random.default_rng(700)
+        dataset = generate_controlled("A & B", 8192, 0.25, rng, domain_bits=24)
+        sketches = sketches_for(dataset)
+        estimate = estimate_union_mip(sketches)
+        assert abs(estimate - dataset.union_size) / dataset.union_size < 0.2
+
+    def test_small_streams_exact(self):
+        rng = np.random.default_rng(701)
+        dataset = generate_controlled("A & B", 64, 0.5, rng, domain_bits=24)
+        sketches = sketches_for(dataset, k=256)
+        assert estimate_union_mip(sketches) == dataset.union_size
+
+
+class TestExpressionMip:
+    @pytest.mark.parametrize("text", ["A & B", "A - B"])
+    def test_binary_accuracy(self, text: str):
+        rng = np.random.default_rng(702)
+        dataset = generate_controlled(text, 8192, 0.25, rng, domain_bits=24)
+        sketches = sketches_for(dataset)
+        truth = dataset.target_size
+        estimate = estimate_expression_mip(text, sketches)
+        assert abs(estimate - truth) / truth < 0.35
+
+    def test_three_stream_expression(self):
+        rng = np.random.default_rng(703)
+        dataset = generate_controlled(
+            "(A - B) & C", 8192, 0.25, rng, domain_bits=24
+        )
+        sketches = sketches_for(dataset)
+        truth = dataset.target_size
+        estimate = estimate_expression_mip("(A - B) & C", sketches)
+        assert abs(estimate - truth) / truth < 0.35
+
+    def test_membership_is_exact_for_sampled_values(self):
+        """If v is in the union's bottom-k and v ∈ S, then v is in S's
+        bottom-k — so expression membership over the sample is exact."""
+        rng = np.random.default_rng(704)
+        dataset = generate_controlled("A & B", 2048, 0.5, rng, domain_bits=24)
+        sketches = sketches_for(dataset, k=64)
+        sets = {
+            name: set(int(e) for e in dataset.elements[name])
+            for name in dataset.stream_names()
+        }
+        hash_fn = sketches["A"]._hash
+        value_to_element = {}
+        for name, members in sets.items():
+            for element in members:
+                value_to_element[int(hash_fn(element))] = element
+        import heapq
+
+        union_bottom = heapq.nsmallest(
+            64, set(sketches["A"].values) | set(sketches["B"].values)
+        )
+        for value in union_bottom:
+            element = value_to_element[value]
+            assert (value in set(sketches["A"].values)) == (element in sets["A"])
+            assert (value in set(sketches["B"].values)) == (element in sets["B"])
+
+    def test_empty_sketches(self):
+        sketches = {
+            "A": BottomKSketch(k=16, seed=0),
+            "B": BottomKSketch(k=16, seed=0),
+        }
+        assert estimate_expression_mip("A & B", sketches) == 0.0
+
+    def test_unknown_stream(self):
+        sketches = {"A": BottomKSketch(k=16, seed=0)}
+        with pytest.raises(UnknownStreamError):
+            estimate_expression_mip("A & Z", sketches)
+
+    def test_mismatched_coins_rejected(self):
+        sketches = {
+            "A": BottomKSketch(k=16, seed=0),
+            "B": BottomKSketch(k=16, seed=1),
+        }
+        sketches["A"].insert(1)
+        sketches["B"].insert(2)
+        with pytest.raises(ValueError):
+            estimate_expression_mip("A & B", sketches)

@@ -1,0 +1,158 @@
+"""Unit tests for the insert-only bitmap synopsis variant."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitmap import BitmapFamily
+from repro.core.difference import estimate_difference
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchSpec
+from repro.core.intersection import estimate_intersection
+from repro.core.sketch import SketchShape
+from repro.core.union import estimate_union
+from repro.errors import DomainError, IllegalDeletionError
+
+SHAPE = SketchShape(domain_bits=22, num_second_level=8, independence=6)
+SPEC = SketchSpec(num_sketches=128, shape=SHAPE, seed=44)
+
+
+def populated_pair():
+    rng = np.random.default_rng(1000)
+    pool = rng.choice(2**22, size=3000, replace=False).astype(np.uint64)
+    full_a, full_b = SPEC.build(), SPEC.build()
+    full_a.update_batch(pool[:2000])
+    full_b.update_batch(pool[1000:])
+    return full_a, full_b, pool
+
+
+class TestConstruction:
+    def test_direct_build_matches_compression(self):
+        full_a, _, pool = populated_pair()
+        direct = BitmapFamily(SPEC)
+        direct.update_batch(pool[:2000])
+        assert direct == BitmapFamily.from_family(full_a)
+
+    def test_memory_is_one_eighth(self):
+        full_a, _, _ = populated_pair()
+        bitmap = BitmapFamily.from_family(full_a)
+        assert bitmap.memory_bytes * 8 == full_a.counters.nbytes
+
+    def test_duplicates_and_multiplicities_equalised(self):
+        bitmap_once = BitmapFamily(SPEC)
+        bitmap_many = BitmapFamily(SPEC)
+        elements = np.arange(100, dtype=np.uint64)
+        bitmap_once.update_batch(elements)
+        bitmap_many.update_batch(elements, np.full(100, 5))
+        bitmap_many.update_batch(elements)
+        assert bitmap_once == bitmap_many
+
+    def test_is_empty(self):
+        bitmap = BitmapFamily(SPEC)
+        assert bitmap.is_empty()
+        bitmap.update(1)
+        assert not bitmap.is_empty()
+
+
+class TestEstimateParity:
+    """For insert-only streams, bitmap estimates must equal the counter
+    family's estimates exactly — every check is occupancy-based."""
+
+    def test_union_parity(self):
+        full_a, full_b, _ = populated_pair()
+        bitmap_a = BitmapFamily.from_family(full_a)
+        bitmap_b = BitmapFamily.from_family(full_b)
+        full = estimate_union([full_a, full_b], 0.1)
+        compact = estimate_union([bitmap_a, bitmap_b], 0.1)
+        assert compact.value == full.value
+        assert compact.level == full.level
+
+    def test_intersection_parity(self):
+        full_a, full_b, _ = populated_pair()
+        bitmap_a = BitmapFamily.from_family(full_a)
+        bitmap_b = BitmapFamily.from_family(full_b)
+        full = estimate_intersection(full_a, full_b, 0.1)
+        compact = estimate_intersection(bitmap_a, bitmap_b, 0.1)
+        assert compact.value == full.value
+        assert compact.num_valid == full.num_valid
+        assert compact.num_witnesses == full.num_witnesses
+
+    def test_difference_parity(self):
+        full_a, full_b, _ = populated_pair()
+        bitmap_a = BitmapFamily.from_family(full_a)
+        bitmap_b = BitmapFamily.from_family(full_b)
+        full = estimate_difference(full_a, full_b, 0.1)
+        compact = estimate_difference(bitmap_a, bitmap_b, 0.1)
+        assert compact.value == full.value
+
+    def test_expression_parity_with_pooling(self):
+        full_a, full_b, _ = populated_pair()
+        families_full = {"A": full_a, "B": full_b}
+        families_bitmap = {
+            "A": BitmapFamily.from_family(full_a),
+            "B": BitmapFamily.from_family(full_b),
+        }
+        full = estimate_expression("A - B", families_full, 0.1, pool_levels=4)
+        compact = estimate_expression("A - B", families_bitmap, 0.1, pool_levels=4)
+        assert compact.value == full.value
+
+    def test_prefix_parity(self):
+        full_a, full_b, _ = populated_pair()
+        bitmap_a = BitmapFamily.from_family(full_a)
+        bitmap_b = BitmapFamily.from_family(full_b)
+        full = estimate_intersection(full_a.prefix(32), full_b.prefix(32), 0.1)
+        compact = estimate_intersection(bitmap_a.prefix(32), bitmap_b.prefix(32), 0.1)
+        assert compact.value == full.value
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        full_a, _, _ = populated_pair()
+        bitmap = BitmapFamily.from_family(full_a)
+        restored = BitmapFamily.from_bytes(bitmap.to_bytes(), SPEC)
+        assert restored == bitmap
+
+    def test_payload_is_64x_smaller_than_counters(self):
+        full_a, _, _ = populated_pair()
+        bitmap = BitmapFamily.from_family(full_a)
+        assert len(bitmap.to_bytes()) * 64 <= full_a.counters.nbytes
+
+    def test_wrong_length_rejected(self):
+        from repro.errors import IncompatibleSketchesError
+
+        with pytest.raises(IncompatibleSketchesError):
+            BitmapFamily.from_bytes(b"\x00", SPEC)
+
+    def test_restored_is_writable(self):
+        bitmap = BitmapFamily(SPEC)
+        bitmap.update(1)
+        restored = BitmapFamily.from_bytes(bitmap.to_bytes(), SPEC)
+        restored.update(2)
+
+
+class TestInsertOnlyEnforcement:
+    def test_scalar_deletion_rejected(self):
+        bitmap = BitmapFamily(SPEC)
+        bitmap.update(1)
+        with pytest.raises(IllegalDeletionError):
+            bitmap.update(1, -1)
+
+    def test_batch_deletion_rejected(self):
+        bitmap = BitmapFamily(SPEC)
+        with pytest.raises(IllegalDeletionError):
+            bitmap.update_batch(np.asarray([1, 2]), np.asarray([1, -1]))
+
+    def test_domain_enforced(self):
+        bitmap = BitmapFamily(SPEC)
+        with pytest.raises(DomainError):
+            bitmap.update_batch(np.asarray([2**22], dtype=np.uint64))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitmapFamily(SPEC))
+
+    def test_prefix_bounds(self):
+        bitmap = BitmapFamily(SPEC)
+        with pytest.raises(ValueError):
+            bitmap.prefix(0)

@@ -1,0 +1,148 @@
+"""Unit tests for median-of-groups boosting and family slicing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.boosting import (
+    boosted_estimate,
+    estimate_expression_boosted,
+    family_groups,
+)
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.errors import EstimationError, IncompatibleSketchesError
+
+SHAPE = SketchShape(domain_bits=22, num_second_level=8, independence=6)
+
+
+def populated_families(num_sketches=120, seed=3):
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    rng = np.random.default_rng(seed)
+    pool = rng.choice(2**22, size=2000, replace=False).astype(np.uint64)
+    family_a, family_b = spec.build(), spec.build()
+    family_a.update_batch(pool[:1500])
+    family_b.update_batch(pool[500:])
+    return family_a, family_b
+
+
+class TestSlice:
+    def test_slice_equals_family_with_offset_spec(self):
+        family_a, _ = populated_families()
+        sliced = family_a.slice(40, 80)
+        direct_spec = SketchSpec(
+            num_sketches=40, shape=SHAPE, seed=3, index_offset=40
+        )
+        direct = direct_spec.build()
+        rng = np.random.default_rng(3)
+        pool = rng.choice(2**22, size=2000, replace=False).astype(np.uint64)
+        direct.update_batch(pool[:1500])
+        assert sliced == direct
+
+    def test_slice_shares_memory(self):
+        spec = SketchSpec(num_sketches=8, shape=SHAPE, seed=0)
+        family = spec.build()
+        sliced = family.slice(2, 5)
+        family.sketch(3).update(1, 1)
+        assert not sliced.is_empty()
+
+    def test_slice_bounds(self):
+        spec = SketchSpec(num_sketches=8, shape=SHAPE, seed=0)
+        family = spec.build()
+        with pytest.raises(ValueError):
+            family.slice(5, 5)
+        with pytest.raises(ValueError):
+            family.slice(0, 9)
+
+    def test_prefix_is_zero_offset_slice(self):
+        family_a, _ = populated_families()
+        assert family_a.slice(0, 30) == family_a.prefix(30)
+
+    def test_offset_spec_validation(self):
+        with pytest.raises(ValueError):
+            SketchSpec(num_sketches=4, shape=SHAPE, seed=0, index_offset=-1)
+
+    def test_offset_spec_json_roundtrip(self):
+        spec = SketchSpec(num_sketches=4, shape=SHAPE, seed=7, index_offset=12)
+        assert SketchSpec.from_json_dict(spec.to_json_dict()) == spec
+
+
+class TestFamilyGroups:
+    def test_groups_are_disjoint_and_sized(self):
+        family_a, _ = populated_families(num_sketches=120)
+        groups = family_groups(family_a, 5)
+        assert len(groups) == 5
+        assert all(len(group) == 24 for group in groups)
+        offsets = [group.spec.index_offset for group in groups]
+        assert offsets == [0, 24, 48, 72, 96]
+
+    def test_groups_of_different_streams_are_compatible(self):
+        family_a, family_b = populated_families()
+        groups_a = family_groups(family_a, 4)
+        groups_b = family_groups(family_b, 4)
+        for group_a, group_b in zip(groups_a, groups_b):
+            assert group_a.spec == group_b.spec
+
+    def test_too_many_groups_rejected(self):
+        family_a, _ = populated_families(num_sketches=120)
+        with pytest.raises(ValueError):
+            family_groups(family_a, 121)
+        with pytest.raises(ValueError):
+            family_groups(family_a, 0)
+
+
+class TestBoostedEstimate:
+    def test_median_of_group_estimates(self):
+        family_a, family_b = populated_families()
+        calls = []
+
+        def fake_estimator(group_families):
+            calls.append(group_families)
+            return float(10 * len(calls))  # 10, 20, 30
+
+        result = boosted_estimate(
+            {"A": family_a, "B": family_b}, fake_estimator, num_groups=3
+        )
+        assert result == 20.0
+        assert len(calls) == 3
+
+    def test_failed_groups_skipped(self):
+        family_a, family_b = populated_families()
+        state = {"calls": 0}
+
+        def flaky_estimator(group_families):
+            state["calls"] += 1
+            if state["calls"] == 1:
+                raise EstimationError("no valid observation")
+            return 7.0
+
+        result = boosted_estimate(
+            {"A": family_a, "B": family_b}, flaky_estimator, num_groups=3
+        )
+        assert result == 7.0
+
+    def test_all_groups_failing_propagates(self):
+        family_a, family_b = populated_families()
+
+        def dead_estimator(group_families):
+            raise EstimationError("nope")
+
+        with pytest.raises(EstimationError):
+            boosted_estimate(
+                {"A": family_a, "B": family_b}, dead_estimator, num_groups=2
+            )
+
+    def test_mismatched_specs_rejected(self):
+        family_a, _ = populated_families(seed=1)
+        family_b, _ = populated_families(seed=2)
+        with pytest.raises(IncompatibleSketchesError):
+            boosted_estimate({"A": family_a, "B": family_b}, lambda f: 0.0)
+
+    def test_expression_boosting_accuracy(self):
+        family_a, family_b = populated_families(num_sketches=480, seed=8)
+        value = estimate_expression_boosted(
+            "A & B", {"A": family_a, "B": family_b}, 0.1, num_groups=3
+        )
+        # Truth is 1000 shared elements; groups of 160 sketches each.
+        assert abs(value - 1000) / 1000 < 0.6

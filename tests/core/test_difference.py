@@ -1,0 +1,171 @@
+"""Unit tests for the set-difference estimator (Section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.difference import atomic_difference_estimate, estimate_difference
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.core.union import estimate_union
+from repro.core.witness import choose_witness_level
+from repro.errors import EstimationError, IncompatibleSketchesError
+
+SHAPE = SketchShape(domain_bits=24, num_second_level=12, independence=8)
+
+
+def two_families(only_a, shared, only_b, num_sketches=256, seed=0):
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    family_a, family_b = spec.build(), spec.build()
+    family_a.update_batch(np.concatenate([only_a, shared]).astype(np.uint64))
+    family_b.update_batch(np.concatenate([shared, only_b]).astype(np.uint64))
+    return family_a, family_b
+
+
+def controlled_pools(rng, u, diff_fraction):
+    pool = rng.choice(2**24, size=u, replace=False)
+    num_diff = int(u * diff_fraction)
+    rest = u - num_diff
+    only_a = pool[:num_diff]
+    shared = pool[num_diff : num_diff + rest // 2]
+    only_b = pool[num_diff + rest // 2 :]
+    return only_a, shared, only_b
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("diff_fraction", [0.5, 0.25])
+    def test_moderate_targets(self, diff_fraction: float):
+        rng = np.random.default_rng(50)
+        only_a, shared, only_b = controlled_pools(rng, 4096, diff_fraction)
+        family_a, family_b = two_families(only_a, shared, only_b, 512)
+        truth = len(only_a)
+        estimate = estimate_difference(family_a, family_b, 0.1)
+        assert abs(estimate.value - truth) / truth < 0.5
+
+    def test_b_empty_means_difference_is_a(self):
+        rng = np.random.default_rng(51)
+        pool = rng.choice(2**24, size=2048, replace=False)
+        family_a, family_b = two_families(pool, pool[:0], pool[:0], 256)
+        estimate = estimate_difference(family_a, family_b, 0.1)
+        assert abs(estimate.value - 2048) / 2048 < 0.35
+
+    def test_identical_streams_estimate_zero(self):
+        rng = np.random.default_rng(52)
+        pool = rng.choice(2**24, size=2048, replace=False)
+        family_a, family_b = two_families(pool[:0], pool, pool[:0], 256)
+        estimate = estimate_difference(family_a, family_b, 0.1)
+        # No witness can exist: every valid singleton is in both streams.
+        assert estimate.value == 0.0
+        assert estimate.num_witnesses == 0
+
+    def test_both_empty(self):
+        family_a, family_b = two_families(
+            np.array([], dtype=np.uint64),
+            np.array([], dtype=np.uint64),
+            np.array([], dtype=np.uint64),
+        )
+        estimate = estimate_difference(family_a, family_b)
+        assert estimate.value == 0.0
+
+    def test_deletions_respected(self):
+        """Deleting the shared elements from B turns A - B into A."""
+        rng = np.random.default_rng(53)
+        only_a, shared, only_b = controlled_pools(rng, 2048, 0.25)
+        family_a, family_b = two_families(only_a, shared, only_b, 512)
+        family_b.update_batch(
+            shared.astype(np.uint64), np.full(len(shared), -1)
+        )
+        truth = len(only_a) + len(shared)
+        estimate = estimate_difference(family_a, family_b, 0.1)
+        assert abs(estimate.value - truth) / truth < 0.4
+
+
+class TestDiagnostics:
+    def test_result_fields(self):
+        rng = np.random.default_rng(54)
+        only_a, shared, only_b = controlled_pools(rng, 2048, 0.5)
+        family_a, family_b = two_families(only_a, shared, only_b)
+        estimate = estimate_difference(family_a, family_b, 0.1)
+        assert estimate.num_sketches == 256
+        assert 0 <= estimate.num_witnesses <= estimate.num_valid <= 256
+        assert estimate.union_estimate > 0
+        assert estimate.witness_fraction == pytest.approx(
+            estimate.num_witnesses / estimate.num_valid
+        )
+
+    def test_level_matches_formula(self):
+        rng = np.random.default_rng(55)
+        only_a, shared, only_b = controlled_pools(rng, 2048, 0.5)
+        family_a, family_b = two_families(only_a, shared, only_b)
+        epsilon = 0.1
+        estimate = estimate_difference(family_a, family_b, epsilon)
+        expected = choose_witness_level(estimate.union_estimate, epsilon, 64)
+        assert estimate.level == expected
+
+    def test_union_estimate_override(self):
+        rng = np.random.default_rng(56)
+        only_a, shared, only_b = controlled_pools(rng, 2048, 0.5)
+        family_a, family_b = two_families(only_a, shared, only_b)
+        union = estimate_union([family_a, family_b], 0.1 / 3)
+        with_override = estimate_difference(
+            family_a, family_b, 0.1, union_estimate=union
+        )
+        without = estimate_difference(family_a, family_b, 0.1)
+        assert with_override.value == pytest.approx(without.value)
+
+
+class TestAtomicEstimator:
+    def test_matches_vectorised_masks(self):
+        rng = np.random.default_rng(57)
+        only_a, shared, only_b = controlled_pools(rng, 1024, 0.5)
+        family_a, family_b = two_families(only_a, shared, only_b, 64)
+        estimate = estimate_difference(family_a, family_b, 0.1)
+        level = estimate.level
+        num_valid = 0
+        num_witnesses = 0
+        for index in range(64):
+            atomic = atomic_difference_estimate(
+                family_a.sketch(index), family_b.sketch(index), level
+            )
+            if atomic is not None:
+                num_valid += 1
+                num_witnesses += atomic
+        assert num_valid == estimate.num_valid
+        assert num_witnesses == estimate.num_witnesses
+
+    def test_no_estimate_on_empty_bucket(self):
+        spec = SketchSpec(num_sketches=1, shape=SHAPE, seed=1)
+        family_a, family_b = spec.build(), spec.build()
+        assert (
+            atomic_difference_estimate(family_a.sketch(0), family_b.sketch(0), 5)
+            is None
+        )
+
+
+class TestValidation:
+    def test_bad_epsilon(self):
+        family_a, family_b = two_families(
+            np.array([1]), np.array([2]), np.array([3])
+        )
+        with pytest.raises(ValueError):
+            estimate_difference(family_a, family_b, 0.0)
+
+    def test_mismatched_specs(self):
+        spec_a = SketchSpec(num_sketches=8, shape=SHAPE, seed=1)
+        spec_b = SketchSpec(num_sketches=8, shape=SHAPE, seed=2)
+        with pytest.raises(IncompatibleSketchesError):
+            estimate_difference(spec_a.build(), spec_b.build())
+
+    def test_estimation_error_when_no_valid_observation(self):
+        """With a single sketch and a hostile level the singleton test can
+        fail for every sketch; the estimator must say so, not guess."""
+        spec = SketchSpec(num_sketches=1, shape=SHAPE, seed=3)
+        family_a, family_b = spec.build(), spec.build()
+        rng = np.random.default_rng(58)
+        pool = rng.choice(2**24, size=4096, replace=False).astype(np.uint64)
+        family_a.update_batch(pool)
+        family_b.update_batch(pool[:10])
+        # Force the chosen bucket low (crowded) via a tiny union estimate.
+        with pytest.raises(EstimationError):
+            estimate_difference(family_a, family_b, 0.1, union_estimate=2.0)

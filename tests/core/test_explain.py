@@ -1,0 +1,108 @@
+"""Unit tests for the per-subexpression explanation API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.expression import estimate_expression
+from repro.core.explain import explain_expression
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.core.union import estimate_union
+from repro.datagen.controlled import generate_controlled
+from repro.errors import UnknownStreamError
+
+SHAPE = SketchShape(domain_bits=24, num_second_level=12, independence=8)
+
+
+def families_for(dataset, num_sketches=256, seed=0):
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    built = {}
+    for name in dataset.stream_names():
+        family = spec.build()
+        family.update_batch(dataset.elements[name])
+        built[name] = family
+    return built
+
+
+@pytest.fixture(scope="module")
+def explained():
+    rng = np.random.default_rng(300)
+    dataset = generate_controlled("(A - B) & C", 2048, 0.25, rng, domain_bits=24)
+    families = families_for(dataset)
+    explanation = explain_expression("(A - B) & C", families, 0.1)
+    return dataset, families, explanation
+
+
+class TestConsistency:
+    def test_top_level_matches_plain_estimator(self, explained):
+        dataset, families, explanation = explained
+        union = estimate_union(list(families.values()), 0.1 / 3)
+        direct = estimate_expression(
+            "(A - B) & C", families, 0.1, union_estimate=union
+        )
+        assert explanation.estimate.value == pytest.approx(direct.value)
+        assert explanation.estimate.num_witnesses == direct.num_witnesses
+
+    def test_all_nodes_share_level_and_union(self, explained):
+        _, _, explanation = explained
+        levels = {estimate.level for _, estimate in explanation.subexpressions}
+        unions = {estimate.union_estimate for _, estimate in explanation.subexpressions}
+        assert len(levels) == 1
+        assert len(unions) == 1
+
+    def test_depth_first_node_order(self, explained):
+        _, _, explanation = explained
+        texts = [text for text, _ in explanation.subexpressions]
+        assert texts == ["((A - B) & C)", "(A - B)", "A", "B", "C"]
+
+    def test_monotonicity_of_witness_counts(self, explained):
+        """E = (A-B) ∩ C can never have more witnesses than A-B or C."""
+        _, _, explanation = explained
+        top = explanation.cardinality_of("((A - B) & C)")
+        diff = explanation.cardinality_of("(A - B)")
+        c_only = explanation.cardinality_of("C")
+        assert top.num_witnesses <= diff.num_witnesses
+        assert top.num_witnesses <= c_only.num_witnesses
+
+    def test_subexpression_estimates_are_plausible(self, explained):
+        dataset, _, explanation = explained
+        for text in ("(A - B)", "A", "C"):
+            truth = dataset.exact_cardinality(text)
+            estimate = explanation.cardinality_of(text).value
+            assert abs(estimate - truth) / truth < 0.6, (text, estimate, truth)
+
+
+class TestInterface:
+    def test_float_coercion(self, explained):
+        _, _, explanation = explained
+        assert float(explanation) == explanation.estimate.value
+
+    def test_unknown_node_raises(self, explained):
+        _, _, explanation = explained
+        with pytest.raises(KeyError):
+            explanation.cardinality_of("(X & Y)")
+
+    def test_as_table(self, explained):
+        _, _, explanation = explained
+        table = explanation.as_table()
+        assert "subexpression" in table
+        assert "(A - B)" in table
+
+    def test_unknown_stream(self, explained):
+        _, families, _ = explained
+        with pytest.raises(UnknownStreamError):
+            explain_expression("A & Z", families)
+
+    def test_bad_epsilon(self, explained):
+        _, families, _ = explained
+        with pytest.raises(ValueError):
+            explain_expression("A & B", families, epsilon=0.0)
+
+    def test_empty_streams(self):
+        spec = SketchSpec(num_sketches=16, shape=SHAPE, seed=0)
+        families = {"A": spec.build(), "B": spec.build()}
+        explanation = explain_expression("A - B", families)
+        assert explanation.estimate.value == 0.0
+        assert all(e.value == 0.0 for _, e in explanation.subexpressions)

@@ -1,0 +1,160 @@
+"""Unit tests for the general set-expression estimator (Section 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.difference import estimate_difference
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchSpec
+from repro.core.intersection import estimate_intersection
+from repro.core.sketch import SketchShape
+from repro.core.union import estimate_union
+from repro.datagen.controlled import generate_controlled
+from repro.errors import UnknownStreamError
+from repro.expr import parse, streams
+
+SHAPE = SketchShape(domain_bits=24, num_second_level=12, independence=8)
+
+
+def families_for(dataset, num_sketches=256, seed=0):
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    built = {}
+    for name in dataset.stream_names():
+        family = spec.build()
+        family.update_batch(dataset.elements[name])
+        built[name] = family
+    return built
+
+
+class TestAgainstDedicatedEstimators:
+    """On the same synopses, the general estimator and the specialised
+    difference/intersection estimators check identical witness conditions,
+    so they must produce identical counts when given the same û."""
+
+    def _dataset(self, seed):
+        rng = np.random.default_rng(seed)
+        return generate_controlled("A & B", 2048, 0.3, rng, domain_bits=24)
+
+    def test_intersection_agreement(self):
+        dataset = self._dataset(70)
+        families = families_for(dataset)
+        union = estimate_union(list(families.values()), 0.1 / 3)
+        direct = estimate_intersection(
+            families["A"], families["B"], 0.1, union_estimate=union
+        )
+        general = estimate_expression(
+            "A & B", families, 0.1, union_estimate=union
+        )
+        assert general.num_valid == direct.num_valid
+        assert general.num_witnesses == direct.num_witnesses
+        assert general.value == pytest.approx(direct.value)
+
+    def test_difference_agreement(self):
+        dataset = self._dataset(71)
+        families = families_for(dataset)
+        union = estimate_union(list(families.values()), 0.1 / 3)
+        direct = estimate_difference(
+            families["A"], families["B"], 0.1, union_estimate=union
+        )
+        general = estimate_expression(
+            "A - B", families, 0.1, union_estimate=union
+        )
+        assert general.num_valid == direct.num_valid
+        assert general.num_witnesses == direct.num_witnesses
+        assert general.value == pytest.approx(direct.value)
+
+
+class TestThreeStreamExpression:
+    def test_paper_figure8_expression(self):
+        rng = np.random.default_rng(72)
+        dataset = generate_controlled(
+            "(A - B) & C", 4096, 0.25, rng, domain_bits=24
+        )
+        families = families_for(dataset, num_sketches=512)
+        truth = dataset.target_size
+        estimate = estimate_expression("(A - B) & C", families, 0.1)
+        assert abs(estimate.value - truth) / truth < 0.5
+
+    def test_nested_union(self):
+        rng = np.random.default_rng(73)
+        dataset = generate_controlled(
+            "A - (B | C)", 4096, 0.25, rng, domain_bits=24
+        )
+        families = families_for(dataset, num_sketches=512)
+        truth = dataset.target_size
+        estimate = estimate_expression("A - (B | C)", families, 0.1)
+        assert abs(estimate.value - truth) / truth < 0.5
+
+    def test_tree_and_text_inputs_agree(self):
+        rng = np.random.default_rng(74)
+        dataset = generate_controlled("(A - B) & C", 1024, 0.25, rng, domain_bits=24)
+        families = families_for(dataset)
+        A, B, C = streams("A", "B", "C")
+        union = estimate_union(list(families.values()), 0.1 / 3)
+        from_text = estimate_expression(
+            "(A - B) & C", families, 0.1, union_estimate=union
+        )
+        from_tree = estimate_expression(
+            (A - B) & C, families, 0.1, union_estimate=union
+        )
+        assert from_text.value == pytest.approx(from_tree.value)
+
+
+class TestEdgeCases:
+    def test_unknown_stream(self):
+        rng = np.random.default_rng(75)
+        dataset = generate_controlled("A & B", 256, 0.5, rng, domain_bits=24)
+        families = families_for(dataset)
+        with pytest.raises(UnknownStreamError):
+            estimate_expression("A & Z", families)
+
+    def test_extra_families_ignored(self):
+        rng = np.random.default_rng(76)
+        dataset = generate_controlled("A & B", 1024, 0.5, rng, domain_bits=24)
+        families = families_for(dataset)
+        families["UNUSED"] = families["A"]
+        estimate = estimate_expression("A & B", families, 0.1)
+        assert estimate.value >= 0
+
+    def test_all_empty_streams(self):
+        spec = SketchSpec(num_sketches=32, shape=SHAPE, seed=0)
+        families = {"A": spec.build(), "B": spec.build()}
+        estimate = estimate_expression("A - B", families)
+        assert estimate.value == 0.0
+
+    def test_unsatisfiable_expression_estimates_zero(self):
+        rng = np.random.default_rng(77)
+        pool = rng.choice(2**24, size=1024, replace=False).astype(np.uint64)
+        spec = SketchSpec(num_sketches=128, shape=SHAPE, seed=0)
+        family = spec.build()
+        family.update_batch(pool)
+        # A - A is empty by construction; the estimator must see no witness.
+        estimate = estimate_expression("A - A", {"A": family}, 0.1)
+        assert estimate.value == 0.0
+
+    def test_single_stream_expression(self):
+        rng = np.random.default_rng(78)
+        pool = rng.choice(2**24, size=2048, replace=False).astype(np.uint64)
+        spec = SketchSpec(num_sketches=256, shape=SHAPE, seed=0)
+        family = spec.build()
+        family.update_batch(pool)
+        estimate = estimate_expression("A", {"A": family}, 0.1)
+        # Every valid singleton is a witness: estimate == û exactly.
+        assert estimate.value == pytest.approx(estimate.union_estimate)
+
+
+class TestWitnessSemantics:
+    def test_witness_counts_consistent_across_operators(self):
+        """Over one set of synopses: witnesses(A-B) + witnesses(A&B)
+        == witnesses(A), because the conditions partition A's bucket
+        occupancy given the union-singleton event."""
+        rng = np.random.default_rng(79)
+        dataset = generate_controlled("A & B", 2048, 0.4, rng, domain_bits=24)
+        families = families_for(dataset)
+        union = estimate_union(list(families.values()), 0.1 / 3)
+        w_diff = estimate_expression("A - B", families, 0.1, union_estimate=union)
+        w_int = estimate_expression("A & B", families, 0.1, union_estimate=union)
+        w_a = estimate_expression("A", families, 0.1, union_estimate=union)
+        assert w_diff.num_witnesses + w_int.num_witnesses == w_a.num_witnesses

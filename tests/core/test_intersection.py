@@ -1,0 +1,136 @@
+"""Unit tests for the set-intersection estimator (Section 3.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.intersection import (
+    atomic_intersection_estimate,
+    estimate_intersection,
+)
+from repro.core.sketch import SketchShape
+from repro.errors import IncompatibleSketchesError
+
+SHAPE = SketchShape(domain_bits=24, num_second_level=12, independence=8)
+
+
+def two_families(only_a, shared, only_b, num_sketches=256, seed=0):
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    family_a, family_b = spec.build(), spec.build()
+    family_a.update_batch(np.concatenate([only_a, shared]).astype(np.uint64))
+    family_b.update_batch(np.concatenate([shared, only_b]).astype(np.uint64))
+    return family_a, family_b
+
+
+def controlled_pools(rng, u, shared_fraction):
+    pool = rng.choice(2**24, size=u, replace=False)
+    num_shared = int(u * shared_fraction)
+    rest = u - num_shared
+    shared = pool[:num_shared]
+    only_a = pool[num_shared : num_shared + rest // 2]
+    only_b = pool[num_shared + rest // 2 :]
+    return only_a, shared, only_b
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("shared_fraction", [0.5, 0.25])
+    def test_moderate_targets(self, shared_fraction: float):
+        rng = np.random.default_rng(60)
+        only_a, shared, only_b = controlled_pools(rng, 4096, shared_fraction)
+        family_a, family_b = two_families(only_a, shared, only_b, 512)
+        truth = len(shared)
+        estimate = estimate_intersection(family_a, family_b, 0.1)
+        assert abs(estimate.value - truth) / truth < 0.5
+
+    def test_identical_streams(self):
+        rng = np.random.default_rng(61)
+        pool = rng.choice(2**24, size=2048, replace=False)
+        family_a, family_b = two_families(pool[:0], pool, pool[:0], 256)
+        estimate = estimate_intersection(family_a, family_b, 0.1)
+        assert abs(estimate.value - 2048) / 2048 < 0.35
+
+    def test_disjoint_streams_estimate_zero(self):
+        rng = np.random.default_rng(62)
+        pool = rng.choice(2**24, size=2048, replace=False)
+        family_a, family_b = two_families(pool[:1024], pool[:0], pool[1024:], 256)
+        estimate = estimate_intersection(family_a, family_b, 0.1)
+        assert estimate.value == 0.0
+        assert estimate.num_witnesses == 0
+
+    def test_both_empty(self):
+        empty = np.array([], dtype=np.uint64)
+        family_a, family_b = two_families(empty, empty, empty)
+        assert estimate_intersection(family_a, family_b).value == 0.0
+
+    def test_deletions_shrink_intersection(self):
+        rng = np.random.default_rng(63)
+        only_a, shared, only_b = controlled_pools(rng, 2048, 0.5)
+        family_a, family_b = two_families(only_a, shared, only_b, 512)
+        # Remove half the shared elements from B.
+        removed = shared[: len(shared) // 2].astype(np.uint64)
+        family_b.update_batch(removed, np.full(removed.size, -1))
+        truth = len(shared) - removed.size
+        estimate = estimate_intersection(family_a, family_b, 0.1)
+        assert abs(estimate.value - truth) / truth < 0.5
+
+
+class TestComplementarity:
+    def test_intersection_plus_differences_cover_union(self):
+        """|A∩B| + |A−B| + |B−A| must come out close to |A∪B| when the
+        three estimates use the same synopses."""
+        rng = np.random.default_rng(64)
+        only_a, shared, only_b = controlled_pools(rng, 4096, 0.4)
+        family_a, family_b = two_families(only_a, shared, only_b, 512)
+        from repro.core.difference import estimate_difference
+        from repro.core.union import estimate_union
+
+        union = estimate_union([family_a, family_b], 0.1 / 3)
+        intersection = estimate_intersection(
+            family_a, family_b, 0.1, union_estimate=union
+        )
+        diff_ab = estimate_difference(family_a, family_b, 0.1, union_estimate=union)
+        diff_ba = estimate_difference(family_b, family_a, 0.1, union_estimate=union)
+        reconstructed = intersection.value + diff_ab.value + diff_ba.value
+        assert abs(reconstructed - union.value) / union.value < 0.35
+
+
+class TestAtomicEstimator:
+    def test_matches_vectorised_masks(self):
+        rng = np.random.default_rng(65)
+        only_a, shared, only_b = controlled_pools(rng, 1024, 0.5)
+        family_a, family_b = two_families(only_a, shared, only_b, 64)
+        estimate = estimate_intersection(family_a, family_b, 0.1)
+        num_valid = num_witnesses = 0
+        for index in range(64):
+            atomic = atomic_intersection_estimate(
+                family_a.sketch(index), family_b.sketch(index), estimate.level
+            )
+            if atomic is not None:
+                num_valid += 1
+                num_witnesses += atomic
+        assert num_valid == estimate.num_valid
+        assert num_witnesses == estimate.num_witnesses
+
+    def test_no_estimate_on_empty_bucket(self):
+        spec = SketchSpec(num_sketches=1, shape=SHAPE, seed=1)
+        family_a, family_b = spec.build(), spec.build()
+        assert (
+            atomic_intersection_estimate(family_a.sketch(0), family_b.sketch(0), 5)
+            is None
+        )
+
+
+class TestValidation:
+    def test_bad_epsilon(self):
+        empty = np.array([], dtype=np.uint64)
+        family_a, family_b = two_families(empty, empty, empty)
+        with pytest.raises(ValueError):
+            estimate_intersection(family_a, family_b, 1.5)
+
+    def test_mismatched_specs(self):
+        spec_a = SketchSpec(num_sketches=8, shape=SHAPE, seed=1)
+        spec_b = SketchSpec(num_sketches=8, shape=SHAPE, seed=2)
+        with pytest.raises(IncompatibleSketchesError):
+            estimate_intersection(spec_a.build(), spec_b.build())

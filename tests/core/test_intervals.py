@@ -1,0 +1,102 @@
+"""Unit tests for confidence intervals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.intervals import (
+    ConfidenceInterval,
+    wilson_interval,
+    witness_confidence_interval,
+)
+from repro.core.results import WitnessEstimate
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        interval = wilson_interval(40, 100)
+        assert 0.4 in interval
+
+    def test_symmetric_at_half(self):
+        interval = wilson_interval(50, 100)
+        assert interval.low == pytest.approx(1 - interval.high, abs=1e-9)
+
+    def test_zero_successes_has_zero_low(self):
+        interval = wilson_interval(0, 50)
+        assert interval.low == 0.0
+        assert interval.high > 0.0  # does not collapse like Wald
+
+    def test_all_successes(self):
+        interval = wilson_interval(50, 50)
+        assert interval.high == 1.0
+        assert interval.low < 1.0
+
+    def test_narrows_with_trials(self):
+        wide = wilson_interval(4, 10)
+        narrow = wilson_interval(400, 1000)
+        assert narrow.width < wide.width
+
+    def test_widens_with_confidence(self):
+        assert (
+            wilson_interval(40, 100, 0.99).width
+            > wilson_interval(40, 100, 0.80).width
+        )
+
+    def test_interpolated_confidence(self):
+        mid = wilson_interval(40, 100, 0.925)
+        assert wilson_interval(40, 100, 0.90).width < mid.width
+        assert mid.width < wilson_interval(40, 100, 0.95).width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.0)
+
+    def test_bounds_clamped(self):
+        interval = wilson_interval(1, 2, 0.99)
+        assert 0.0 <= interval.low <= interval.high <= 1.0
+
+
+class TestWitnessInterval:
+    def make(self, num_valid=50, num_witnesses=20, union=1000.0):
+        return WitnessEstimate(
+            value=(num_witnesses / max(num_valid, 1)) * union,
+            level=10,
+            union_estimate=union,
+            num_valid=num_valid,
+            num_witnesses=num_witnesses,
+            num_sketches=256,
+        )
+
+    def test_contains_point_estimate(self):
+        estimate = self.make()
+        interval = witness_confidence_interval(estimate)
+        assert estimate.value in interval
+
+    def test_no_valid_observations_collapses(self):
+        interval = witness_confidence_interval(self.make(num_valid=0, num_witnesses=0))
+        assert interval.low == interval.high == 0.0
+
+    def test_union_margin_widens(self):
+        estimate = self.make()
+        tight = witness_confidence_interval(estimate, union_relative_error=0.0)
+        wide = witness_confidence_interval(estimate, union_relative_error=0.2)
+        assert wide.width > tight.width
+
+    def test_more_valid_observations_narrow(self):
+        loose = witness_confidence_interval(self.make(num_valid=10, num_witnesses=4))
+        tight = witness_confidence_interval(self.make(num_valid=400, num_witnesses=160))
+        assert tight.width < loose.width
+
+    def test_negative_union_margin_rejected(self):
+        with pytest.raises(ValueError):
+            witness_confidence_interval(self.make(), union_relative_error=-0.1)
+
+    def test_width_property(self):
+        interval = ConfidenceInterval(2.0, 5.0, 0.95)
+        assert interval.width == 3.0
+        assert 3.0 in interval
+        assert 6.0 not in interval

@@ -1,0 +1,80 @@
+"""Unit tests for the level-pooling extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.difference import estimate_difference
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchSpec
+from repro.core.intersection import estimate_intersection
+from repro.core.sketch import SketchShape
+
+SHAPE = SketchShape(domain_bits=22, num_second_level=12, independence=8)
+
+
+def two_families(seed=0, num_sketches=192):
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    rng = np.random.default_rng(seed)
+    pool = rng.choice(2**22, size=3000, replace=False).astype(np.uint64)
+    family_a, family_b = spec.build(), spec.build()
+    family_a.update_batch(pool[:2000])
+    family_b.update_batch(pool[1000:])
+    return family_a, family_b
+
+
+class TestPooling:
+    def test_default_is_single_level(self):
+        family_a, family_b = two_families()
+        single = estimate_intersection(family_a, family_b, 0.1)
+        explicit = estimate_intersection(family_a, family_b, 0.1, pool_levels=1)
+        assert single.value == explicit.value
+        assert single.num_valid == explicit.num_valid
+
+    def test_pooling_grows_observation_count(self):
+        family_a, family_b = two_families(seed=1)
+        single = estimate_intersection(family_a, family_b, 0.1, pool_levels=1)
+        pooled = estimate_intersection(family_a, family_b, 0.1, pool_levels=6)
+        assert pooled.num_valid > single.num_valid
+
+    def test_pooled_estimate_remains_plausible(self):
+        family_a, family_b = two_families(seed=2, num_sketches=256)
+        pooled = estimate_intersection(family_a, family_b, 0.1, pool_levels=6)
+        assert abs(pooled.value - 1000) / 1000 < 0.5
+
+    def test_pooling_supported_by_all_witness_estimators(self):
+        family_a, family_b = two_families(seed=3)
+        families = {"A": family_a, "B": family_b}
+        for runner in (
+            lambda: estimate_difference(family_a, family_b, 0.1, pool_levels=4),
+            lambda: estimate_intersection(family_a, family_b, 0.1, pool_levels=4),
+            lambda: estimate_expression("A - B", families, 0.1, pool_levels=4),
+        ):
+            estimate = runner()
+            assert estimate.num_valid > 0
+
+    def test_pooling_consistent_between_expression_and_direct(self):
+        family_a, family_b = two_families(seed=4)
+        families = {"A": family_a, "B": family_b}
+        direct = estimate_intersection(
+            family_a, family_b, 0.1, union_estimate=3000.0, pool_levels=4
+        )
+        general = estimate_expression(
+            "A & B", families, 0.1, union_estimate=3000.0, pool_levels=4
+        )
+        assert direct.num_valid == general.num_valid
+        assert direct.num_witnesses == general.num_witnesses
+
+    def test_bad_pool_levels_rejected(self):
+        family_a, family_b = two_families(seed=5)
+        with pytest.raises(ValueError):
+            estimate_intersection(family_a, family_b, 0.1, pool_levels=0)
+
+    def test_pooling_clamps_at_top_level(self):
+        """Requesting more levels than exist must not crash."""
+        family_a, family_b = two_families(seed=6)
+        estimate = estimate_intersection(
+            family_a, family_b, 0.1, pool_levels=1000
+        )
+        assert estimate.num_valid > 0

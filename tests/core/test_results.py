@@ -1,0 +1,46 @@
+"""Unit tests for the estimator result types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import UnionEstimate, WitnessEstimate
+
+
+class TestUnionEstimate:
+    def test_float_coercion(self):
+        estimate = UnionEstimate(
+            value=123.4, level=5, non_empty_fraction=0.1, num_sketches=64
+        )
+        assert float(estimate) == 123.4
+
+    def test_frozen(self):
+        estimate = UnionEstimate(1.0, 0, 0.0, 1)
+        with pytest.raises(AttributeError):
+            estimate.value = 2.0
+
+
+class TestWitnessEstimate:
+    def make(self, num_valid=10, num_witnesses=4):
+        return WitnessEstimate(
+            value=40.0,
+            level=7,
+            union_estimate=100.0,
+            num_valid=num_valid,
+            num_witnesses=num_witnesses,
+            num_sketches=64,
+        )
+
+    def test_float_coercion(self):
+        assert float(self.make()) == 40.0
+
+    def test_witness_fraction(self):
+        assert self.make().witness_fraction == pytest.approx(0.4)
+
+    def test_witness_fraction_no_valid(self):
+        assert self.make(num_valid=0, num_witnesses=0).witness_fraction == 0.0
+
+    def test_frozen(self):
+        estimate = self.make()
+        with pytest.raises(AttributeError):
+            estimate.level = 3

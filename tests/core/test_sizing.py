@@ -1,0 +1,102 @@
+"""Unit tests for synopsis sizing (the paper's space bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sizing import (
+    recommend_spec,
+    second_level_hashes_needed,
+    union_sketches_needed,
+    witness_sketches_needed,
+)
+
+
+class TestUnionSizing:
+    def test_scales_inverse_quadratically_in_epsilon(self):
+        loose = union_sketches_needed(0.2, 0.05)
+        tight = union_sketches_needed(0.1, 0.05)
+        assert tight == pytest.approx(4 * loose, rel=0.05)
+
+    def test_scales_logarithmically_in_delta(self):
+        assert union_sketches_needed(0.1, 0.01) > union_sketches_needed(0.1, 0.1)
+        ratio = union_sketches_needed(0.1, 1e-4) / union_sketches_needed(0.1, 1e-2)
+        assert ratio == pytest.approx(2.0, rel=0.05)  # log scaling
+
+    def test_known_value(self):
+        import math
+
+        expected = math.ceil(256 * math.log(20) / (7 * 0.01))
+        assert union_sketches_needed(0.1, 0.05) == expected
+
+    def test_validation(self):
+        for epsilon, delta in ((0.0, 0.1), (1.0, 0.1), (0.1, 0.0), (0.1, 1.0)):
+            with pytest.raises(ValueError):
+                union_sketches_needed(epsilon, delta)
+
+
+class TestWitnessSizing:
+    def test_scales_with_inverse_ratio(self):
+        easy = witness_sketches_needed(0.1, 0.05, cardinality_ratio=0.5)
+        hard = witness_sketches_needed(0.1, 0.05, cardinality_ratio=0.05)
+        assert hard == pytest.approx(10 * easy, rel=0.01)
+
+    def test_scales_with_streams(self):
+        two = witness_sketches_needed(0.1, 0.05, 0.25, num_streams=2)
+        four = witness_sketches_needed(0.1, 0.05, 0.25, num_streams=4)
+        assert four == pytest.approx(3 * two, rel=0.01)
+
+    def test_harder_than_union(self):
+        assert witness_sketches_needed(0.1, 0.05, 0.01) > union_sketches_needed(
+            0.1, 0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            witness_sketches_needed(0.1, 0.05, 0.0)
+        with pytest.raises(ValueError):
+            witness_sketches_needed(0.1, 0.05, 1.5)
+        with pytest.raises(ValueError):
+            witness_sketches_needed(0.1, 0.05, 0.5, num_streams=0)
+
+
+class TestSecondLevelSizing:
+    def test_log_in_sketches_over_delta(self):
+        assert second_level_hashes_needed(1024, 0.05) == pytest.approx(15, abs=1)
+
+    def test_monotone_in_sketches(self):
+        assert second_level_hashes_needed(10_000, 0.05) > second_level_hashes_needed(
+            10, 0.05
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            second_level_hashes_needed(0, 0.05)
+        with pytest.raises(ValueError):
+            second_level_hashes_needed(10, 0.0)
+
+
+class TestRecommendSpec:
+    def test_spec_is_buildable(self):
+        plan = recommend_spec(0.3, 0.2, cardinality_ratio=0.5)
+        family = plan.spec.build()
+        assert family.is_empty()
+
+    def test_independence_tracks_epsilon(self):
+        loose = recommend_spec(0.5, 0.1, 0.5)
+        tight = recommend_spec(0.01, 0.1, 0.5)
+        assert tight.spec.shape.independence > loose.spec.shape.independence
+
+    def test_bytes_accounting(self):
+        plan = recommend_spec(0.3, 0.2, 0.5)
+        shape = plan.spec.shape
+        expected = plan.spec.num_sketches * 64 * shape.num_second_level * 2 * 8
+        assert plan.bytes_per_stream == expected
+
+    def test_describe_mentions_parameters(self):
+        text = recommend_spec(0.3, 0.2, 0.5).describe()
+        assert "0.3" in text and "0.2" in text and "sketches" in text
+
+    def test_uses_max_of_union_and_witness_needs(self):
+        plan = recommend_spec(0.3, 0.2, cardinality_ratio=0.001)
+        assert plan.spec.num_sketches == witness_sketches_needed(0.3, 0.2, 0.001)

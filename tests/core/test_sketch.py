@@ -1,0 +1,246 @@
+"""Unit tests for the 2-level hash sketch synopsis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import SketchHashes, SketchShape, TwoLevelHashSketch
+from repro.errors import DomainError, IncompatibleSketchesError
+
+
+def make_sketch(seed: int = 0, **shape_kwargs) -> TwoLevelHashSketch:
+    shape = SketchShape(domain_bits=20, num_second_level=8, independence=4)
+    if shape_kwargs:
+        shape = SketchShape(**{**shape.__dict__, **shape_kwargs})
+    hashes = SketchHashes.draw(np.random.default_rng(seed), shape)
+    return TwoLevelHashSketch(hashes, shape)
+
+
+class TestSketchShape:
+    def test_defaults(self):
+        shape = SketchShape()
+        assert shape.domain_size == 2**30
+        assert shape.counter_shape == (64, 16, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SketchShape(domain_bits=0)
+        with pytest.raises(ValueError):
+            SketchShape(domain_bits=61)
+        with pytest.raises(ValueError):
+            SketchShape(num_second_level=0)
+        with pytest.raises(ValueError):
+            SketchShape(independence=1)
+
+    def test_counter_shape_tracks_s(self):
+        assert SketchShape(num_second_level=5).counter_shape == (64, 5, 2)
+
+
+class TestMaintenance:
+    def test_fresh_sketch_is_empty(self):
+        sketch = make_sketch()
+        assert sketch.is_empty()
+        assert sketch.counters.sum() == 0
+
+    def test_single_insert_touches_s_counters(self):
+        sketch = make_sketch()
+        sketch.update(42, 1)
+        assert int(sketch.counters.sum()) == sketch.shape.num_second_level
+
+    def test_insert_then_delete_restores_zero_state(self):
+        sketch = make_sketch()
+        sketch.update(42, 1)
+        sketch.update(42, -1)
+        assert sketch.is_empty()
+        assert int(np.abs(sketch.counters).sum()) == 0
+
+    def test_deletion_invariance_headline_claim(self):
+        """The sketch after insert+delete traffic equals the sketch that
+        never saw the deleted items — the paper's robustness guarantee."""
+        survivors = make_sketch(seed=3)
+        with_churn = make_sketch(seed=3)
+        rng = np.random.default_rng(20)
+        keep = rng.choice(2**20, size=500, replace=False)
+        churn = rng.choice(2**20, size=300, replace=False)
+        for element in keep:
+            survivors.update(int(element), 1)
+            with_churn.update(int(element), 1)
+        for element in churn:
+            with_churn.update(int(element), 2)
+        for element in churn:
+            with_churn.update(int(element), -2)
+        assert with_churn == survivors
+
+    def test_update_batch_matches_scalar_updates(self):
+        batched = make_sketch(seed=4)
+        scalar = make_sketch(seed=4)
+        rng = np.random.default_rng(21)
+        elements = rng.integers(0, 2**20, size=300, dtype=np.uint64)
+        counts = rng.integers(-3, 4, size=300)
+        counts[counts == 0] = 1
+        batched.update_batch(elements, counts)
+        for element, count in zip(elements, counts):
+            scalar.update(int(element), int(count))
+        assert batched == scalar
+
+    def test_update_batch_default_counts_are_single_insertions(self):
+        batched = make_sketch(seed=5)
+        scalar = make_sketch(seed=5)
+        elements = np.arange(100, dtype=np.uint64)
+        batched.update_batch(elements)
+        for element in elements:
+            scalar.update(int(element))
+        assert batched == scalar
+
+    def test_empty_batch_is_noop(self):
+        sketch = make_sketch()
+        sketch.update_batch(np.array([], dtype=np.uint64))
+        assert sketch.is_empty()
+
+    def test_domain_enforcement_scalar(self):
+        sketch = make_sketch()
+        with pytest.raises(DomainError):
+            sketch.update(2**20, 1)
+        with pytest.raises(DomainError):
+            sketch.update(-1, 1)
+
+    def test_domain_enforcement_batch(self):
+        sketch = make_sketch()
+        with pytest.raises(DomainError):
+            sketch.update_batch(np.asarray([1, 2**20], dtype=np.uint64))
+
+    def test_misaligned_counts_rejected(self):
+        sketch = make_sketch()
+        with pytest.raises(ValueError):
+            sketch.update_batch(np.arange(3, dtype=np.uint64), np.array([1, 2]))
+
+    def test_multiplicities_accumulate(self):
+        sketch = make_sketch()
+        sketch.update(7, 5)
+        sketch.update(7, 3)
+        level = sketch._level_of(7)
+        assert sketch.bucket_total(level) == 8
+
+
+class TestBucketAccessors:
+    def test_bucket_total_counts_items_not_distinct(self):
+        sketch = make_sketch()
+        sketch.update(7, 4)
+        level = sketch._level_of(7)
+        assert sketch.bucket_total(level) == 4
+
+    def test_bucket_shape(self):
+        sketch = make_sketch()
+        assert sketch.bucket(0).shape == (8, 2)
+
+    def test_empty_bucket_total_zero(self):
+        sketch = make_sketch()
+        assert all(sketch.bucket_total(level) == 0 for level in range(64))
+
+
+class TestAlgebra:
+    def test_merge_equals_combined_stream(self):
+        merged_target = make_sketch(seed=6)
+        part_a = make_sketch(seed=6)
+        part_b = make_sketch(seed=6)
+        rng = np.random.default_rng(22)
+        elements_a = rng.integers(0, 2**20, size=200, dtype=np.uint64)
+        elements_b = rng.integers(0, 2**20, size=200, dtype=np.uint64)
+        part_a.update_batch(elements_a)
+        part_b.update_batch(elements_b)
+        merged_target.update_batch(np.concatenate([elements_a, elements_b]))
+        assert part_a.merged_with(part_b) == merged_target
+
+    def test_merge_in_place(self):
+        a = make_sketch(seed=7)
+        b = make_sketch(seed=7)
+        a.update(1, 1)
+        b.update(2, 1)
+        combined = a.merged_with(b)
+        a.merge_in_place(b)
+        assert a == combined
+
+    def test_merge_requires_same_coins(self):
+        a = make_sketch(seed=8)
+        b = make_sketch(seed=9)
+        with pytest.raises(IncompatibleSketchesError):
+            a.merged_with(b)
+
+    def test_copy_is_independent(self):
+        a = make_sketch(seed=10)
+        a.update(5, 1)
+        b = a.copy()
+        b.update(6, 1)
+        assert a != b
+        assert not a.is_empty()
+
+    def test_equality_semantics(self):
+        a = make_sketch(seed=11)
+        b = make_sketch(seed=11)
+        assert a == b
+        a.update(3, 1)
+        assert a != b
+        b.update(3, 1)
+        assert a == b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(make_sketch())
+
+    def test_eq_other_types(self):
+        assert make_sketch() != "not a sketch"
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        original = make_sketch(seed=12)
+        original.update_batch(np.arange(100, dtype=np.uint64))
+        payload = original.to_bytes()
+        restored = TwoLevelHashSketch.from_bytes(
+            payload, original.hashes, original.shape
+        )
+        assert restored == original
+
+    def test_roundtrip_preserves_negative_free_invariant(self):
+        original = make_sketch(seed=13)
+        original.update(1, 5)
+        original.update(1, -2)
+        restored = TwoLevelHashSketch.from_bytes(
+            original.to_bytes(), original.hashes, original.shape
+        )
+        assert restored == original
+
+    def test_wrong_length_rejected(self):
+        sketch = make_sketch(seed=14)
+        with pytest.raises(IncompatibleSketchesError):
+            TwoLevelHashSketch.from_bytes(b"\x00" * 7, sketch.hashes, sketch.shape)
+
+    def test_restored_counters_are_writable(self):
+        original = make_sketch(seed=15)
+        restored = TwoLevelHashSketch.from_bytes(
+            original.to_bytes(), original.hashes, original.shape
+        )
+        restored.update(1, 1)  # must not raise (frombuffer gives read-only)
+
+
+class TestConstruction:
+    def test_wrong_counter_shape_rejected(self):
+        shape = SketchShape(domain_bits=20, num_second_level=8, independence=4)
+        hashes = SketchHashes.draw(np.random.default_rng(0), shape)
+        with pytest.raises(IncompatibleSketchesError):
+            TwoLevelHashSketch(hashes, shape, counters=np.zeros((2, 2, 2), dtype=np.int64))
+
+    def test_bank_size_mismatch_rejected(self):
+        shape_a = SketchShape(domain_bits=20, num_second_level=8, independence=4)
+        shape_b = SketchShape(domain_bits=20, num_second_level=4, independence=4)
+        hashes = SketchHashes.draw(np.random.default_rng(0), shape_a)
+        with pytest.raises(IncompatibleSketchesError):
+            TwoLevelHashSketch(hashes, shape_b)
+
+    def test_shape_inferred_from_hashes(self):
+        shape = SketchShape(domain_bits=30, num_second_level=8, independence=4)
+        hashes = SketchHashes.draw(np.random.default_rng(0), shape)
+        sketch = TwoLevelHashSketch(hashes)
+        assert sketch.shape.num_second_level == 8
+        assert sketch.shape.independence == 4

@@ -1,0 +1,147 @@
+"""Unit tests for the set-union estimator (Section 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.core.union import estimate_union
+from repro.errors import IncompatibleSketchesError
+
+SHAPE = SketchShape(domain_bits=24, num_second_level=8, independence=8)
+
+
+def family_with(elements, num_sketches=128, seed=0):
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    family = spec.build()
+    family.update_batch(np.asarray(elements, dtype=np.uint64))
+    return family
+
+
+class TestBasicBehaviour:
+    def test_empty_streams_estimate_zero(self):
+        a = family_with([])
+        b = family_with([])
+        estimate = estimate_union([a, b])
+        assert estimate.value == 0.0
+
+    def test_single_stream(self):
+        rng = np.random.default_rng(40)
+        elements = rng.choice(2**24, size=5000, replace=False)
+        family = family_with(elements, num_sketches=256)
+        estimate = estimate_union([family])
+        assert abs(estimate.value - 5000) / 5000 < 0.25
+
+    def test_disjoint_streams_add(self):
+        rng = np.random.default_rng(41)
+        pool = rng.choice(2**24, size=8000, replace=False)
+        a = family_with(pool[:4000], num_sketches=256)
+        b = family_with(pool[4000:], num_sketches=256)
+        estimate = estimate_union([a, b])
+        assert abs(estimate.value - 8000) / 8000 < 0.25
+
+    def test_identical_streams_do_not_double_count(self):
+        rng = np.random.default_rng(42)
+        pool = rng.choice(2**24, size=4000, replace=False)
+        a = family_with(pool, num_sketches=256)
+        b = family_with(pool, num_sketches=256)
+        estimate = estimate_union([a, b])
+        assert abs(estimate.value - 4000) / 4000 < 0.25
+
+    def test_three_way_union(self):
+        rng = np.random.default_rng(43)
+        pool = rng.choice(2**24, size=6000, replace=False)
+        families = [
+            family_with(pool[:3000], num_sketches=256),
+            family_with(pool[2000:5000], num_sketches=256),
+            family_with(pool[4000:], num_sketches=256),
+        ]
+        estimate = estimate_union(families)
+        assert abs(estimate.value - 6000) / 6000 < 0.25
+
+    def test_multiplicities_do_not_matter(self):
+        rng = np.random.default_rng(44)
+        pool = rng.choice(2**24, size=3000, replace=False).astype(np.uint64)
+        plain = family_with(pool, num_sketches=256)
+        heavy_spec = SketchSpec(num_sketches=256, shape=SHAPE, seed=0)
+        heavy = heavy_spec.build()
+        heavy.update_batch(pool, np.full(pool.size, 9))
+        assert (
+            abs(estimate_union([heavy]).value - estimate_union([plain]).value) < 1e-9
+        )
+
+    def test_deletions_reduce_union(self):
+        rng = np.random.default_rng(45)
+        pool = rng.choice(2**24, size=4000, replace=False).astype(np.uint64)
+        family = family_with(pool, num_sketches=256)
+        before = estimate_union([family]).value
+        family.update_batch(pool[:2000], np.full(2000, -1))
+        after = estimate_union([family]).value
+        assert abs(after - 2000) / 2000 < 0.3
+        assert after < before
+
+
+class TestDiagnostics:
+    def test_result_fields(self):
+        rng = np.random.default_rng(46)
+        family = family_with(rng.choice(2**24, size=1000, replace=False))
+        estimate = estimate_union([family], epsilon=0.2)
+        assert estimate.num_sketches == 128
+        assert 0.0 <= estimate.non_empty_fraction <= 1.0
+        assert 0 <= estimate.level < 64
+        assert float(estimate) == estimate.value
+
+    def test_level_grows_with_cardinality(self):
+        rng = np.random.default_rng(47)
+        small = family_with(rng.choice(2**24, size=100, replace=False), 128)
+        large = family_with(
+            rng.choice(2**24, size=100_00, replace=False), 128
+        )
+        assert (
+            estimate_union([large]).level > estimate_union([small]).level
+        )
+
+    def test_threshold_respected(self):
+        """The scan stops at the first level at or below (1+eps)r/8."""
+        rng = np.random.default_rng(48)
+        family = family_with(rng.choice(2**24, size=5000, replace=False), 128)
+        epsilon = 0.1
+        estimate = estimate_union([family], epsilon)
+        threshold = (1 + epsilon) * 128 / 8
+        count = estimate.non_empty_fraction * 128
+        assert count <= threshold
+
+
+class TestValidation:
+    def test_bad_epsilon(self):
+        family = family_with([1, 2, 3])
+        for epsilon in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                estimate_union([family], epsilon)
+
+    def test_mismatched_specs(self):
+        a = family_with([1], seed=1)
+        b = family_with([1], seed=2)
+        with pytest.raises(IncompatibleSketchesError):
+            estimate_union([a, b])
+
+    def test_no_families(self):
+        with pytest.raises(ValueError):
+            estimate_union([])
+
+
+class TestAccuracyImprovesWithSketches:
+    def test_more_sketches_reduce_error_in_aggregate(self):
+        """Median error over several trials should not grow when the number
+        of sketches is quadrupled."""
+        errors_small, errors_large = [], []
+        for seed in range(8):
+            rng = np.random.default_rng(100 + seed)
+            pool = rng.choice(2**24, size=4096, replace=False)
+            small = family_with(pool, num_sketches=32, seed=seed)
+            large = family_with(pool, num_sketches=256, seed=seed)
+            errors_small.append(abs(estimate_union([small]).value - 4096) / 4096)
+            errors_large.append(abs(estimate_union([large]).value - 4096) / 4096)
+        assert float(np.median(errors_large)) <= float(np.median(errors_small)) + 0.05

@@ -1,0 +1,111 @@
+"""Unit tests for the shared witness-estimation machinery."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.core.witness import BETA, choose_witness_level, run_witness_estimator
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+
+
+class TestChooseWitnessLevel:
+    def test_formula(self):
+        union = 1000.0
+        epsilon = 0.1
+        expected = math.ceil(math.log2(BETA * union / (1 - epsilon)))
+        assert choose_witness_level(union, epsilon, 64) == expected
+
+    def test_monotone_in_union(self):
+        small = choose_witness_level(100.0, 0.1, 64)
+        large = choose_witness_level(100_000.0, 0.1, 64)
+        assert large > small
+
+    def test_zero_union(self):
+        assert choose_witness_level(0.0, 0.1, 64) == 0
+
+    def test_clamped_to_levels(self):
+        assert choose_witness_level(1e30, 0.1, 64) == 63
+        assert choose_witness_level(0.1, 0.9, 64) >= 0
+
+    def test_beta_is_paper_optimum(self):
+        assert BETA == 2.0
+
+
+class TestRunWitnessEstimator:
+    def _families(self, seed=0):
+        spec = SketchSpec(num_sketches=32, shape=SHAPE, seed=seed)
+        family_a, family_b = spec.build(), spec.build()
+        rng = np.random.default_rng(seed)
+        pool = rng.choice(2**20, size=512, replace=False).astype(np.uint64)
+        family_a.update_batch(pool[:384])
+        family_b.update_batch(pool[128:])
+        return family_a, family_b
+
+    def test_masks_receive_correct_slabs(self):
+        family_a, family_b = self._families()
+        seen = {}
+
+        def witness_masks(slabs):
+            seen["shapes"] = [slab.shape for slab in slabs]
+            valid = np.ones(32, dtype=bool)
+            witness = np.zeros(32, dtype=bool)
+            return valid, witness
+
+        result = run_witness_estimator([family_a, family_b], witness_masks, 0.1)
+        assert seen["shapes"] == [(32, 8, 2), (32, 8, 2)]
+        assert result.value == 0.0
+        assert result.num_valid == 32
+
+    def test_witness_intersected_with_valid(self):
+        """A witness bit outside the valid mask must not count."""
+        family_a, family_b = self._families(seed=1)
+
+        def witness_masks(slabs):
+            valid = np.zeros(32, dtype=bool)
+            valid[:4] = True
+            witness = np.ones(32, dtype=bool)  # deliberately unmasked
+            return valid, witness
+
+        result = run_witness_estimator([family_a, family_b], witness_masks, 0.1)
+        assert result.num_valid == 4
+        assert result.num_witnesses == 4  # clipped to the valid set
+        assert result.value == pytest.approx(result.union_estimate)
+
+    def test_zero_union_short_circuits(self):
+        spec = SketchSpec(num_sketches=8, shape=SHAPE, seed=2)
+        called = []
+
+        def witness_masks(slabs):
+            called.append(True)
+            return np.ones(8, dtype=bool), np.ones(8, dtype=bool)
+
+        result = run_witness_estimator(
+            [spec.build(), spec.build()], witness_masks, 0.1
+        )
+        assert result.value == 0.0
+        assert not called  # masks never consulted for empty streams
+
+    def test_external_union_estimate_used(self):
+        family_a, family_b = self._families(seed=3)
+
+        def witness_masks(slabs):
+            return np.ones(32, dtype=bool), np.ones(32, dtype=bool)
+
+        result = run_witness_estimator(
+            [family_a, family_b], witness_masks, 0.1, union_estimate=500.0
+        )
+        assert result.union_estimate == 500.0
+        assert result.value == pytest.approx(500.0)
+
+    def test_epsilon_validation(self):
+        family_a, family_b = self._families(seed=4)
+        with pytest.raises(ValueError):
+            run_witness_estimator(
+                [family_a, family_b], lambda slabs: (None, None), 1.0
+            )

@@ -1,0 +1,89 @@
+"""Unit tests for Venn-cell probability assignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.cells import CellAssignment, balanced_cell_probabilities
+from repro.expr.parser import parse
+from repro.expr.venn import all_cells, cells_of_expression
+
+
+class TestBalancedProbabilities:
+    @pytest.mark.parametrize("ratio", [0.5, 0.25, 0.03125])
+    def test_expression_cells_carry_target_probability(self, ratio: float):
+        expression = parse("A & B")
+        assignment = balanced_cell_probabilities(expression, ratio)
+        expression_cells = set(cells_of_expression(expression))
+        mass = sum(
+            float(p)
+            for cell, p in zip(assignment.cells, assignment.probabilities)
+            if cell in expression_cells
+        )
+        assert mass == pytest.approx(ratio, abs=1e-9)
+
+    def test_probabilities_sum_to_one(self):
+        assignment = balanced_cell_probabilities(parse("(A - B) & C"), 0.2)
+        assert float(assignment.probabilities.sum()) == pytest.approx(1.0)
+
+    def test_probabilities_nonnegative(self):
+        assignment = balanced_cell_probabilities(parse("A - (B | C)"), 0.1)
+        assert float(assignment.probabilities.min()) >= 0.0
+
+    def test_binary_intersection_matches_paper_scheme(self):
+        """For A∩B the paper gives {A,B}: e/u and {A}/{B}: (1-e/u)/2."""
+        ratio = 0.25
+        assignment = balanced_cell_probabilities(parse("A & B"), ratio)
+        by_cell = dict(zip(assignment.cells, assignment.probabilities))
+        assert float(by_cell[frozenset({"A", "B"})]) == pytest.approx(ratio)
+        assert float(by_cell[frozenset({"A"})]) == pytest.approx((1 - ratio) / 2)
+        assert float(by_cell[frozenset({"B"})]) == pytest.approx((1 - ratio) / 2)
+
+    def test_streams_balanced_for_three_stream_expression(self):
+        assignment = balanced_cell_probabilities(parse("(A - B) & C"), 0.25)
+        sizes = [assignment.expected_stream_ratio(name) for name in ("A", "B", "C")]
+        assert max(sizes) - min(sizes) < 0.05
+
+    def test_unsatisfiable_with_positive_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_cell_probabilities(parse("A - A"), 0.5)
+
+    def test_unsatisfiable_with_zero_ratio_allowed(self):
+        assignment = balanced_cell_probabilities(parse("A - A"), 0.0)
+        assert float(assignment.probabilities.sum()) == pytest.approx(1.0)
+
+    def test_tautology_with_partial_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_cell_probabilities(parse("A | B"), 0.5)
+
+    def test_tautology_with_full_ratio_allowed(self):
+        assignment = balanced_cell_probabilities(parse("A | B"), 1.0)
+        assert float(assignment.probabilities.sum()) == pytest.approx(1.0)
+
+    def test_ratio_bounds(self):
+        with pytest.raises(ValueError):
+            balanced_cell_probabilities(parse("A & B"), -0.1)
+        with pytest.raises(ValueError):
+            balanced_cell_probabilities(parse("A & B"), 1.1)
+
+
+class TestCellAssignment:
+    def test_validation_alignment(self):
+        with pytest.raises(ValueError):
+            CellAssignment(all_cells(["A"]), np.array([0.5, 0.5]))
+
+    def test_validation_sum(self):
+        with pytest.raises(ValueError):
+            CellAssignment(all_cells(["A", "B"]), np.array([0.5, 0.2, 0.2]))
+
+    def test_validation_negative(self):
+        with pytest.raises(ValueError):
+            CellAssignment(all_cells(["A", "B"]), np.array([1.2, -0.1, -0.1]))
+
+    def test_expected_stream_ratio(self):
+        assignment = CellAssignment(
+            all_cells(["A", "B"]), np.array([0.5, 0.3, 0.2])
+        )
+        assert assignment.expected_stream_ratio("A") == pytest.approx(0.7)
+        assert assignment.expected_stream_ratio("B") == pytest.approx(0.5)

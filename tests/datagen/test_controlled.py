@@ -1,0 +1,101 @@
+"""Unit tests for the controlled stream generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.controlled import generate_binary, generate_controlled
+
+
+class TestGenerateControlled:
+    def test_realised_union_close_to_request(self):
+        rng = np.random.default_rng(120)
+        dataset = generate_controlled("A & B", 4096, 0.25, rng)
+        assert abs(dataset.union_size - 4096) <= 64
+
+    def test_realised_target_close_to_request(self):
+        rng = np.random.default_rng(121)
+        dataset = generate_controlled("A & B", 8192, 0.25, rng)
+        expected = 8192 * 0.25
+        assert abs(dataset.target_size - expected) / expected < 0.15
+
+    def test_ground_truth_consistent_with_materialised_sets(self):
+        rng = np.random.default_rng(122)
+        dataset = generate_controlled("(A - B) & C", 2048, 0.2, rng)
+        sets = {name: set(int(e) for e in dataset.elements[name])
+                for name in dataset.stream_names()}
+        from repro.expr.parser import parse
+
+        expression = parse("(A - B) & C")
+        assert dataset.target_size == len(expression.evaluate(sets))
+        assert dataset.union_size == len(set().union(*sets.values()))
+
+    def test_exact_cardinality_of_subexpressions(self):
+        rng = np.random.default_rng(123)
+        dataset = generate_controlled("(A - B) & C", 2048, 0.2, rng)
+        sets = {name: set(int(e) for e in dataset.elements[name])
+                for name in dataset.stream_names()}
+        assert dataset.exact_cardinality("A & B") == len(sets["A"] & sets["B"])
+        assert dataset.exact_cardinality("A - C") == len(sets["A"] - sets["C"])
+
+    def test_elements_within_domain(self):
+        rng = np.random.default_rng(124)
+        dataset = generate_controlled("A & B", 1024, 0.5, rng, domain_bits=16)
+        for elements in dataset.elements.values():
+            assert elements.size == 0 or int(elements.max()) < 2**16
+
+    def test_streams_have_balanced_sizes(self):
+        rng = np.random.default_rng(125)
+        dataset = generate_controlled("A & B", 8192, 0.25, rng)
+        size_a = len(dataset.elements["A"])
+        size_b = len(dataset.elements["B"])
+        assert abs(size_a - size_b) / max(size_a, size_b) < 0.1
+
+    def test_elements_are_distinct_within_stream(self):
+        rng = np.random.default_rng(126)
+        dataset = generate_controlled("A & B", 2048, 0.5, rng)
+        for elements in dataset.elements.values():
+            assert len(np.unique(elements)) == len(elements)
+
+    def test_validation(self):
+        rng = np.random.default_rng(127)
+        with pytest.raises(ValueError):
+            generate_controlled("A & B", 0, 0.5, rng)
+
+    def test_deterministic_given_seed(self):
+        a = generate_controlled("A & B", 512, 0.5, np.random.default_rng(9))
+        b = generate_controlled("A & B", 512, 0.5, np.random.default_rng(9))
+        assert np.array_equal(a.elements["A"], b.elements["A"])
+        assert a.cell_sizes == b.cell_sizes
+
+
+class TestGenerateBinary:
+    def test_intersection(self):
+        rng = np.random.default_rng(128)
+        dataset = generate_binary("intersection", 4096, 1024, rng)
+        assert abs(dataset.target_size - 1024) / 1024 < 0.2
+        assert dataset.exact_cardinality("A & B") == dataset.target_size
+
+    def test_difference(self):
+        rng = np.random.default_rng(129)
+        dataset = generate_binary("difference", 4096, 1024, rng)
+        assert abs(dataset.target_size - 1024) / 1024 < 0.2
+        assert dataset.exact_cardinality("A - B") == dataset.target_size
+
+    def test_operator_symbols(self):
+        rng = np.random.default_rng(130)
+        assert generate_binary("&", 256, 64, rng).expression.to_text() == "(A & B)"
+        assert generate_binary("-", 256, 64, rng).expression.to_text() == "(A - B)"
+
+    def test_bad_operator(self):
+        with pytest.raises(ValueError):
+            generate_binary("xor", 256, 64, np.random.default_rng(0))
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            generate_binary("&", 256, 300, np.random.default_rng(0))
+
+    def test_domain_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            generate_controlled("A & B", 2**17, 0.5, np.random.default_rng(0), domain_bits=16)

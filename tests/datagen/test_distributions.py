@@ -1,0 +1,68 @@
+"""Unit tests for the element-value distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import uniform_multiset, zipf_multiset
+
+
+class TestUniformMultiset:
+    def test_size_and_membership(self):
+        rng = np.random.default_rng(150)
+        pool = np.arange(100, dtype=np.uint64)
+        drawn = uniform_multiset(pool, 5000, rng)
+        assert drawn.shape == (5000,)
+        assert set(int(v) for v in drawn) <= set(int(v) for v in pool)
+
+    def test_roughly_uniform(self):
+        rng = np.random.default_rng(151)
+        pool = np.arange(10, dtype=np.uint64)
+        drawn = uniform_multiset(pool, 50_000, rng)
+        counts = np.bincount(drawn.astype(np.int64), minlength=10)
+        assert counts.min() > 4000
+
+    def test_zero_items(self):
+        rng = np.random.default_rng(152)
+        assert uniform_multiset(np.arange(5), 0, rng).shape == (0,)
+
+    def test_validation(self):
+        rng = np.random.default_rng(153)
+        with pytest.raises(ValueError):
+            uniform_multiset(np.array([]), 10, rng)
+        with pytest.raises(ValueError):
+            uniform_multiset(np.arange(5), -1, rng)
+
+
+class TestZipfMultiset:
+    def test_size_and_membership(self):
+        rng = np.random.default_rng(154)
+        pool = np.arange(100, dtype=np.uint64)
+        drawn = zipf_multiset(pool, 5000, rng)
+        assert drawn.shape == (5000,)
+        assert set(int(v) for v in drawn) <= set(int(v) for v in pool)
+
+    def test_skew_favours_early_ranks(self):
+        rng = np.random.default_rng(155)
+        pool = np.arange(1000, dtype=np.uint64)
+        drawn = zipf_multiset(pool, 50_000, rng, skew=1.2)
+        counts = np.bincount(drawn.astype(np.int64), minlength=1000)
+        # Rank 1 should dominate rank 100 heavily under Zipf(1.2).
+        assert counts[0] > 10 * max(counts[99], 1)
+
+    def test_higher_skew_more_concentrated(self):
+        rng = np.random.default_rng(156)
+        pool = np.arange(500, dtype=np.uint64)
+        mild = zipf_multiset(pool, 20_000, np.random.default_rng(1), skew=0.5)
+        steep = zipf_multiset(pool, 20_000, np.random.default_rng(1), skew=2.0)
+        assert len(np.unique(steep)) < len(np.unique(mild))
+
+    def test_validation(self):
+        rng = np.random.default_rng(157)
+        with pytest.raises(ValueError):
+            zipf_multiset(np.arange(5), 10, rng, skew=0)
+        with pytest.raises(ValueError):
+            zipf_multiset(np.array([]), 10, rng)
+        with pytest.raises(ValueError):
+            zipf_multiset(np.arange(5), -2, rng)

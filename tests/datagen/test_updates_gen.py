@@ -1,0 +1,97 @@
+"""Unit tests for update-stream generation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen.updates_gen import multiset_updates, with_phantom_deletions
+from repro.streams.exact import ExactStreamStore
+
+
+class TestPhantomDeletions:
+    def test_net_effect_is_the_real_elements(self):
+        rng = np.random.default_rng(140)
+        elements = rng.choice(2**20, size=200, replace=False)
+        updates = with_phantom_deletions("A", elements, rng, phantom_fraction=1.0)
+        store = ExactStreamStore()
+        store.apply_many(updates)
+        assert store.distinct_set("A") == set(int(e) for e in elements)
+
+    def test_sequence_is_legal(self):
+        """Every prefix must keep net frequencies non-negative; the exact
+        store raises otherwise, so a clean apply IS the assertion."""
+        rng = np.random.default_rng(141)
+        elements = rng.choice(2**20, size=300, replace=False)
+        updates = with_phantom_deletions("A", elements, rng, phantom_fraction=2.0)
+        ExactStreamStore().apply_many(updates)
+
+    def test_contains_deletions(self):
+        rng = np.random.default_rng(142)
+        elements = rng.choice(2**20, size=100, replace=False)
+        updates = with_phantom_deletions("A", elements, rng, phantom_fraction=0.5)
+        assert any(update.is_deletion for update in updates)
+        assert sum(1 for u in updates if u.is_deletion) == 50
+
+    def test_zero_fraction_is_pure_insertions(self):
+        rng = np.random.default_rng(143)
+        elements = np.arange(10, dtype=np.uint64)
+        updates = with_phantom_deletions("A", elements, rng, phantom_fraction=0.0)
+        assert len(updates) == 10
+        assert all(update.is_insertion for update in updates)
+
+    def test_sketch_state_identical_to_insert_only(self):
+        """The headline claim, via generated traffic: churn-heavy update
+        stream and insert-only stream produce identical sketches."""
+        from repro.core.family import SketchSpec
+        from repro.core.sketch import SketchShape
+
+        rng = np.random.default_rng(144)
+        elements = rng.choice(2**20, size=150, replace=False)
+        updates = with_phantom_deletions(
+            "A", elements, rng, phantom_fraction=1.5, domain_bits=20
+        )
+        spec = SketchSpec(
+            num_sketches=8,
+            shape=SketchShape(domain_bits=20, num_second_level=8, independence=4),
+            seed=5,
+        )
+        churned = spec.build()
+        churned.update_batch(
+            [update.element for update in updates],
+            [update.delta for update in updates],
+        )
+        clean = spec.build()
+        clean.update_batch(elements)
+        assert churned == clean
+
+
+class TestMultisetUpdates:
+    def test_every_element_survives(self):
+        rng = np.random.default_rng(145)
+        elements = rng.choice(2**20, size=100, replace=False)
+        updates = multiset_updates("A", elements, rng)
+        store = ExactStreamStore()
+        store.apply_many(updates)
+        assert store.distinct_set("A") == set(int(e) for e in elements)
+
+    def test_frequencies_in_range(self):
+        rng = np.random.default_rng(146)
+        elements = rng.choice(2**20, size=100, replace=False)
+        updates = multiset_updates("A", elements, rng, max_multiplicity=4)
+        store = ExactStreamStore()
+        store.apply_many(updates)
+        for element in elements:
+            assert 1 <= store.frequency("A", int(element)) <= 4
+
+    def test_contains_both_signs(self):
+        rng = np.random.default_rng(147)
+        elements = rng.choice(2**20, size=200, replace=False)
+        updates = multiset_updates("A", elements, rng)
+        assert any(update.is_deletion for update in updates)
+        assert any(update.is_insertion for update in updates)
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            multiset_updates("A", np.arange(3), np.random.default_rng(0), 0)

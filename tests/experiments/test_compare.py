@@ -1,0 +1,93 @@
+"""Unit tests for paper-vs-measured comparison."""
+
+from __future__ import annotations
+
+from repro.experiments.compare import check_anchors, to_csv
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reference import PAPER_ANCHORS
+from repro.experiments.runner import SweepResult, SweepSeries
+
+
+def synthetic_result(name="fig7a", sketch_counts=(256, 512), errors=(0.2, 0.08)):
+    config = ExperimentConfig(
+        name=name,
+        title="synthetic",
+        expression="A & B",
+        union_size=1024,
+        target_ratios=(0.5,),
+        sketch_counts=sketch_counts,
+        trials=1,
+    )
+    series = SweepSeries(
+        target_ratio=0.5,
+        target_size=512,
+        sketch_counts=sketch_counts,
+        errors=errors,
+    )
+    return SweepResult(config=config, series=(series,), elapsed_seconds=1.0)
+
+
+class TestCheckAnchors:
+    def test_holding_anchors(self):
+        result = synthetic_result(errors=(0.2, 0.08))
+        verdicts = check_anchors(result)
+        assert verdicts  # fig7a has anchors
+        assert all(v.holds for v in verdicts if v.holds is not None)
+
+    def test_missing_anchor_detected(self):
+        result = synthetic_result(errors=(0.9, 0.9))
+        verdicts = check_anchors(result)
+        assert any(v.holds is False for v in verdicts)
+
+    def test_uncovered_sketch_count_skipped(self):
+        result = synthetic_result(sketch_counts=(32, 64), errors=(0.5, 0.4))
+        verdicts = check_anchors(result)
+        assert all(v.holds is None for v in verdicts)
+        assert all("SKIP" in v.describe() for v in verdicts)
+
+    def test_worst_series_is_compared(self):
+        config = ExperimentConfig(
+            name="fig7a",
+            title="synthetic",
+            expression="A & B",
+            union_size=1024,
+            target_ratios=(0.5, 0.25),
+            sketch_counts=(512,),
+            trials=1,
+        )
+        good = SweepSeries(0.5, 512, (512,), (0.05,))
+        bad = SweepSeries(0.25, 256, (512,), (0.5,))
+        result = SweepResult(config=config, series=(good, bad), elapsed_seconds=1.0)
+        verdicts = [v for v in check_anchors(result) if v.holds is not None]
+        assert all(v.measured_max_error == 0.5 for v in verdicts)
+
+    def test_unknown_figure_has_no_anchors(self):
+        config = ExperimentConfig(
+            name="custom", title="t", expression="A", union_size=8,
+            target_ratios=(0.5,), sketch_counts=(8,), trials=1,
+        )
+        result = SweepResult(
+            config=config,
+            series=(SweepSeries(0.5, 4, (8,), (0.1,)),),
+            elapsed_seconds=0.1,
+        )
+        assert check_anchors(result) == []
+
+    def test_describe_mentions_claim(self):
+        verdicts = check_anchors(synthetic_result())
+        claims = {anchor.claim for anchor in PAPER_ANCHORS}
+        for verdict in verdicts:
+            assert any(claim in verdict.describe() for claim in claims)
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        csv_text = to_csv(synthetic_result())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "sketches,target_size,target_ratio,trimmed_error"
+        assert len(lines) == 3
+        assert lines[1].startswith("256,512,0.5,")
+
+    def test_errors_formatted(self):
+        csv_text = to_csv(synthetic_result(errors=(0.123456789, 0.1)))
+        assert "0.123457" in csv_text

@@ -1,0 +1,72 @@
+"""Unit tests for experiment configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import FIGURES, ExperimentConfig, scaled_config
+
+
+class TestFigures:
+    def test_all_three_figures_defined(self):
+        assert sorted(FIGURES) == ["fig7a", "fig7b", "fig8"]
+
+    def test_expressions_match_paper(self):
+        assert FIGURES["fig7a"].expression == "A & B"
+        assert FIGURES["fig7b"].expression == "A - B"
+        assert FIGURES["fig8"].expression == "(A - B) & C"
+
+    def test_paper_scale_parameters(self):
+        config = FIGURES["fig7a"]
+        assert config.union_size == 2**18
+        assert config.num_second_level == 32
+        assert 512 in config.sketch_counts
+
+    def test_paper_target_ratios_include_u_over_32(self):
+        """Section 5.2 names |A - B| = 8192 = u / 32 explicitly."""
+        config = FIGURES["fig7b"]
+        assert 1 / 32 in config.target_ratios
+        assert config.target_size(1 / 32) == 8192
+
+
+class TestExperimentConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", title="x", expression="A", target_ratios=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", title="x", expression="A", sketch_counts=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(name="x", title="x", expression="A", trials=0)
+
+    def test_max_sketches(self):
+        config = ExperimentConfig(
+            name="x", title="x", expression="A", sketch_counts=(8, 64, 32)
+        )
+        assert config.max_sketches == 64
+
+    def test_target_size(self):
+        config = ExperimentConfig(name="x", title="x", expression="A", union_size=1000)
+        assert config.target_size(0.25) == 250
+
+
+class TestScaledConfig:
+    def test_bench_scale_is_smaller(self):
+        base = FIGURES["fig7a"]
+        bench = scaled_config(base, "bench")
+        assert bench.union_size < base.union_size
+        assert bench.trials <= base.trials
+        assert bench.expression == base.expression
+
+    def test_paper_scale_is_identity(self):
+        base = FIGURES["fig8"]
+        assert scaled_config(base, "paper") == base
+
+    def test_medium_between(self):
+        base = FIGURES["fig7b"]
+        medium = scaled_config(base, "medium")
+        bench = scaled_config(base, "bench")
+        assert bench.union_size < medium.union_size <= base.union_size
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            scaled_config(FIGURES["fig7a"], "huge")

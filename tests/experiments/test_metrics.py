@@ -1,0 +1,67 @@
+"""Unit tests for the experiment metrics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.metrics import relative_error, trimmed_mean_error
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_overestimate(self):
+        assert relative_error(120.0, 100.0) == pytest.approx(0.2)
+
+    def test_underestimate(self):
+        assert relative_error(80.0, 100.0) == pytest.approx(0.2)
+
+    def test_zero_truth_zero_estimate(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_zero_truth_nonzero_estimate(self):
+        assert math.isinf(relative_error(5.0, 0.0))
+
+    def test_total_miss(self):
+        assert relative_error(0.0, 50.0) == 1.0
+
+
+class TestTrimmedMean:
+    def test_no_trim_needed(self):
+        assert trimmed_mean_error([0.1, 0.2, 0.3], trim_fraction=0.0) == pytest.approx(0.2)
+
+    def test_trims_worst(self):
+        values = [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 9.0, 9.0, 9.0]
+        assert trimmed_mean_error(values, trim_fraction=0.3) == pytest.approx(0.1)
+
+    def test_default_fraction_is_paper_value(self):
+        values = [0.0] * 7 + [1.0] * 3
+        assert trimmed_mean_error(values) == 0.0
+
+    def test_single_observation(self):
+        assert trimmed_mean_error([0.42]) == pytest.approx(0.42)
+
+    def test_always_keeps_one(self):
+        assert trimmed_mean_error([0.5], trim_fraction=0.99) == pytest.approx(0.5)
+
+    def test_order_does_not_matter(self):
+        a = trimmed_mean_error([0.3, 0.1, 0.9, 0.2])
+        b = trimmed_mean_error([0.9, 0.2, 0.3, 0.1])
+        assert a == b
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean_error([])
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean_error([0.1], trim_fraction=1.0)
+        with pytest.raises(ValueError):
+            trimmed_mean_error([0.1], trim_fraction=-0.1)
+
+    def test_infinite_errors_trimmed_away(self):
+        values = [0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, math.inf, math.inf, math.inf]
+        assert trimmed_mean_error(values) == pytest.approx(0.1)

@@ -1,0 +1,77 @@
+"""Unit tests for the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.compare import to_csv
+from repro.experiments.config import FIGURES, scaled_config
+from repro.experiments.report import load_sweep_csv, main, render_report
+from repro.experiments.runner import SweepResult, SweepSeries
+
+
+def synthetic_result(scale="bench", figure="fig7a") -> SweepResult:
+    config = scaled_config(FIGURES[figure], scale)
+    series = []
+    for index, ratio in enumerate(config.target_ratios):
+        series.append(
+            SweepSeries(
+                target_ratio=ratio,
+                target_size=int(config.union_size * ratio),
+                sketch_counts=config.sketch_counts,
+                errors=tuple(
+                    0.5 / (count ** 0.5) + 0.01 * index
+                    for count in config.sketch_counts
+                ),
+            )
+        )
+    return SweepResult(config=config, series=tuple(series), elapsed_seconds=1.0)
+
+
+class TestCsvRoundTrip:
+    def test_load_recovers_series(self, tmp_path):
+        result = synthetic_result()
+        path = tmp_path / "fig7a_bench.csv"
+        path.write_text(to_csv(result))
+        loaded = load_sweep_csv(path, "fig7a", "bench")
+        assert len(loaded.series) == len(result.series)
+        for original, recovered in zip(result.series, loaded.series):
+            assert recovered.target_ratio == pytest.approx(original.target_ratio)
+            assert recovered.sketch_counts == original.sketch_counts
+            for a, b in zip(recovered.errors, original.errors):
+                assert a == pytest.approx(b, abs=1e-6)
+
+    def test_table_renders_from_loaded(self, tmp_path):
+        result = synthetic_result()
+        path = tmp_path / "fig7a_bench.csv"
+        path.write_text(to_csv(result))
+        loaded = load_sweep_csv(path, "fig7a", "bench")
+        assert "Figure 7(a)" in loaded.as_table()
+
+
+class TestRenderReport:
+    def test_full_report(self, tmp_path):
+        for figure in ("fig7a", "fig7b"):
+            result = synthetic_result(figure=figure)
+            (tmp_path / f"{figure}_bench.csv").write_text(to_csv(result))
+        report = render_report(tmp_path, "bench")
+        assert "Figure 7(a)" in report
+        assert "Figure 7(b)" in report
+        assert "fig8: no results file" in report
+
+    def test_empty_directory(self, tmp_path):
+        report = render_report(tmp_path, "bench")
+        assert "No result CSVs found" in report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        (tmp_path / "fig7a_bench.csv").write_text(to_csv(synthetic_result()))
+        out = tmp_path / "REPORT.md"
+        assert main(
+            ["--results", str(tmp_path), "--scale", "bench", "--out", str(out)]
+        ) == 0
+        assert out.is_file()
+        assert "Figure 7(a)" in out.read_text()
+
+    def test_main_prints_without_out(self, tmp_path, capsys):
+        assert main(["--results", str(tmp_path), "--scale", "bench"]) == 0
+        assert "Experiment report" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""Unit tests for the sweep runner (tiny configurations only)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_sweep
+
+TINY = ExperimentConfig(
+    name="tiny",
+    title="tiny sweep",
+    expression="A & B",
+    union_size=512,
+    target_ratios=(0.5,),
+    sketch_counts=(32, 64),
+    trials=3,
+    num_second_level=8,
+    independence=6,
+    domain_bits=20,
+    base_seed=7,
+)
+
+
+class TestRunSweep:
+    def test_structure(self):
+        result = run_sweep(TINY)
+        assert result.config == TINY
+        assert len(result.series) == 1
+        series = result.series[0]
+        assert series.sketch_counts == (32, 64)
+        assert len(series.errors) == 2
+        assert all(e >= 0 for e in series.errors)
+        assert result.elapsed_seconds > 0
+
+    def test_errors_are_finite_at_moderate_ratio(self):
+        result = run_sweep(TINY)
+        assert all(math.isfinite(e) for e in result.series[0].errors)
+
+    def test_realised_target_recorded(self):
+        result = run_sweep(TINY)
+        assert abs(result.series[0].target_size - 256) < 64
+
+    def test_error_at_accessor(self):
+        series = run_sweep(TINY).series[0]
+        assert series.error_at(32) == series.errors[0]
+
+    def test_table_rendering(self):
+        table = run_sweep(TINY).as_table()
+        assert "tiny sweep" in table
+        assert "32" in table and "64" in table
+        assert "%" in table
+
+    def test_progress_callback(self):
+        lines = []
+        run_sweep(TINY, progress=lines.append)
+        assert len(lines) == TINY.trials * len(TINY.target_ratios)
+
+    def test_deterministic(self):
+        first = run_sweep(TINY)
+        second = run_sweep(TINY)
+        assert first.series[0].errors == second.series[0].errors
+
+    def test_multiple_ratios(self):
+        config = ExperimentConfig(
+            name="two-ratio",
+            title="two ratios",
+            expression="A - B",
+            union_size=512,
+            target_ratios=(0.5, 0.25),
+            sketch_counts=(32,),
+            trials=2,
+            num_second_level=8,
+            independence=6,
+            domain_bits=20,
+        )
+        result = run_sweep(config)
+        assert len(result.series) == 2
+        assert result.series[0].target_size > result.series[1].target_size
+
+
+class TestPoolingConfig:
+    def test_pooled_sweep_runs(self):
+        from dataclasses import replace
+
+        pooled = replace(TINY, name="tiny-pooled", pool_levels=4)
+        result = run_sweep(pooled)
+        assert len(result.series) == 1
+        assert all(e >= 0 for e in result.series[0].errors)
+
+    def test_default_is_single_level(self):
+        assert TINY.pool_levels == 1

@@ -1,0 +1,148 @@
+"""Unit tests for the set-expression AST."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    StreamRef,
+    UnionExpr,
+    streams,
+)
+
+
+class TestStreamRef:
+    def test_valid_names(self):
+        for name in ("A", "router_1", "B2", "x"):
+            assert StreamRef(name).name == name
+
+    def test_invalid_names(self):
+        for name in ("", "a b", "a-b", "a|b", "(x)"):
+            with pytest.raises(ValueError):
+                StreamRef(name)
+
+    def test_streams(self):
+        assert StreamRef("A").streams() == frozenset({"A"})
+
+    def test_evaluate(self):
+        assert StreamRef("A").evaluate({"A": {1, 2}}) == {1, 2}
+
+    def test_contains(self):
+        ref = StreamRef("A")
+        assert ref.contains({"A": True})
+        assert not ref.contains({"A": False})
+        assert not ref.contains({})
+
+    def test_to_text(self):
+        assert StreamRef("A").to_text() == "A"
+
+
+class TestOperators:
+    def test_sugar_builds_nodes(self):
+        A, B = streams("A", "B")
+        assert isinstance(A | B, UnionExpr)
+        assert isinstance(A & B, IntersectionExpr)
+        assert isinstance(A - B, DifferenceExpr)
+
+    def test_sugar_rejects_non_expressions(self):
+        A = StreamRef("A")
+        with pytest.raises(TypeError):
+            A | {1, 2}
+        with pytest.raises(TypeError):
+            A & "B"
+        with pytest.raises(TypeError):
+            A - 5
+
+    def test_streams_accumulate(self):
+        A, B, C = streams("A", "B", "C")
+        assert ((A - B) & C).streams() == frozenset({"A", "B", "C"})
+
+    def test_str_is_text(self):
+        A, B = streams("A", "B")
+        assert str(A | B) == "(A | B)"
+
+
+class TestEvaluate:
+    SETS = {"A": {1, 2, 3, 4}, "B": {3, 4, 5}, "C": {1, 4, 5, 6}}
+
+    def test_union(self):
+        A, B = streams("A", "B")
+        assert (A | B).evaluate(self.SETS) == {1, 2, 3, 4, 5}
+
+    def test_intersection(self):
+        A, B = streams("A", "B")
+        assert (A & B).evaluate(self.SETS) == {3, 4}
+
+    def test_difference(self):
+        A, B = streams("A", "B")
+        assert (A - B).evaluate(self.SETS) == {1, 2}
+
+    def test_compound(self):
+        A, B, C = streams("A", "B", "C")
+        expression = (A - B) & C
+        assert expression.evaluate(self.SETS) == {1}
+
+    def test_evaluation_matches_contains_on_every_element(self):
+        A, B, C = streams("A", "B", "C")
+        expression = (A & C) - (B | C) | (A - B)
+        universe = set().union(*self.SETS.values())
+        via_eval = expression.evaluate(self.SETS)
+        via_contains = {
+            element
+            for element in universe
+            if expression.contains(
+                {name: element in members for name, members in self.SETS.items()}
+            )
+        }
+        assert via_eval == via_contains
+
+
+class TestBooleanMask:
+    def test_matches_membership_semantics(self):
+        A, B, C = streams("A", "B", "C")
+        expression = (A - B) & C
+        masks = {
+            "A": np.array([True, True, False, True]),
+            "B": np.array([False, True, False, False]),
+            "C": np.array([True, True, True, False]),
+        }
+        result = expression.boolean_mask(masks)
+        assert list(result) == [True, False, False, False]
+
+    def test_union_is_or(self):
+        A, B = streams("A", "B")
+        masks = {"A": np.array([True, False]), "B": np.array([False, False])}
+        assert list((A | B).boolean_mask(masks)) == [True, False]
+
+    def test_mask_shape_preserved(self):
+        A, B = streams("A", "B")
+        masks = {"A": np.zeros(7, dtype=bool), "B": np.ones(7, dtype=bool)}
+        assert (A & B).boolean_mask(masks).shape == (7,)
+
+
+class TestStructure:
+    def test_subexpressions_depth_first(self):
+        A, B, C = streams("A", "B", "C")
+        expression = (A - B) & C
+        nodes = list(expression.subexpressions())
+        assert len(nodes) == 5
+        assert nodes[0] is expression
+
+    def test_frozen(self):
+        A = StreamRef("A")
+        with pytest.raises(AttributeError):
+            A.name = "B"
+
+    def test_equality_is_structural(self):
+        A1, B1 = streams("A", "B")
+        A2, B2 = streams("A", "B")
+        assert (A1 | B1) == (A2 | B2)
+        assert (A1 | B1) != (A1 & B1)
+        assert (A1 - B1) != (B1 - A1)
+
+    def test_to_text_nested(self):
+        A, B, C = streams("A", "B", "C")
+        assert ((A - B) & C).to_text() == "((A - B) & C)"

@@ -1,0 +1,136 @@
+"""Unit tests for expression analysis and simplification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr.optimize import (
+    canonical_cells,
+    equivalent,
+    is_tautology,
+    is_unsatisfiable,
+    simplify,
+)
+from repro.expr.parser import parse
+from repro.expr.venn import Cell
+
+
+class TestCanonicalCells:
+    def test_intersection(self):
+        assert canonical_cells(parse("A & B")) == frozenset({Cell({"A", "B"})})
+
+    def test_wider_universe_projection(self):
+        cells = canonical_cells(parse("A"), frozenset({"A", "B"}))
+        assert cells == frozenset({Cell({"A"}), Cell({"A", "B"})})
+
+    def test_unsatisfiable_is_empty(self):
+        assert canonical_cells(parse("A - A")) == frozenset()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        ("first", "second"),
+        [
+            ("A & B", "B & A"),
+            ("A | B", "B | A"),
+            ("A - B", "A - (A & B)"),
+            ("(A | B) - B", "A - B"),
+            ("A & (B | C)", "(A & B) | (A & C)"),
+            ("A - (B | C)", "(A - B) - C"),
+            ("A", "A | (A & B)"),
+            ("A & A", "A"),
+        ],
+    )
+    def test_known_identities(self, first: str, second: str):
+        assert equivalent(parse(first), parse(second))
+
+    @pytest.mark.parametrize(
+        ("first", "second"),
+        [
+            ("A - B", "B - A"),
+            ("A & B", "A | B"),
+            ("A", "B"),
+            ("A - (B - C)", "(A - B) - C"),
+        ],
+    )
+    def test_known_inequivalences(self, first: str, second: str):
+        assert not equivalent(parse(first), parse(second))
+
+    def test_different_stream_sets(self):
+        # A is not equivalent to A | C: consider an element only in C...
+        # wait, it must be in neither A; element in C-only is in A|C but
+        # not in A.
+        assert not equivalent(parse("A"), parse("A | C"))
+        # ...but A is equivalent to A & (A | C).
+        assert equivalent(parse("A"), parse("A & (A | C)"))
+
+
+class TestSatisfiability:
+    def test_unsatisfiable(self):
+        assert is_unsatisfiable(parse("A - A"))
+        assert is_unsatisfiable(parse("(A & B) - B"))
+        assert not is_unsatisfiable(parse("A - B"))
+
+    def test_tautology(self):
+        assert is_tautology(parse("A | B"))
+        assert is_tautology(parse("A"))  # covers its single-stream union
+        assert not is_tautology(parse("A & B"))
+
+
+class TestSimplify:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A & B",
+            "A - B",
+            "A | B",
+            "(A - B) & C",
+            "A & (B | C)",
+            "((A | B) - C) | (B & C)",
+            "A - (A & B)",
+        ],
+    )
+    def test_simplify_preserves_semantics(self, text: str):
+        original = parse(text)
+        simplified = simplify(original)
+        assert equivalent(original, simplified)
+
+    def test_unsatisfiable_collapses(self):
+        simplified = simplify(parse("(A & B) - (A | B)"))
+        assert is_unsatisfiable(simplified)
+        assert simplified.to_text() == "(A - A)"
+
+    def test_tautology_collapses_to_union(self):
+        simplified = simplify(parse("(A - B) | (B - A) | (A & B)"))
+        assert simplified.to_text() == "(A | B)"
+
+    def test_canonical_for_equivalent_inputs(self):
+        first = simplify(parse("A & (B | C)"))
+        second = simplify(parse("(C & A) | (B & A)"))
+        assert first == second
+
+    def test_redundant_structure_shrinks(self):
+        simplified = simplify(parse("A | (A & B) | (A & B & A)"))
+        assert equivalent(simplified, parse("A"))
+
+    def test_redundant_streams_eliminated(self):
+        simplified = simplify(parse("(A & B) | (A - B) | (A & B & C)"))
+        assert simplified.to_text() == "A"
+
+    def test_irrelevant_intersection_context_eliminated(self):
+        # B never matters: (A & B) | (A - B) == A regardless of B, C.
+        simplified = simplify(parse("((A & B) | (A - B)) & (A | C | A)"))
+        assert simplified.streams() <= {"A", "C"} or simplified.to_text() == "A"
+        assert equivalent(simplified, parse("(A & B) | (A - B)"))
+
+    def test_cascading_elimination(self):
+        # After B is eliminated, C becomes eliminable too.
+        text = "((A & B) | (A - B) | (A & C)) "
+        simplified = simplify(parse(text))
+        assert simplified.to_text() == "A"
+
+    def test_exact_evaluation_matches(self):
+        sets = {"A": {1, 2, 3}, "B": {2, 3, 4}, "C": {3, 4, 5}}
+        original = parse("((A | B) - C) | (B & C)")
+        simplified = simplify(original)
+        assert original.evaluate(sets) == simplified.evaluate(sets)

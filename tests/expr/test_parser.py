@@ -1,0 +1,133 @@
+"""Unit tests for the set-expression parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    StreamRef,
+    UnionExpr,
+    streams,
+)
+from repro.expr.parser import parse
+
+
+class TestBasicParsing:
+    def test_single_name(self):
+        assert parse("A") == StreamRef("A")
+
+    def test_binary_operators(self):
+        A, B = streams("A", "B")
+        assert parse("A | B") == A | B
+        assert parse("A & B") == A & B
+        assert parse("A - B") == A - B
+
+    def test_unicode_operators(self):
+        A, B = streams("A", "B")
+        assert parse("A ∪ B") == A | B
+        assert parse("A ∩ B") == A & B
+        assert parse("A − B") == A - B
+
+    def test_alternate_spellings(self):
+        A, B = streams("A", "B")
+        assert parse("A + B") == A | B
+        assert parse("A \\ B") == A - B
+
+    def test_sql_keywords(self):
+        A, B = streams("A", "B")
+        assert parse("A UNION B") == A | B
+        assert parse("A intersect B") == A & B
+        assert parse("A EXCEPT B") == A - B
+        assert parse("A minus B") == A - B
+
+    def test_multi_character_names(self):
+        assert parse("router_1 & router_2") == IntersectionExpr(
+            StreamRef("router_1"), StreamRef("router_2")
+        )
+
+    def test_whitespace_flexible(self):
+        A, B = streams("A", "B")
+        assert parse("A|B") == A | B
+        assert parse("  A  |  B  ") == A | B
+
+
+class TestPrecedenceAndAssociativity:
+    def test_intersection_binds_tighter_than_union(self):
+        A, B, C = streams("A", "B", "C")
+        assert parse("A | B & C") == A | (B & C)
+
+    def test_intersection_binds_tighter_than_difference(self):
+        A, B, C = streams("A", "B", "C")
+        assert parse("A - B & C") == A - (B & C)
+
+    def test_union_difference_left_associative(self):
+        A, B, C = streams("A", "B", "C")
+        assert parse("A - B - C") == (A - B) - C
+        assert parse("A | B - C") == (A | B) - C
+        assert parse("A - B | C") == (A - B) | C
+
+    def test_intersection_left_associative(self):
+        A, B, C = streams("A", "B", "C")
+        assert parse("A & B & C") == (A & B) & C
+
+    def test_parentheses_override(self):
+        A, B, C = streams("A", "B", "C")
+        assert parse("(A | B) & C") == (A | B) & C
+        assert parse("A - (B - C)") == A - (B - C)
+
+    def test_paper_expression(self):
+        A, B, C = streams("A", "B", "C")
+        assert parse("(A - B) & C") == (A - B) & C
+
+    def test_paper_intro_expression(self):
+        """The paper's intro example: A4 - (A3 & (A2 | A1))."""
+        A1, A2, A3, A4 = streams("A1", "A2", "A3", "A4")
+        assert parse("A4 - (A3 & (A2 | A1))") == A4 - (A3 & (A2 | A1))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A",
+            "(A | B)",
+            "(A & B)",
+            "(A - B)",
+            "((A - B) & C)",
+            "((A | B) - (C & D))",
+            "(((A - B) - C) | D)",
+        ],
+    )
+    def test_to_text_reparses_identically(self, text: str):
+        tree = parse(text)
+        assert parse(tree.to_text()) == tree
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "|",
+            "A |",
+            "| A",
+            "A B",
+            "(A",
+            "A)",
+            "()",
+            "A & & B",
+            "A ? B",
+            "1A & B",
+        ],
+    )
+    def test_malformed_inputs(self, bad: str):
+        with pytest.raises(ExpressionError):
+            parse(bad)
+
+    def test_error_mentions_source(self):
+        with pytest.raises(ExpressionError, match="A \\&"):
+            parse("A & ")

@@ -1,0 +1,96 @@
+"""Unit tests for SQL rendering of set expressions."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.expr.parser import parse
+from repro.expr.sql import cardinality_sql, to_sql
+
+
+class TestRendering:
+    def test_leaf(self):
+        assert to_sql(parse("A")) == "SELECT element FROM A"
+
+    def test_binary_operators(self):
+        assert to_sql(parse("A | B")) == (
+            "SELECT element FROM A UNION SELECT element FROM B"
+        )
+        assert to_sql(parse("A & B")) == (
+            "SELECT element FROM A INTERSECT SELECT element FROM B"
+        )
+        assert to_sql(parse("A - B")) == (
+            "SELECT element FROM A EXCEPT SELECT element FROM B"
+        )
+
+    def test_nesting_wrapped_as_subselect(self):
+        sql = to_sql(parse("(A - B) & C"))
+        assert sql == (
+            "SELECT element FROM "
+            "(SELECT element FROM A EXCEPT SELECT element FROM B) AS sub1 "
+            "INTERSECT SELECT element FROM C"
+        )
+
+    def test_custom_column(self):
+        assert "customer_id" in to_sql(parse("A & B"), column="customer_id")
+
+    def test_bad_column_rejected(self):
+        with pytest.raises(ValueError):
+            to_sql(parse("A"), column="id; DROP TABLE users")
+
+    def test_cardinality_wrapper(self):
+        sql = cardinality_sql(parse("A - B"))
+        assert sql.startswith("SELECT COUNT(*) FROM (")
+        assert sql.endswith(") AS result")
+
+
+class TestAgainstSqlite:
+    """The rendered SQL must compute exactly what the AST evaluates."""
+
+    SETS = {"A": {1, 2, 3, 4}, "B": {3, 4, 5}, "C": {1, 4, 5, 6}}
+
+    @pytest.fixture()
+    def connection(self):
+        connection = sqlite3.connect(":memory:")
+        for name, members in self.SETS.items():
+            connection.execute(f"CREATE TABLE {name} (element INTEGER)")
+            connection.executemany(
+                f"INSERT INTO {name} VALUES (?)", [(m,) for m in members]
+            )
+        yield connection
+        connection.close()
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "A",
+            "A | B",
+            "A & B",
+            "A - B",
+            "(A - B) & C",
+            "A - (B | C)",
+            "(A & B) | (B & C)",
+            "((A | B) - C) | (B & C)",
+        ],
+    )
+    def test_results_match_ast_evaluation(self, connection, text: str):
+        expression = parse(text)
+        rows = connection.execute(to_sql(expression)).fetchall()
+        assert {row[0] for row in rows} == expression.evaluate(self.SETS)
+
+    @pytest.mark.parametrize("text", ["A & B", "(A - B) & C", "A - (B | C)"])
+    def test_cardinality_sql_matches(self, connection, text: str):
+        expression = parse(text)
+        (count,) = connection.execute(cardinality_sql(expression)).fetchone()
+        assert count == len(expression.evaluate(self.SETS))
+
+    def test_multiset_tables_deduplicated(self, connection):
+        """SQL set operators deduplicate — matching distinct-count
+        semantics even when tables hold duplicate rows."""
+        connection.execute("INSERT INTO A VALUES (1), (1), (1)")
+        expression = parse("A & C")
+        rows = connection.execute(to_sql(expression)).fetchall()
+        assert {row[0] for row in rows} == {1, 4}
+        assert len(rows) == 2

@@ -1,0 +1,115 @@
+"""Unit tests for the Venn-partition algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expr.parser import parse
+from repro.expr.venn import (
+    Cell,
+    all_cells,
+    cells_of_expression,
+    expression_size_from_cells,
+)
+
+
+class TestAllCells:
+    def test_counts(self):
+        assert len(all_cells(["A"])) == 1
+        assert len(all_cells(["A", "B"])) == 3
+        assert len(all_cells(["A", "B", "C"])) == 7
+        assert len(all_cells(["A", "B", "C", "D"])) == 15
+
+    def test_deterministic_order(self):
+        assert all_cells(["B", "A"]) == all_cells(["A", "B"])
+
+    def test_two_stream_contents(self):
+        cells = all_cells(["A", "B"])
+        assert cells == [Cell({"A"}), Cell({"B"}), Cell({"A", "B"})]
+
+    def test_duplicates_collapsed(self):
+        assert all_cells(["A", "A", "B"]) == all_cells(["A", "B"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            all_cells([])
+
+
+class TestCellsOfExpression:
+    def test_intersection(self):
+        assert cells_of_expression(parse("A & B")) == [Cell({"A", "B"})]
+
+    def test_difference(self):
+        assert cells_of_expression(parse("A - B")) == [Cell({"A"})]
+
+    def test_union(self):
+        assert set(cells_of_expression(parse("A | B"))) == {
+            Cell({"A"}),
+            Cell({"B"}),
+            Cell({"A", "B"}),
+        }
+
+    def test_paper_figure8_expression(self):
+        cells = set(cells_of_expression(parse("(A - B) & C")))
+        assert cells == {Cell({"A", "C"})}
+
+    def test_unsatisfiable(self):
+        assert cells_of_expression(parse("A - A")) == []
+
+    def test_tautology_over_union(self):
+        names = parse("A | B").streams()
+        assert len(cells_of_expression(parse("A | B"))) == 2 ** len(names) - 1
+
+
+class TestExpressionSize:
+    SIZES = {
+        Cell({"A"}): 10,
+        Cell({"B"}): 20,
+        Cell({"A", "B"}): 5,
+    }
+
+    def test_union(self):
+        assert expression_size_from_cells(parse("A | B"), self.SIZES) == 35
+
+    def test_intersection(self):
+        assert expression_size_from_cells(parse("A & B"), self.SIZES) == 5
+
+    def test_difference(self):
+        assert expression_size_from_cells(parse("A - B"), self.SIZES) == 10
+        assert expression_size_from_cells(parse("B - A"), self.SIZES) == 20
+
+    def test_missing_cells_treated_empty(self):
+        assert expression_size_from_cells(parse("A & B"), {Cell({"A"}): 3}) == 0
+
+    def test_superset_cells_projected(self):
+        """Cells over extra streams project onto the expression's streams."""
+        sizes = {Cell({"A", "C"}): 7, Cell({"B", "C"}): 9, Cell({"C"}): 100}
+        assert expression_size_from_cells(parse("A - B"), sizes) == 7
+
+    def test_matches_brute_force_random_cases(self):
+        import numpy as np
+
+        rng = np.random.default_rng(80)
+        expressions = [
+            "A & B",
+            "A - B",
+            "A | B",
+            "(A - B) & C",
+            "A - (B | C)",
+            "(A & B) | (B & C)",
+        ]
+        for text in expressions:
+            expression = parse(text)
+            names = sorted(expression.streams())
+            cells = all_cells(names)
+            sizes = {cell: int(size) for cell, size in zip(cells, rng.integers(0, 50, len(cells)))}
+            # Brute force: materialise disjoint element sets per cell.
+            sets: dict[str, set] = {name: set() for name in names}
+            next_element = 0
+            for cell, size in sizes.items():
+                members = set(range(next_element, next_element + size))
+                next_element += size
+                for name in cell:
+                    sets[name] |= members
+            expected = len(expression.evaluate(sets))
+            assert expression_size_from_cells(expression, sizes) == expected

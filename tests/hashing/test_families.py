@@ -1,0 +1,182 @@
+"""Unit tests for the hash-function families."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.families import (
+    BinaryHashBank,
+    PairwiseBinaryHash,
+    PolynomialHash,
+    random_binary_bank,
+    random_polynomial_hash,
+)
+from repro.hashing.mersenne import MERSENNE_P
+
+P = int(MERSENNE_P)
+
+
+class TestPolynomialHash:
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ValueError):
+            PolynomialHash(())
+
+    def test_rejects_out_of_field_coefficients(self):
+        with pytest.raises(ValueError):
+            PolynomialHash((P,))
+        with pytest.raises(ValueError):
+            PolynomialHash((1, -3))
+
+    def test_independence_property(self):
+        assert PolynomialHash((1, 2, 3)).independence == 3
+
+    def test_scalar_matches_array(self):
+        hash_fn = PolynomialHash((17, 3, 99))
+        elements = [0, 1, 2, 12345, 2**30 - 1]
+        array_result = hash_fn(np.asarray(elements, dtype=np.uint64))
+        for element, value in zip(elements, array_result):
+            assert hash_fn(element) == int(value)
+
+    def test_matches_integer_polynomial(self):
+        hash_fn = PolynomialHash((2, 3, 5))
+        x = 1000
+        assert hash_fn(x) == (2 * x**2 + 3 * x + 5) % P
+
+    def test_rejects_elements_outside_field(self):
+        hash_fn = PolynomialHash((1, 0))
+        with pytest.raises(ValueError):
+            hash_fn(np.asarray([P], dtype=np.uint64))
+
+    def test_deterministic(self):
+        hash_fn = PolynomialHash((7, 8, 9))
+        assert hash_fn(42) == hash_fn(42)
+
+    def test_injective_on_small_domain(self):
+        """Degree >= 1 polynomials over a field are injective in x."""
+        hash_fn = PolynomialHash((7, 9))  # linear, a != 0
+        values = hash_fn(np.arange(10_000, dtype=np.uint64))
+        assert len(set(int(v) for v in values)) == 10_000
+
+
+class TestPairwiseBinaryHash:
+    def test_output_is_binary(self):
+        hash_fn = PairwiseBinaryHash(mask=0xDEADBEEF, flip=1)
+        bits = hash_fn(np.arange(1000, dtype=np.uint64))
+        assert set(int(b) for b in bits) <= {0, 1}
+
+    def test_scalar_matches_array(self):
+        hash_fn = PairwiseBinaryHash(mask=0x123456789, flip=0)
+        elements = [0, 1, 7, 2**30]
+        array_result = hash_fn(np.asarray(elements, dtype=np.uint64))
+        for element, bit in zip(elements, array_result):
+            assert hash_fn(element) == int(bit)
+
+    def test_gf2_linearity(self):
+        """g(x) XOR g(y) == g(x XOR y) XOR g(0) for a GF(2)-linear hash."""
+        hash_fn = PairwiseBinaryHash(mask=0xABCDEF0123, flip=1)
+        rng = np.random.default_rng(10)
+        for _ in range(100):
+            x, y = (int(v) for v in rng.integers(0, 2**40, size=2))
+            assert (hash_fn(x) ^ hash_fn(y)) == (hash_fn(x ^ y) ^ hash_fn(0))
+
+    def test_flip_validation(self):
+        with pytest.raises(ValueError):
+            PairwiseBinaryHash(mask=1, flip=2)
+
+    def test_mask_validation(self):
+        with pytest.raises(ValueError):
+            PairwiseBinaryHash(mask=1 << 64, flip=0)
+
+    def test_matches_popcount_parity(self):
+        mask = 0b1011
+        hash_fn = PairwiseBinaryHash(mask=mask, flip=0)
+        for element in range(64):
+            assert hash_fn(element) == bin(element & mask).count("1") % 2
+
+
+class TestBinaryHashBank:
+    def test_bits_shape(self):
+        bank = random_binary_bank(np.random.default_rng(11), size=8)
+        bits = bank.bits(np.arange(100, dtype=np.uint64))
+        assert bits.shape == (100, 8)
+
+    def test_bits_match_individual_hashes(self):
+        bank = random_binary_bank(np.random.default_rng(12), size=6)
+        elements = np.arange(200, dtype=np.uint64)
+        bits = bank.bits(elements)
+        for j in range(6):
+            individual = bank[j]
+            for element, bit in zip(elements, bits[:, j]):
+                assert individual(int(element)) == int(bit)
+
+    def test_size(self):
+        assert random_binary_bank(np.random.default_rng(13), size=5).size == 5
+
+    def test_mismatched_tuples_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryHashBank(masks=(1, 2), flips=(0,))
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryHashBank(masks=(), flips=())
+
+    def test_balanced_output(self):
+        """Each hash should split a large input set roughly in half."""
+        bank = random_binary_bank(np.random.default_rng(14), size=16)
+        rng = np.random.default_rng(15)
+        elements = rng.integers(0, 2**40, size=50_000, dtype=np.uint64)
+        means = bank.bits(elements).mean(axis=0)
+        assert float(np.abs(means - 0.5).max()) < 0.02
+
+    def test_pairwise_agreement_over_hash_draw(self):
+        """For a FIXED distinct pair, a randomly drawn hash maps the two
+        elements to the same bit with probability exactly 1/2 — pairwise
+        independence is a statement over the draw of the function."""
+        bank = random_binary_bank(np.random.default_rng(16), size=4096)
+        x = np.asarray([123456789], dtype=np.uint64)
+        y = np.asarray([987654321], dtype=np.uint64)
+        agreement = float((bank.bits(x) == bank.bits(y)).mean())
+        assert abs(agreement - 0.5) < 0.03
+
+    def test_all_hashes_agree_rate_for_random_pairs(self):
+        """Random distinct pairs agree on all s independent hashes at the
+        Lemma 3.1 rate ~2**-s (the singleton-check error probability)."""
+        s = 10
+        bank = random_binary_bank(np.random.default_rng(18), size=s)
+        rng = np.random.default_rng(17)
+        x = rng.integers(0, 2**40, size=50_000, dtype=np.uint64)
+        y = rng.integers(0, 2**40, size=50_000, dtype=np.uint64)
+        distinct = x != y
+        agree = (bank.bits(x) == bank.bits(y)).all(axis=1)[distinct]
+        rate = float(agree.mean())
+        assert rate < 5.0 * 2.0**-s
+
+
+class TestRandomGenerators:
+    def test_polynomial_deterministic_per_seed(self):
+        a = random_polynomial_hash(np.random.default_rng(42), 4)
+        b = random_polynomial_hash(np.random.default_rng(42), 4)
+        assert a == b
+
+    def test_polynomial_leading_coefficient_nonzero(self):
+        for seed in range(20):
+            drawn = random_polynomial_hash(np.random.default_rng(seed), 3)
+            assert drawn.coefficients[0] != 0
+
+    def test_polynomial_requested_independence(self):
+        drawn = random_polynomial_hash(np.random.default_rng(1), 7)
+        assert drawn.independence == 7
+
+    def test_polynomial_rejects_bad_independence(self):
+        with pytest.raises(ValueError):
+            random_polynomial_hash(np.random.default_rng(1), 0)
+
+    def test_bank_deterministic_per_seed(self):
+        a = random_binary_bank(np.random.default_rng(5), 4)
+        b = random_binary_bank(np.random.default_rng(5), 4)
+        assert a == b
+
+    def test_bank_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            random_binary_bank(np.random.default_rng(1), 0)

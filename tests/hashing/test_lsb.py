@@ -1,0 +1,65 @@
+"""Unit tests for the least-significant-set-bit utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.lsb import NUM_LEVELS, lsb, lsb_array
+
+
+class TestScalarLsb:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [(1, 0), (2, 1), (3, 0), (4, 2), (6, 1), (8, 3), (12, 2), (1 << 60, 60)],
+    )
+    def test_known_values(self, value: int, expected: int):
+        assert lsb(value) == expected
+
+    def test_zero_maps_to_top_level(self):
+        assert lsb(0) == NUM_LEVELS - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lsb(-1)
+
+    def test_odd_numbers_map_to_zero(self):
+        for value in (1, 3, 5, 7, 99, 2**40 + 1):
+            assert lsb(value) == 0
+
+    def test_powers_of_two(self):
+        for exponent in range(61):
+            assert lsb(1 << exponent) == exponent
+
+
+class TestArrayLsb:
+    def test_matches_scalar_randomised(self):
+        rng = np.random.default_rng(8)
+        values = rng.integers(0, 2**61, size=5000, dtype=np.uint64)
+        array_result = lsb_array(values)
+        for value, level in zip(values, array_result):
+            assert int(level) == lsb(int(value))
+
+    def test_zero_in_array(self):
+        values = np.array([0, 1, 0, 4], dtype=np.uint64)
+        assert list(lsb_array(values)) == [NUM_LEVELS - 1, 0, NUM_LEVELS - 1, 2]
+
+    def test_empty_array(self):
+        assert lsb_array(np.array([], dtype=np.uint64)).shape == (0,)
+
+    def test_result_dtype(self):
+        assert lsb_array(np.array([4], dtype=np.uint64)).dtype == np.int64
+
+    def test_geometric_distribution(self):
+        """Uniform inputs must hit level l with frequency ~2**-(l+1)."""
+        rng = np.random.default_rng(9)
+        values = rng.integers(1, 2**61, size=200_000, dtype=np.uint64)
+        levels = lsb_array(values)
+        for level in range(5):
+            frequency = float((levels == level).mean())
+            expected = 2.0 ** -(level + 1)
+            assert abs(frequency - expected) < 0.01
+
+    def test_high_bit_values(self):
+        values = np.array([1 << 63, (1 << 63) + 1], dtype=np.uint64)
+        assert list(lsb_array(values)) == [63, 0]

@@ -1,0 +1,157 @@
+"""Unit tests for the Mersenne-prime modular arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.mersenne import (
+    MERSENNE_EXP,
+    MERSENNE_P,
+    addmod,
+    horner_mod,
+    mod_p,
+    mulmod,
+)
+
+P = int(MERSENNE_P)
+
+
+class TestModP:
+    def test_prime_constant(self):
+        assert P == 2**61 - 1
+        assert MERSENNE_EXP == 61
+
+    def test_identity_below_p(self):
+        values = np.array([0, 1, 12345, P - 1], dtype=np.uint64)
+        assert list(mod_p(values)) == [0, 1, 12345, P - 1]
+
+    def test_exact_p_reduces_to_zero(self):
+        assert int(mod_p(np.uint64(P))) == 0
+
+    def test_multiples_of_p(self):
+        for multiple in (2 * P, 3 * P, 7 * P):
+            assert int(mod_p(np.uint64(multiple))) == 0
+
+    def test_full_uint64_range_randomised(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 2**64, size=5000, dtype=np.uint64)
+        reduced = mod_p(values)
+        for value, got in zip(values, reduced):
+            assert int(got) == int(value) % P
+
+    def test_max_uint64(self):
+        assert int(mod_p(np.uint64(2**64 - 1))) == (2**64 - 1) % P
+
+    def test_output_always_canonical(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 2**64, size=5000, dtype=np.uint64)
+        assert int(mod_p(values).max()) < P
+
+    def test_scalar_input(self):
+        assert int(mod_p(P + 5)) == 5
+
+
+class TestAddmod:
+    def test_simple(self):
+        assert int(addmod(np.uint64(3), np.uint64(4))) == 7
+
+    def test_wraps_at_p(self):
+        assert int(addmod(np.uint64(P - 1), np.uint64(1))) == 0
+        assert int(addmod(np.uint64(P - 1), np.uint64(5))) == 4
+
+    def test_randomised(self):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, P, size=2000, dtype=np.uint64)
+        b = rng.integers(0, P, size=2000, dtype=np.uint64)
+        got = addmod(a, b)
+        for x, y, z in zip(a, b, got):
+            assert int(z) == (int(x) + int(y)) % P
+
+
+class TestMulmod:
+    def test_small_values(self):
+        assert int(mulmod(np.uint64(6), np.uint64(7))) == 42
+
+    def test_zero_annihilates(self):
+        assert int(mulmod(np.uint64(0), np.uint64(P - 1))) == 0
+        assert int(mulmod(np.uint64(P - 1), np.uint64(0))) == 0
+
+    def test_one_is_identity(self):
+        assert int(mulmod(np.uint64(1), np.uint64(P - 1))) == P - 1
+
+    @pytest.mark.parametrize("x", [0, 1, 2, P - 2, P - 1, 2**32, 2**32 - 1, 2**60])
+    @pytest.mark.parametrize("y", [0, 1, 2, P - 2, P - 1, 2**32, 2**32 - 1, 2**60])
+    def test_boundary_grid(self, x: int, y: int):
+        assert int(mulmod(np.uint64(x), np.uint64(y))) == (x * y) % P
+
+    def test_randomised_against_python_ints(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, P, size=5000, dtype=np.uint64)
+        b = rng.integers(0, P, size=5000, dtype=np.uint64)
+        got = mulmod(a, b)
+        for x, y, z in zip(a, b, got):
+            assert int(z) == (int(x) * int(y)) % P
+
+    def test_commutative(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, P, size=1000, dtype=np.uint64)
+        b = rng.integers(0, P, size=1000, dtype=np.uint64)
+        assert np.array_equal(mulmod(a, b), mulmod(b, a))
+
+    def test_broadcasting(self):
+        a = np.uint64(3)
+        b = np.arange(10, dtype=np.uint64)
+        got = mulmod(a, b)
+        assert got.shape == (10,)
+        assert list(got) == [3 * i for i in range(10)]
+
+    def test_2d_shapes(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, P, size=(4, 5), dtype=np.uint64)
+        b = rng.integers(0, P, size=(4, 5), dtype=np.uint64)
+        got = mulmod(a, b)
+        assert got.shape == (4, 5)
+        for i in range(4):
+            for j in range(5):
+                assert int(got[i, j]) == (int(a[i, j]) * int(b[i, j])) % P
+
+
+class TestHornerMod:
+    def test_constant_polynomial(self):
+        assert int(horner_mod((42,), np.uint64(999))) == 42
+
+    def test_linear(self):
+        # 3x + 5 at x = 10
+        assert int(horner_mod((3, 5), np.uint64(10))) == 35
+
+    def test_quadratic_matches_int_math(self):
+        coefficients = (5, 3, 7)
+        x = 11
+        expected = (5 * x**2 + 3 * x + 7) % P
+        assert int(horner_mod(coefficients, np.uint64(x))) == expected
+
+    def test_high_degree_randomised(self):
+        rng = np.random.default_rng(7)
+        coefficients = tuple(int(c) for c in rng.integers(0, P, size=8))
+        xs = rng.integers(0, P, size=50, dtype=np.uint64)
+        got = horner_mod(coefficients, xs)
+        for x, value in zip(xs, got):
+            expected = 0
+            for coefficient in coefficients:
+                expected = (expected * int(x) + coefficient) % P
+            assert int(value) == expected
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            horner_mod((), np.uint64(1))
+
+    def test_preserves_input_shape(self):
+        xs = np.zeros((3, 4), dtype=np.uint64)
+        assert horner_mod((1, 2), xs).shape == (3, 4)
+
+    def test_does_not_mutate_input(self):
+        xs = np.arange(5, dtype=np.uint64)
+        snapshot = xs.copy()
+        horner_mod((2, 1), xs)
+        assert np.array_equal(xs, snapshot)

@@ -1,0 +1,70 @@
+"""Unit tests for tabulation hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.lsb import lsb_array
+from repro.hashing.tabulation import TabulationHash, random_tabulation_hash
+
+
+class TestConstruction:
+    def test_wrong_table_count_rejected(self):
+        with pytest.raises(ValueError):
+            TabulationHash(tables=((0,) * 256,) * 7)
+
+    def test_wrong_table_size_rejected(self):
+        with pytest.raises(ValueError):
+            TabulationHash(tables=((0,) * 255,) * 8)
+
+    def test_independence_reported(self):
+        drawn = random_tabulation_hash(np.random.default_rng(0))
+        assert drawn.independence == 3
+
+    def test_deterministic_per_seed(self):
+        a = random_tabulation_hash(np.random.default_rng(5))
+        b = random_tabulation_hash(np.random.default_rng(5))
+        assert a == b
+
+
+class TestEvaluation:
+    def test_scalar_matches_array(self):
+        hash_fn = random_tabulation_hash(np.random.default_rng(1))
+        elements = [0, 1, 255, 256, 2**30, 2**60]
+        array_result = hash_fn(np.asarray(elements, dtype=np.uint64))
+        for element, value in zip(elements, array_result):
+            assert hash_fn(element) == int(value)
+
+    def test_output_within_61_bits(self):
+        hash_fn = random_tabulation_hash(np.random.default_rng(2))
+        values = hash_fn(np.arange(10_000, dtype=np.uint64))
+        assert int(values.max()) < 2**61
+
+    def test_matches_manual_xor(self):
+        hash_fn = random_tabulation_hash(np.random.default_rng(3))
+        element = 0x0123456789ABCDEF
+        expected = 0
+        for char_index in range(8):
+            char = (element >> (8 * char_index)) & 0xFF
+            expected ^= hash_fn.tables[char_index][char]
+        assert hash_fn(element) == expected & ((1 << 61) - 1)
+
+    def test_distinct_inputs_rarely_collide(self):
+        hash_fn = random_tabulation_hash(np.random.default_rng(4))
+        values = hash_fn(np.arange(100_000, dtype=np.uint64))
+        assert len(np.unique(values)) == 100_000
+
+    def test_geometric_level_distribution(self):
+        """Tabulation output must feed the LSB pipeline correctly."""
+        hash_fn = random_tabulation_hash(np.random.default_rng(6))
+        rng = np.random.default_rng(7)
+        elements = rng.integers(0, 2**30, size=200_000, dtype=np.uint64)
+        levels = lsb_array(hash_fn(elements))
+        for level in range(4):
+            frequency = float((levels == level).mean())
+            assert abs(frequency - 2.0 ** -(level + 1)) < 0.01
+
+    def test_empty_batch(self):
+        hash_fn = random_tabulation_hash(np.random.default_rng(8))
+        assert hash_fn(np.array([], dtype=np.uint64)).shape == (0,)

@@ -1,0 +1,127 @@
+"""Unit tests for engine checkpointing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.errors import IncompatibleSketchesError
+from repro.streams.checkpoint import (
+    CheckpointError,
+    checkpoint_engine,
+    restore_engine,
+)
+from repro.streams.engine import StreamEngine
+from repro.streams.updates import Update, insertions
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+SPEC = SketchSpec(num_sketches=64, shape=SHAPE, seed=5)
+
+
+def loaded_engine() -> StreamEngine:
+    engine = StreamEngine(SPEC)
+    rng = np.random.default_rng(500)
+    for stream in ("A", "B"):
+        for element in rng.integers(0, 2**20, size=500):
+            engine.process(Update(stream, int(element), 1))
+    return engine
+
+
+class TestRoundTrip:
+    def test_restored_state_identical(self, tmp_path):
+        engine = loaded_engine()
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        restored = restore_engine(tmp_path / "ckpt")
+        assert restored.spec == engine.spec
+        assert restored.stream_names() == engine.stream_names()
+        for name in engine.stream_names():
+            assert restored.family(name) == engine.family(name)
+        assert restored.updates_processed == engine.updates_processed
+
+    def test_restored_engine_answers_identically(self, tmp_path):
+        engine = loaded_engine()
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        restored = restore_engine(tmp_path / "ckpt")
+        original = engine.query("A & B", 0.2)
+        after = restored.query("A & B", 0.2)
+        assert after.value == pytest.approx(original.value)
+
+    def test_restored_engine_accepts_new_updates(self, tmp_path):
+        engine = loaded_engine()
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        restored = restore_engine(tmp_path / "ckpt")
+        restored.process(Update("A", 7, 1))
+        restored.flush()
+
+        engine.process(Update("A", 7, 1))
+        engine.flush()
+        assert restored.family("A") == engine.family("A")
+
+    def test_unflushed_buffers_are_included(self, tmp_path):
+        engine = StreamEngine(SPEC, batch_size=10_000)
+        engine.process_many(insertions("A", range(100)))
+        checkpoint_engine(engine, tmp_path / "ckpt")  # flushes internally
+        restored = restore_engine(tmp_path / "ckpt")
+        assert not restored.family("A").is_empty()
+
+    def test_overwrite_existing_checkpoint(self, tmp_path):
+        engine = loaded_engine()
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        engine.process(Update("A", 3, 1))
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        restored = restore_engine(tmp_path / "ckpt")
+        assert restored.family("A") == engine.family("A")
+
+
+class TestFailureModes:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            restore_engine(tmp_path / "nope")
+
+    def test_corrupt_manifest(self, tmp_path):
+        directory = tmp_path / "ckpt"
+        directory.mkdir()
+        (directory / "manifest.json").write_text("{not json")
+        with pytest.raises(CheckpointError):
+            restore_engine(directory)
+
+    def test_wrong_format_version(self, tmp_path):
+        engine = loaded_engine()
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        manifest_path = tmp_path / "ckpt" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="99"):
+            restore_engine(tmp_path / "ckpt")
+
+    def test_missing_sketch_payload(self, tmp_path):
+        engine = loaded_engine()
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        (tmp_path / "ckpt" / "streams" / "A.sketch").unlink()
+        with pytest.raises(CheckpointError, match="A"):
+            restore_engine(tmp_path / "ckpt")
+
+
+class TestAdoptFamily:
+    def test_adopt_requires_matching_spec(self):
+        engine = StreamEngine(SPEC)
+        other = SketchSpec(num_sketches=32, shape=SHAPE, seed=5).build()
+        with pytest.raises(IncompatibleSketchesError):
+            engine.adopt_family("A", other)
+
+    def test_adopt_replaces_buffered_updates(self):
+        engine = StreamEngine(SPEC, batch_size=10_000)
+        engine.process(Update("A", 1, 1))
+        replacement = SPEC.build()
+        engine.adopt_family("A", replacement)
+        assert engine.family("A").is_empty()
+
+    def test_mark_replayed_validation(self):
+        engine = StreamEngine(SPEC)
+        with pytest.raises(ValueError):
+            engine.mark_replayed(-1)

@@ -1,0 +1,127 @@
+"""Unit tests for continuous (standing) queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.errors import ReproError
+from repro.streams.continuous import ContinuousQueryProcessor
+from repro.streams.engine import StreamEngine
+from repro.streams.updates import Update
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+
+
+def make_processor(num_sketches=96, seed=1):
+    engine = StreamEngine(SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed))
+    return ContinuousQueryProcessor(engine)
+
+
+def feed(processor, stream, elements, delta=1):
+    for element in elements:
+        processor.process(Update(stream, int(element), delta))
+
+
+class TestRegistration:
+    def test_register_and_list(self):
+        processor = make_processor()
+        processor.register("q1", "A & B", every=100)
+        processor.register("q2", "A - B", every=200)
+        assert processor.query_names() == ["q1", "q2"]
+        assert processor["q1"].expression.to_text() == "(A & B)"
+
+    def test_duplicate_name_rejected(self):
+        processor = make_processor()
+        processor.register("q", "A", every=10)
+        with pytest.raises(ReproError):
+            processor.register("q", "B", every=10)
+
+    def test_unregister(self):
+        processor = make_processor()
+        processor.register("q", "A", every=10)
+        processor.unregister("q")
+        assert processor.query_names() == []
+
+    def test_validation(self):
+        processor = make_processor()
+        with pytest.raises(ValueError):
+            processor.register("q", "A", every=0)
+        with pytest.raises(ValueError):
+            processor.register("q", "A", epsilon=0.0)
+
+
+class TestCadence:
+    def test_evaluates_every_n_updates(self):
+        processor = make_processor()
+        query = processor.register("q", "A", every=50)
+        feed(processor, "A", range(170))
+        assert len(query.history) == 3  # at updates 50, 100, 150
+        assert [obs.at_update for obs in query.history] == [50, 100, 150]
+
+    def test_queries_have_independent_cadence(self):
+        processor = make_processor()
+        fast = processor.register("fast", "A", every=30)
+        slow = processor.register("slow", "A", every=90)
+        feed(processor, "A", range(90))
+        assert len(fast.history) == 3
+        assert len(slow.history) == 1
+
+    def test_evaluate_now(self):
+        processor = make_processor()
+        query = processor.register("q", "A", every=1_000_000)
+        feed(processor, "A", range(10))
+        observation = processor.evaluate_now("q")
+        assert query.history == [observation]
+        assert observation.at_update == 10
+
+    def test_estimates_track_stream_growth(self):
+        processor = make_processor(num_sketches=128)
+        query = processor.register("q", "A", every=1000, epsilon=0.2)
+        rng = np.random.default_rng(7)
+        elements = rng.choice(2**20, size=3000, replace=False)
+        feed(processor, "A", elements)
+        values = [obs.value for obs in query.history]
+        assert len(values) == 3
+        assert values[0] < values[-1]
+        assert abs(values[-1] - 3000) / 3000 < 0.4
+
+
+class TestAlerts:
+    def test_threshold_breach_fires_callback(self):
+        processor = make_processor(num_sketches=128)
+        fired = []
+        query = processor.register(
+            "watch",
+            "A",
+            every=500,
+            epsilon=0.2,
+            threshold=700,
+            on_alert=lambda q, o: fired.append((q.name, o.value)),
+        )
+        rng = np.random.default_rng(8)
+        elements = rng.choice(2**20, size=2000, replace=False)
+        feed(processor, "A", elements)
+        assert query.alerts  # stream grows past 700 distinct elements
+        assert fired
+        assert fired[0][0] == "watch"
+        # Early observations (≤ 500 distinct) must not alert.
+        assert query.history[0].value < 700 or query.history[0] in query.alerts
+
+    def test_no_threshold_no_alerts(self):
+        processor = make_processor()
+        query = processor.register("q", "A", every=100)
+        feed(processor, "A", range(300))
+        assert query.alerts == []
+
+    def test_deletions_can_clear_alert_condition(self):
+        processor = make_processor(num_sketches=128)
+        query = processor.register("q", "A", every=1000, epsilon=0.2, threshold=1500)
+        rng = np.random.default_rng(9)
+        elements = rng.choice(2**20, size=2000, replace=False)
+        feed(processor, "A", elements)
+        assert query.latest.value > 1500
+        feed(processor, "A", elements[:2000], delta=-1)
+        assert query.latest.value < 1500

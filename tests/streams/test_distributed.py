@@ -1,0 +1,121 @@
+"""Unit tests for the distributed-streams model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.distributed import Coordinator, StreamSite
+from repro.streams.updates import Update, insertions
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+SPEC = SketchSpec(num_sketches=128, shape=SHAPE, seed=17)
+
+
+class TestSite:
+    def test_export_contains_observed_streams(self):
+        site = StreamSite("site-1", SPEC)
+        site.observe(Update("A", 1, 1))
+        site.observe(Update("B", 2, 1))
+        payloads = site.export()
+        assert sorted(payloads) == ["A", "B"]
+        assert all(isinstance(payload, bytes) for payload in payloads.values())
+
+    def test_export_empty_site(self):
+        assert StreamSite("idle", SPEC).export() == {}
+
+
+class TestCoordinator:
+    def test_split_stream_merges_to_centralised_sketch(self):
+        """A stream split across two sites must merge to exactly the
+        sketch a single observer of the whole stream would hold."""
+        rng = np.random.default_rng(97)
+        elements = rng.integers(0, 2**20, size=500, dtype=np.uint64)
+        site_1 = StreamSite("s1", SPEC)
+        site_2 = StreamSite("s2", SPEC)
+        site_1.observe_many(insertions("A", (int(e) for e in elements[:250])))
+        site_2.observe_many(insertions("A", (int(e) for e in elements[250:])))
+        coordinator = Coordinator(SPEC)
+        coordinator.collect_from(site_1)
+        coordinator.collect_from(site_2)
+
+        centralised = SPEC.build()
+        centralised.update_batch(elements)
+        assert coordinator._families["A"] == centralised
+
+    def test_sites_collected_counter(self):
+        coordinator = Coordinator(SPEC)
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        coordinator.collect_from(site)
+        coordinator.collect_from(site)
+        assert coordinator.sites_collected == 2
+
+    def test_query_over_distributed_streams(self):
+        rng = np.random.default_rng(98)
+        pool = rng.choice(2**20, size=3000, replace=False)
+        shared, only_a, only_b = pool[:1000], pool[1000:2000], pool[2000:]
+
+        router_1 = StreamSite("router-1", SPEC)
+        router_2 = StreamSite("router-2", SPEC)
+        router_1.observe_many(
+            insertions("A", (int(e) for e in np.concatenate([shared, only_a])))
+        )
+        router_2.observe_many(
+            insertions("B", (int(e) for e in np.concatenate([shared, only_b])))
+        )
+        coordinator = Coordinator(SPEC)
+        coordinator.collect_from(router_1)
+        coordinator.collect_from(router_2)
+
+        estimate = coordinator.query("A & B", 0.2)
+        assert abs(estimate.value - 1000) / 1000 < 0.5
+        union = coordinator.query_union(["A", "B"], 0.2)
+        assert abs(union.value - 3000) / 3000 < 0.3
+
+    def test_deletions_at_a_different_site(self):
+        """Insertions at one site, deletions at another — linear merge
+        cancels them exactly."""
+        site_in = StreamSite("in", SPEC)
+        site_out = StreamSite("out", SPEC)
+        for element in range(100):
+            site_in.observe(Update("A", element, 1))
+        for element in range(50):
+            site_out.observe(Update("A", element, -1))
+        coordinator = Coordinator(SPEC)
+        coordinator.collect_from(site_in)
+        coordinator.collect_from(site_out)
+
+        survivors = SPEC.build()
+        survivors.update_batch(np.arange(50, 100, dtype=np.uint64))
+        assert coordinator._families["A"] == survivors
+
+    def test_stream_names(self):
+        coordinator = Coordinator(SPEC)
+        site = StreamSite("s", SPEC)
+        site.observe(Update("B", 1, 1))
+        site.observe(Update("A", 1, 1))
+        coordinator.collect_from(site)
+        assert coordinator.stream_names() == ["A", "B"]
+
+
+class TestCoordinatorToEngine:
+    def test_handoff_preserves_state_and_accepts_updates(self):
+        rng = np.random.default_rng(99)
+        elements = rng.integers(0, 2**20, size=400, dtype=np.uint64)
+        site = StreamSite("s", SPEC)
+        site.observe_many(insertions("A", (int(e) for e in elements)))
+        coordinator = Coordinator(SPEC)
+        coordinator.collect_from(site)
+
+        engine = coordinator.to_engine()
+        assert engine.stream_names() == ["A"]
+
+        # Continue ingesting at the coordinator-turned-engine.
+        engine.process(Update("A", 7, 1))
+        engine.flush()
+        reference = SPEC.build()
+        reference.update_batch(np.concatenate([elements, [7]]))
+        assert engine.family("A") == reference

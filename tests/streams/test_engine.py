@@ -1,0 +1,131 @@
+"""Unit tests for the stream-processing engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.engine import StreamEngine
+from repro.streams.exact import ExactStreamStore
+from repro.streams.updates import Update, insertions
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+SPEC = SketchSpec(num_sketches=256, shape=SHAPE, seed=7)
+
+
+class TestIngest:
+    def test_updates_processed_counter(self):
+        engine = StreamEngine(SPEC)
+        engine.process_many(insertions("A", range(10)))
+        assert engine.updates_processed == 10
+
+    def test_stream_names_include_buffered(self):
+        engine = StreamEngine(SPEC, batch_size=1000)
+        engine.process(Update("X", 1, 1))
+        assert engine.stream_names() == ["X"]
+
+    def test_buffering_defers_family_creation(self):
+        engine = StreamEngine(SPEC, batch_size=1000)
+        engine.process(Update("A", 1, 1))
+        assert engine.synopsis_bytes() == 0
+        engine.flush()
+        assert engine.synopsis_bytes() > 0
+
+    def test_batch_size_triggers_flush(self):
+        engine = StreamEngine(SPEC, batch_size=3)
+        for element in range(3):
+            engine.process(Update("A", element, 1))
+        assert engine.synopsis_bytes() > 0
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            StreamEngine(SPEC, batch_size=0)
+
+    def test_engine_state_matches_direct_family(self):
+        """Buffered/flushed maintenance must equal a directly built family."""
+        engine = StreamEngine(SPEC, batch_size=5)
+        rng = np.random.default_rng(95)
+        elements = rng.integers(0, 2**20, size=57, dtype=np.uint64)
+        deltas = rng.integers(1, 4, size=57)
+        for element, delta in zip(elements, deltas):
+            engine.process(Update("A", int(element), int(delta)))
+        direct = SPEC.build()
+        direct.update_batch(elements, deltas)
+        assert engine.family("A") == direct
+
+    def test_deletions_flow_through(self):
+        engine = StreamEngine(SPEC)
+        engine.process(Update("A", 5, 1))
+        engine.process(Update("A", 5, -1))
+        assert engine.family("A").is_empty()
+
+
+class TestQueries:
+    def _loaded_engine(self):
+        engine = StreamEngine(SPEC)
+        exact = ExactStreamStore()
+        rng = np.random.default_rng(96)
+        pool = rng.choice(2**20, size=3000, replace=False)
+        batches = {
+            "A": pool[:2000],
+            "B": pool[1000:3000],
+        }
+        for stream, elements in batches.items():
+            for element in elements:
+                update = Update(stream, int(element), 1)
+                engine.process(update)
+                exact.apply(update)
+        return engine, exact
+
+    def test_query_accuracy(self):
+        engine, exact = self._loaded_engine()
+        for expression in ("A & B", "A - B", "A | B"):
+            estimate = engine.query(expression, 0.2)
+            truth = exact.cardinality(expression)
+            assert abs(estimate.value - truth) / truth < 0.5, expression
+
+    def test_query_union(self):
+        engine, exact = self._loaded_engine()
+        estimate = engine.query_union(["A", "B"], 0.2)
+        truth = exact.cardinality("A | B")
+        assert abs(estimate.value - truth) / truth < 0.3
+
+    def test_query_flushes_buffers(self):
+        engine = StreamEngine(SPEC, batch_size=10_000)
+        engine.process_many(insertions("A", range(100)))
+        estimate = engine.query_union(["A"], 0.2)
+        assert estimate.value > 0
+
+    def test_query_on_unseen_stream_estimates_zero(self):
+        engine = StreamEngine(SPEC)
+        engine.process(Update("A", 1, 1))
+        assert engine.query("A & Z", 0.2).value == 0.0
+
+    def test_query_with_expression_tree(self):
+        from repro.expr import streams
+
+        engine, exact = self._loaded_engine()
+        A, B = streams("A", "B")
+        estimate = engine.query(A & B, 0.2)
+        truth = exact.cardinality("A & B")
+        assert abs(estimate.value - truth) / truth < 0.5
+
+
+class TestExplain:
+    def test_explain_consistent_with_query(self):
+        engine = StreamEngine(SPEC)
+        rng = np.random.default_rng(777)
+        pool = rng.choice(2**20, size=2000, replace=False)
+        for element in pool[:1500]:
+            engine.process(Update("A", int(element), 1))
+        for element in pool[500:]:
+            engine.process(Update("B", int(element), 1))
+        explanation = engine.explain("A - B", 0.2)
+        assert explanation.estimate.value >= 0
+        texts = [text for text, _ in explanation.subexpressions]
+        assert texts == ["(A - B)", "A", "B"]
+        # Subexpression estimates share one union estimate and level.
+        levels = {estimate.level for _, estimate in explanation.subexpressions}
+        assert len(levels) == 1

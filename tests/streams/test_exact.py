@@ -1,0 +1,93 @@
+"""Unit tests for the exact reference store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IllegalDeletionError
+from repro.streams.exact import ExactStreamStore
+from repro.streams.updates import Update, deletions, insertions
+
+
+class TestMaintenance:
+    def test_insert_and_count(self):
+        store = ExactStreamStore()
+        store.apply(Update("A", 1, 1))
+        store.apply(Update("A", 2, 3))
+        assert store.distinct_count("A") == 2
+        assert store.total_items("A") == 4
+
+    def test_frequency(self):
+        store = ExactStreamStore()
+        store.apply(Update("A", 9, 5))
+        assert store.frequency("A", 9) == 5
+        assert store.frequency("A", 10) == 0
+
+    def test_delete_to_zero_removes_element(self):
+        store = ExactStreamStore()
+        store.apply(Update("A", 1, 2))
+        store.apply(Update("A", 1, -2))
+        assert store.distinct_count("A") == 0
+        assert store.frequency("A", 1) == 0
+
+    def test_partial_delete_keeps_element(self):
+        store = ExactStreamStore()
+        store.apply(Update("A", 1, 3))
+        store.apply(Update("A", 1, -2))
+        assert store.distinct_count("A") == 1
+        assert store.frequency("A", 1) == 1
+
+    def test_illegal_deletion_rejected(self):
+        store = ExactStreamStore()
+        store.apply(Update("A", 1, 1))
+        with pytest.raises(IllegalDeletionError):
+            store.apply(Update("A", 1, -2))
+
+    def test_deletion_of_absent_element_rejected(self):
+        store = ExactStreamStore()
+        with pytest.raises(IllegalDeletionError):
+            store.apply(Update("A", 99, -1))
+
+    def test_apply_many(self):
+        store = ExactStreamStore()
+        store.apply_many(insertions("A", [1, 2, 3]) + deletions("A", [2]))
+        assert store.distinct_set("A") == {1, 3}
+
+    def test_streams_listing(self):
+        store = ExactStreamStore()
+        store.apply(Update("B", 1, 1))
+        store.apply(Update("A", 1, 1))
+        assert store.streams() == ["A", "B"]
+
+
+class TestCardinality:
+    def _store(self) -> ExactStreamStore:
+        store = ExactStreamStore()
+        store.apply_many(insertions("A", [1, 2, 3, 4]))
+        store.apply_many(insertions("B", [3, 4, 5]))
+        store.apply_many(insertions("C", [1, 4, 5, 6]))
+        return store
+
+    def test_binary_expressions(self):
+        store = self._store()
+        assert store.cardinality("A & B") == 2
+        assert store.cardinality("A - B") == 2
+        assert store.cardinality("A | B") == 5
+
+    def test_compound_expression(self):
+        assert self._store().cardinality("(A - B) & C") == 1
+
+    def test_expression_tree_input(self):
+        from repro.expr import streams
+
+        A, B = streams("A", "B")
+        assert self._store().cardinality(A & B) == 2
+
+    def test_deletions_change_cardinality(self):
+        store = self._store()
+        store.apply(Update("B", 3, -1))
+        assert store.cardinality("A & B") == 1
+
+    def test_unseen_stream_is_empty(self):
+        store = self._store()
+        assert store.cardinality("A & Z") == 0

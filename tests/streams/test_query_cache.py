@@ -1,0 +1,67 @@
+"""Unit tests for the engine's semantic query cache."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.engine import StreamEngine
+from repro.streams.updates import Update
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+SPEC = SketchSpec(num_sketches=128, shape=SHAPE, seed=33)
+
+
+def loaded_engine() -> StreamEngine:
+    engine = StreamEngine(SPEC)
+    rng = np.random.default_rng(900)
+    pool = rng.choice(2**20, size=2000, replace=False)
+    for element in pool[:1500]:
+        engine.process(Update("A", int(element), 1))
+    for element in pool[500:]:
+        engine.process(Update("B", int(element), 1))
+    return engine
+
+
+class TestQueryCache:
+    def test_repeat_query_is_cached(self):
+        engine = loaded_engine()
+        first = engine.query("A & B", 0.2)
+        second = engine.query("A & B", 0.2)
+        assert second is first  # identical object, not merely equal
+
+    def test_equivalent_spellings_share_entry(self):
+        engine = loaded_engine()
+        first = engine.query("A & B", 0.2)
+        assert engine.query("B & A", 0.2) is first
+        assert engine.query("A - (A - B)", 0.2) is first
+
+    def test_different_epsilon_not_shared(self):
+        engine = loaded_engine()
+        first = engine.query("A & B", 0.2)
+        assert engine.query("A & B", 0.15) is not first
+
+    def test_different_pooling_not_shared(self):
+        engine = loaded_engine()
+        first = engine.query("A & B", 0.2)
+        assert engine.query("A & B", 0.2, pool_levels=4) is not first
+
+    def test_updates_invalidate(self):
+        engine = loaded_engine()
+        first = engine.query("A & B", 0.2)
+        engine.process(Update("A", 7, 1))
+        assert engine.query("A & B", 0.2) is not first
+
+    def test_bypass(self):
+        engine = loaded_engine()
+        first = engine.query("A & B", 0.2)
+        bypassed = engine.query("A & B", 0.2, use_cache=False)
+        assert bypassed is not first
+        assert bypassed.value == first.value  # deterministic estimator
+
+    def test_inequivalent_expressions_not_shared(self):
+        engine = loaded_engine()
+        intersection = engine.query("A & B", 0.2)
+        difference = engine.query("A - B", 0.2)
+        assert difference is not intersection

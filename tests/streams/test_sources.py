@@ -1,0 +1,210 @@
+"""Unit tests for update-log files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.exact import ExactStreamStore
+from repro.streams.sources import (
+    UpdateLogError,
+    load_updates,
+    replay_into,
+    save_updates,
+)
+from repro.streams.updates import Update, deletions, insertions
+
+
+def sample_updates() -> list[Update]:
+    return (
+        insertions("A", [1, 2, 3])
+        + deletions("A", [2])
+        + insertions("B", [100], count=5)
+    )
+
+
+class TestRoundTrip:
+    def test_plain_file(self, tmp_path):
+        path = tmp_path / "updates.log"
+        written = save_updates(path, sample_updates())
+        assert written == 5
+        assert list(load_updates(path)) == sample_updates()
+
+    def test_gzip_file(self, tmp_path):
+        path = tmp_path / "updates.log.gz"
+        save_updates(path, sample_updates())
+        assert list(load_updates(path)) == sample_updates()
+        assert path.read_bytes()[:2] == b"\x1f\x8b"  # really gzip
+
+    def test_empty_log(self, tmp_path):
+        path = tmp_path / "empty.log"
+        assert save_updates(path, []) == 0
+        assert list(load_updates(path)) == []
+
+    def test_large_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(400)
+        updates = [
+            Update("S", int(element), int(delta))
+            for element, delta in zip(
+                rng.integers(0, 2**30, size=2000),
+                rng.choice([-2, -1, 1, 2, 3], size=2000),
+            )
+        ]
+        path = tmp_path / "big.log.gz"
+        save_updates(path, updates)
+        assert list(load_updates(path)) == updates
+
+
+class TestParsing:
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("# header\n\nA 5 +1\n   \n# trailing\n")
+        assert list(load_updates(path)) == [Update("A", 5, 1)]
+
+    def test_unsigned_delta_accepted(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("A 5 3\n")
+        assert list(load_updates(path)) == [Update("A", 5, 3)]
+
+    def test_wrong_field_count_rejected(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("A 5\n")
+        with pytest.raises(UpdateLogError, match=":1:"):
+            list(load_updates(path))
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("A five +1\n")
+        with pytest.raises(UpdateLogError):
+            list(load_updates(path))
+
+    def test_zero_delta_rejected(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("A 5 0\n")
+        with pytest.raises(UpdateLogError):
+            list(load_updates(path))
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("A 1 +1\nB 2 +1\nbroken line here extra\n")
+        with pytest.raises(UpdateLogError, match=":3:"):
+            list(load_updates(path))
+
+
+class TestCsvLoading:
+    def _write_csv(self, tmp_path, text, name="updates.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_basic_csv(self, tmp_path):
+        path = self._write_csv(
+            tmp_path, "stream,element,delta\nA,1,1\nB,2,-1\n"
+        )
+        from repro.streams.sources import load_updates_csv
+
+        assert list(load_updates_csv(path)) == [Update("A", 1, 1), Update("B", 2, -1)]
+
+    def test_missing_delta_column_defaults_to_insertion(self, tmp_path):
+        path = self._write_csv(tmp_path, "stream,element\nA,5\nA,6\n")
+        from repro.streams.sources import load_updates_csv
+
+        updates = list(load_updates_csv(path))
+        assert all(update.delta == 1 for update in updates)
+
+    def test_custom_column_names(self, tmp_path):
+        path = self._write_csv(
+            tmp_path, "router,src_ip,count\nR1,100,2\n"
+        )
+        from repro.streams.sources import load_updates_csv
+
+        updates = list(
+            load_updates_csv(
+                path,
+                stream_column="router",
+                element_column="src_ip",
+                delta_column="count",
+            )
+        )
+        assert updates == [Update("R1", 100, 2)]
+
+    def test_missing_required_column(self, tmp_path):
+        path = self._write_csv(tmp_path, "foo,bar\n1,2\n")
+        from repro.streams.sources import load_updates_csv
+
+        with pytest.raises(UpdateLogError, match="stream"):
+            list(load_updates_csv(path))
+
+    def test_bad_value_reports_row(self, tmp_path):
+        path = self._write_csv(tmp_path, "stream,element\nA,5\nA,oops\n")
+        from repro.streams.sources import load_updates_csv
+
+        with pytest.raises(UpdateLogError, match=":3:"):
+            list(load_updates_csv(path))
+
+    def test_empty_file(self, tmp_path):
+        path = self._write_csv(tmp_path, "")
+        from repro.streams.sources import load_updates_csv
+
+        with pytest.raises(UpdateLogError, match="header"):
+            list(load_updates_csv(path))
+
+    def test_gzipped_csv(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "updates.csv.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("stream,element\nA,7\n")
+        from repro.streams.sources import load_updates_csv
+
+        assert list(load_updates_csv(path)) == [Update("A", 7, 1)]
+
+    def test_replay_routes_csv_by_suffix(self, tmp_path):
+        path = self._write_csv(tmp_path, "stream,element\nA,1\nA,2\n")
+        store = ExactStreamStore()
+        assert replay_into(path, store) == 2
+        assert store.distinct_set("A") == {1, 2}
+
+
+class TestReplay:
+    def test_replay_into_exact_store(self, tmp_path):
+        path = tmp_path / "log"
+        save_updates(path, sample_updates())
+        store = ExactStreamStore()
+        count = replay_into(path, store)
+        assert count == 5
+        assert store.distinct_set("A") == {1, 3}
+        assert store.frequency("B", 100) == 5
+
+    def test_replay_into_multiple_sinks(self, tmp_path):
+        from repro.core.family import SketchSpec
+        from repro.core.sketch import SketchShape
+        from repro.streams.engine import StreamEngine
+
+        path = tmp_path / "log"
+        save_updates(path, sample_updates())
+        spec = SketchSpec(
+            num_sketches=8,
+            shape=SketchShape(domain_bits=20, num_second_level=4, independence=4),
+            seed=0,
+        )
+        engine = StreamEngine(spec)
+        store = ExactStreamStore()
+        replay_into(path, engine, store)
+        assert engine.updates_processed == 5
+        assert store.streams() == ["A", "B"]
+
+    def test_replay_rejects_bad_sink(self, tmp_path):
+        path = tmp_path / "log"
+        save_updates(path, sample_updates())
+        with pytest.raises(TypeError):
+            replay_into(path, object())
+
+    def test_progress_callback(self, tmp_path):
+        path = tmp_path / "log"
+        save_updates(path, insertions("A", range(25)))
+        ticks = []
+        replay_into(
+            path, ExactStreamStore(), progress=ticks.append, progress_every=10
+        )
+        assert ticks == [10, 20]

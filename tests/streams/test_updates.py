@@ -1,0 +1,98 @@
+"""Unit tests for the update data model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.updates import Update, deletions, insertions, interleave
+
+
+class TestUpdate:
+    def test_fields(self):
+        update = Update("A", 5, -2)
+        assert update.stream == "A"
+        assert update.element == 5
+        assert update.delta == -2
+
+    def test_zero_delta_rejected(self):
+        with pytest.raises(ValueError):
+            Update("A", 5, 0)
+
+    def test_negative_element_rejected(self):
+        with pytest.raises(ValueError):
+            Update("A", -1, 1)
+
+    def test_direction_flags(self):
+        assert Update("A", 1, 3).is_insertion
+        assert not Update("A", 1, 3).is_deletion
+        assert Update("A", 1, -3).is_deletion
+
+    def test_inverse(self):
+        update = Update("A", 7, 4)
+        assert update.inverse() == Update("A", 7, -4)
+        assert update.inverse().inverse() == update
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Update("A", 1, 1).delta = 2
+
+
+class TestHelpers:
+    def test_insertions(self):
+        updates = insertions("S", [1, 2, 3])
+        assert all(u.stream == "S" and u.delta == 1 for u in updates)
+        assert [u.element for u in updates] == [1, 2, 3]
+
+    def test_insertions_with_count(self):
+        updates = insertions("S", [1], count=5)
+        assert updates[0].delta == 5
+
+    def test_insertions_reject_bad_count(self):
+        with pytest.raises(ValueError):
+            insertions("S", [1], count=0)
+
+    def test_deletions(self):
+        updates = deletions("S", [1, 2], count=2)
+        assert all(u.delta == -2 for u in updates)
+
+    def test_deletions_reject_bad_count(self):
+        with pytest.raises(ValueError):
+            deletions("S", [1], count=-1)
+
+
+class TestInterleave:
+    def test_preserves_internal_order(self):
+        rng = np.random.default_rng(90)
+        first = insertions("A", range(50))
+        second = insertions("B", range(50))
+        merged = list(interleave([first, second], rng))
+        assert len(merged) == 100
+        a_elements = [u.element for u in merged if u.stream == "A"]
+        b_elements = [u.element for u in merged if u.stream == "B"]
+        assert a_elements == list(range(50))
+        assert b_elements == list(range(50))
+
+    def test_empty_sequences_skipped(self):
+        rng = np.random.default_rng(91)
+        merged = list(interleave([[], insertions("A", [1])], rng))
+        assert len(merged) == 1
+
+    def test_all_empty(self):
+        rng = np.random.default_rng(92)
+        assert list(interleave([], rng)) == []
+
+    def test_single_sequence_passthrough(self):
+        rng = np.random.default_rng(93)
+        updates = insertions("A", [3, 1, 2])
+        assert list(interleave([updates], rng)) == updates
+
+    def test_actually_interleaves(self):
+        """With two large sequences the merge should not be a plain
+        concatenation (overwhelmingly unlikely under random interleaving)."""
+        rng = np.random.default_rng(94)
+        first = insertions("A", range(100))
+        second = insertions("B", range(100))
+        merged = list(interleave([first, second], rng))
+        streams_in_order = [u.stream for u in merged]
+        assert streams_in_order != ["A"] * 100 + ["B"] * 100

@@ -1,0 +1,102 @@
+"""Unit tests for sliding-window deletion drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.engine import StreamEngine
+from repro.streams.exact import ExactStreamStore
+from repro.streams.updates import Update
+from repro.streams.windows import SlidingWindowDriver
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+SPEC = SketchSpec(num_sketches=64, shape=SHAPE, seed=21)
+
+
+class TestWindowMechanics:
+    def test_updates_forwarded(self):
+        store = ExactStreamStore()
+        driver = SlidingWindowDriver(10.0, store)
+        driver.observe(Update("A", 1, 1), at=0.0)
+        assert store.distinct_set("A") == {1}
+
+    def test_expiry_deletes(self):
+        store = ExactStreamStore()
+        driver = SlidingWindowDriver(10.0, store)
+        driver.observe(Update("A", 1, 1), at=0.0)
+        driver.observe(Update("A", 2, 1), at=5.0)
+        expired = driver.advance_to(10.0)
+        assert expired == 1
+        assert store.distinct_set("A") == {2}
+        assert driver.in_window_count == 1
+
+    def test_exclusive_expiry_bound(self):
+        store = ExactStreamStore()
+        driver = SlidingWindowDriver(10.0, store)
+        driver.observe(Update("A", 1, 1), at=0.0)
+        assert driver.advance_to(9.999) == 0
+        assert driver.advance_to(10.0) == 1
+
+    def test_time_must_not_go_backwards(self):
+        driver = SlidingWindowDriver(10.0, ExactStreamStore())
+        driver.observe(Update("A", 1, 1), at=5.0)
+        with pytest.raises(ValueError):
+            driver.observe(Update("A", 2, 1), at=4.0)
+        with pytest.raises(ValueError):
+            driver.advance_to(1.0)
+
+    def test_multiple_sinks(self):
+        store = ExactStreamStore()
+        engine = StreamEngine(SPEC)
+        driver = SlidingWindowDriver(10.0, engine, store)
+        driver.observe(Update("A", 1, 1), at=0.0)
+        driver.advance_to(20.0)
+        engine.flush()
+        assert store.distinct_count("A") == 0
+        assert engine.family("A").is_empty()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDriver(0.0, ExactStreamStore())
+        with pytest.raises(ValueError):
+            SlidingWindowDriver(1.0)
+        with pytest.raises(TypeError):
+            SlidingWindowDriver(1.0, object())
+
+
+class TestWindowedSketchSemantics:
+    def test_windowed_sketch_equals_in_window_build(self):
+        """After expiry, the engine's sketch must be identical to a fresh
+        sketch over only the in-window elements — the whole point of
+        deletion-invariance."""
+        rng = np.random.default_rng(800)
+        elements = rng.choice(2**20, size=600, replace=False)
+        engine = StreamEngine(SPEC)
+        driver = SlidingWindowDriver(100.0, engine)
+        for tick, element in enumerate(elements):
+            driver.observe(Update("A", int(element), 1), at=float(tick))
+        # Clock is now 599; window [500, 599] keeps the last 100 ticks.
+        driver.advance_to(599.0)
+        engine.flush()
+
+        fresh = SPEC.build()
+        fresh.update_batch(elements[-100:])
+        assert engine.family("A") == fresh
+
+    def test_windowed_cardinality_query(self):
+        rng = np.random.default_rng(801)
+        elements = rng.choice(2**20, size=2000, replace=False)
+        engine = StreamEngine(
+            SketchSpec(num_sketches=128, shape=SHAPE, seed=3)
+        )
+        exact = ExactStreamStore()
+        driver = SlidingWindowDriver(500.0, engine, exact)
+        for tick, element in enumerate(elements):
+            driver.observe(Update("A", int(element), 1), at=float(tick))
+        estimate = engine.query_union(["A"], 0.2)
+        truth = exact.distinct_count("A")
+        assert truth == 500
+        assert abs(estimate.value - truth) / truth < 0.4

@@ -1,0 +1,57 @@
+"""Cross-operator accuracy matrix.
+
+One parametrised sweep exercising the witness estimator through varied
+Boolean structures — every operator, several nesting shapes, two target
+ratios — against exact ground truth from the controlled generator.  The
+tolerances are deliberately loose (these are correctness-of-logic tests,
+not benchmark assertions; tight accuracy claims live in benchmarks/).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.datagen.controlled import generate_controlled
+from repro.experiments.metrics import relative_error
+
+SHAPE = SketchShape(domain_bits=24, num_second_level=12, independence=8)
+NUM_SKETCHES = 384
+TRIALS = 3
+
+# "A | B" is absent: it covers its whole union, so a target ratio below 1
+# is unsatisfiable by construction (the generator rejects it, correctly).
+EXPRESSIONS = [
+    "A & B",
+    "A - B",
+    "(A - B) & C",
+    "A - (B | C)",
+    "(A & B) | (B & C)",
+    "(A | B) & (B | C)",
+    "((A - B) | (B - C)) & (A | C)",
+]
+
+
+@pytest.mark.parametrize("text", EXPRESSIONS)
+@pytest.mark.parametrize("ratio", [0.5, 0.25])
+def test_expression_accuracy(text: str, ratio: float):
+    """Median-of-trials error must be moderate; every estimate positive
+    when the target is a solid fraction of the union."""
+    errors = []
+    for trial in range(TRIALS):
+        rng = np.random.default_rng([hash(text) % 2**32, int(ratio * 100), trial])
+        dataset = generate_controlled(text, 3072, ratio, rng, domain_bits=24)
+        spec = SketchSpec(num_sketches=NUM_SKETCHES, shape=SHAPE, seed=trial)
+        families = {}
+        for name in dataset.stream_names():
+            family = spec.build()
+            family.update_batch(dataset.elements[name])
+            families[name] = family
+        estimate = estimate_expression(text, families, 0.1, pool_levels=4)
+        truth = dataset.target_size
+        assert truth > 0
+        errors.append(relative_error(estimate.value, truth))
+    assert float(np.median(errors)) < 0.45, (text, ratio, errors)

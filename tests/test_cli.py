@@ -1,0 +1,195 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_flags(self):
+        args = build_parser().parse_args(
+            ["generate", "--expression", "A & B", "--out", "x.log"]
+        )
+        assert args.command == "generate"
+        assert args.expression == "A & B"
+
+    def test_query_accumulates_expressions(self):
+        args = build_parser().parse_args(
+            [
+                "query",
+                "--checkpoint", "ckpt",
+                "--expression", "A & B",
+                "--expression", "A - B",
+            ]
+        )
+        assert args.expression == ["A & B", "A - B"]
+
+
+class TestPlanCommand:
+    def test_plan_prints_recommendation(self, capsys):
+        assert main(["plan", "--epsilon", "0.3", "--delta", "0.2"]) == 0
+        output = capsys.readouterr().out
+        assert "sketches" in output
+
+
+class TestSimplifyCommand:
+    def test_reports_analysis(self, capsys):
+        assert main(["simplify", "--expression", "(A & B) - (A | B)"]) == 0
+        output = capsys.readouterr().out
+        assert "unsatisfiable" in output
+        assert "simplified" in output
+
+    def test_redundant_stream_dropped(self, capsys):
+        main(["simplify", "--expression", "(A & B) | (A - B)"])
+        output = capsys.readouterr().out
+        assert "simplified : A" in output
+
+
+class TestExactCommand:
+    def test_ground_truth_from_log(self, tmp_path, capsys):
+        from repro.streams.sources import save_updates
+        from repro.streams.updates import deletions, insertions
+
+        log_path = tmp_path / "log"
+        save_updates(
+            log_path,
+            insertions("A", [1, 2, 3])
+            + insertions("B", [2, 3, 4])
+            + deletions("B", [2]),
+        )
+        assert main(
+            [
+                "exact",
+                "--log", str(log_path),
+                "--expression", "A & B",
+                "--expression", "A - B",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "|A & B| = 1" in output
+        assert "|A - B| = 2" in output
+
+
+class TestFullPipeline:
+    def test_generate_ingest_query(self, tmp_path, capsys):
+        log_path = tmp_path / "updates.log.gz"
+        checkpoint = tmp_path / "synopses"
+
+        assert main(
+            [
+                "generate",
+                "--expression", "A & B",
+                "--union-size", "2048",
+                "--target-ratio", "0.5",
+                "--churn", "0.25",
+                "--domain-bits", "22",
+                "--seed", "3",
+                "--out", str(log_path),
+            ]
+        ) == 0
+        generated = capsys.readouterr().out
+        assert "wrote" in generated
+        # The generator printed the exact target; recover it for checking.
+        exact_value = int(
+            generated.split("exact |A & B| = ")[1].split(" ")[0].replace(",", "")
+        )
+
+        assert main(
+            [
+                "ingest",
+                "--log", str(log_path),
+                "--checkpoint", str(checkpoint),
+                "--sketches", "192",
+                "--domain-bits", "22",
+            ]
+        ) == 0
+        assert "ingested" in capsys.readouterr().out
+        assert (checkpoint / "manifest.json").is_file()
+
+        assert main(
+            [
+                "query",
+                "--checkpoint", str(checkpoint),
+                "--expression", "A & B",
+                "--epsilon", "0.15",
+            ]
+        ) == 0
+        queried = capsys.readouterr().out
+        assert "|A & B|" in queried
+        estimate = float(
+            queried.split("≈ ")[1].split(" ")[0].replace(",", "")
+        )
+        assert abs(estimate - exact_value) / exact_value < 0.6
+
+    def test_query_with_explain(self, tmp_path, capsys):
+        log_path = tmp_path / "updates.log"
+        checkpoint = tmp_path / "ckpt"
+        main(
+            [
+                "generate",
+                "--expression", "(A - B) & C",
+                "--union-size", "1024",
+                "--target-ratio", "0.25",
+                "--domain-bits", "22",
+                "--out", str(log_path),
+            ]
+        )
+        capsys.readouterr()
+        main(
+            [
+                "ingest",
+                "--log", str(log_path),
+                "--checkpoint", str(checkpoint),
+                "--sketches", "128",
+                "--domain-bits", "22",
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "query",
+                "--checkpoint", str(checkpoint),
+                "--expression", "(A - B) & C",
+                "--explain",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "subexpression" in output
+        assert "(A - B)" in output
+
+
+class TestCsvIngest:
+    def test_ingest_accepts_csv_logs(self, tmp_path, capsys):
+        csv_path = tmp_path / "flows.csv"
+        rows = ["stream,element,delta"]
+        rows += [f"R1,{i},1" for i in range(200)]
+        rows += [f"R2,{i},1" for i in range(100, 300)]
+        csv_path.write_text("\n".join(rows) + "\n")
+
+        checkpoint = tmp_path / "ckpt"
+        assert main(
+            [
+                "ingest",
+                "--log", str(csv_path),
+                "--checkpoint", str(checkpoint),
+                "--sketches", "128",
+                "--domain-bits", "20",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "query",
+                "--checkpoint", str(checkpoint),
+                "--expression", "R1 & R2",
+                "--epsilon", "0.3",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "|R1 & R2|" in output

@@ -1,0 +1,152 @@
+"""Edge-case sweep across the stack.
+
+Cases that don't fit a single module's unit tests: saturation regimes,
+degenerate sizes, deep expressions, unusual-but-legal configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.expression import estimate_expression
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.core.union import estimate_union
+from repro.expr.parser import parse
+from repro.streams.engine import StreamEngine
+from repro.streams.updates import Update
+
+
+class TestTinyConfigurations:
+    def test_single_sketch_family(self):
+        shape = SketchShape(domain_bits=16, num_second_level=1, independence=2)
+        spec = SketchSpec(num_sketches=1, shape=shape, seed=0)
+        family = spec.build()
+        family.update_batch(np.arange(100, dtype=np.uint64))
+        estimate = estimate_union([family], 0.5)
+        assert estimate.value >= 0  # noisy but defined
+
+    def test_single_element_stream(self):
+        shape = SketchShape(domain_bits=16, num_second_level=4, independence=2)
+        spec = SketchSpec(num_sketches=64, shape=shape, seed=1)
+        family = spec.build()
+        family.update(42, 1)
+        estimate = estimate_union([family], 0.2)
+        assert 0 < estimate.value < 20
+
+    def test_minimal_domain(self):
+        shape = SketchShape(domain_bits=1, num_second_level=2, independence=2)
+        spec = SketchSpec(num_sketches=8, shape=shape, seed=2)
+        family = spec.build()
+        family.update(0, 1)
+        family.update(1, 1)
+        assert estimate_union([family], 0.5).value >= 0
+
+    def test_maximum_domain_bits(self):
+        shape = SketchShape(domain_bits=60, num_second_level=4, independence=2)
+        spec = SketchSpec(num_sketches=4, shape=shape, seed=3)
+        family = spec.build()
+        family.update((1 << 60) - 1, 1)
+        assert not family.is_empty()
+
+
+class TestSaturation:
+    def test_dense_domain_does_not_crash(self):
+        """Stream cardinality comparable to the domain size: the level
+        scan must terminate and return something finite."""
+        shape = SketchShape(domain_bits=12, num_second_level=4, independence=4)
+        spec = SketchSpec(num_sketches=32, shape=shape, seed=4)
+        family = spec.build()
+        family.update_batch(np.arange(2**12, dtype=np.uint64))
+        estimate = estimate_union([family], 0.2)
+        assert np.isfinite(estimate.value)
+        assert estimate.value > 2**10
+
+    def test_huge_multiplicities(self):
+        shape = SketchShape(domain_bits=16, num_second_level=4, independence=2)
+        spec = SketchSpec(num_sketches=32, shape=shape, seed=5)
+        family = spec.build()
+        elements = np.arange(500, dtype=np.uint64)
+        family.update_batch(elements, np.full(500, 10**12))
+        estimate = estimate_union([family], 0.2)
+        assert abs(estimate.value - 500) / 500 < 0.6
+
+
+class TestDeepExpressions:
+    def test_six_stream_expression(self):
+        rng = np.random.default_rng(60)
+        shape = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+        spec = SketchSpec(num_sketches=128, shape=shape, seed=6)
+        pool = rng.choice(2**20, size=1200, replace=False).astype(np.uint64)
+        names = ["S1", "S2", "S3", "S4", "S5", "S6"]
+        families = {}
+        for index, name in enumerate(names):
+            family = spec.build()
+            family.update_batch(pool[index * 150 : index * 150 + 450])
+            families[name] = family
+        expression = "((S1 | S2) & (S3 | S4)) - (S5 & S6)"
+        estimate = estimate_expression(expression, families, 0.2, pool_levels=4)
+        assert np.isfinite(estimate.value)
+        assert estimate.value >= 0
+
+    def test_deeply_nested_parse(self):
+        text = "A"
+        for _ in range(40):
+            text = f"({text} | B)"
+        tree = parse(text)
+        assert tree.streams() == {"A", "B"}
+
+    def test_long_left_chain(self):
+        names = [f"X{i}" for i in range(12)]
+        text = " - ".join(names)
+        tree = parse(text)
+        assert len(tree.streams()) == 12
+
+
+class TestEngineEdges:
+    def _engine(self):
+        shape = SketchShape(domain_bits=16, num_second_level=4, independence=4)
+        return StreamEngine(SketchSpec(num_sketches=32, shape=shape, seed=7))
+
+    def test_union_query_on_unseen_streams(self):
+        engine = self._engine()
+        estimate = engine.query_union(["NEVER", "SEEN"], 0.3)
+        assert estimate.value == 0.0
+
+    def test_many_streams(self):
+        engine = self._engine()
+        for index in range(25):
+            engine.process(Update(f"S{index}", index, 1))
+        engine.flush()
+        assert len(engine.stream_names()) == 25
+
+    def test_alternating_insert_delete_storm(self):
+        engine = self._engine()
+        for _ in range(200):
+            engine.process(Update("A", 5, 1))
+            engine.process(Update("A", 5, -1))
+        engine.flush()
+        assert engine.family("A").is_empty()
+
+    def test_large_single_update_batch(self):
+        engine = self._engine()
+        engine.process(Update("A", 9, 10**15))
+        engine.flush()
+        assert not engine.family("A").is_empty()
+
+
+class TestWitnessLevelEdge:
+    def test_union_estimate_beyond_levels_is_clamped(self):
+        """A wildly overestimated û must clamp the witness level instead
+        of indexing out of range."""
+        from repro.core.intersection import estimate_intersection
+
+        shape = SketchShape(domain_bits=16, num_second_level=4, independence=4)
+        spec = SketchSpec(num_sketches=32, shape=shape, seed=8)
+        family_a, family_b = spec.build(), spec.build()
+        family_a.update_batch(np.arange(100, dtype=np.uint64))
+        family_b.update_batch(np.arange(50, 150, dtype=np.uint64))
+        with pytest.raises(Exception):
+            # At level 63 every bucket is empty: no valid observation.
+            estimate_intersection(family_a, family_b, 0.1, union_estimate=1e30)

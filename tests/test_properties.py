@@ -1,0 +1,311 @@
+"""Property-based tests (hypothesis) on the library's core invariants.
+
+These pin down the algebraic properties everything else rests on:
+linearity of the sketch, deletion invariance, scalar/batch maintenance
+parity, parser round-trips, Venn algebra vs brute-force set semantics, and
+exact-store bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchHashes, SketchShape, TwoLevelHashSketch
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    SetExpression,
+    StreamRef,
+    UnionExpr,
+)
+from repro.expr.parser import parse
+from repro.expr.venn import all_cells, expression_size_from_cells
+from repro.streams.exact import ExactStreamStore
+from repro.streams.updates import Update
+
+DOMAIN_BITS = 16
+SHAPE = SketchShape(domain_bits=DOMAIN_BITS, num_second_level=4, independence=2)
+HASHES = SketchHashes.draw(np.random.default_rng(0), SHAPE)
+
+elements_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**DOMAIN_BITS - 1), max_size=60
+)
+counts_strategy = st.integers(min_value=1, max_value=5)
+
+
+def sketch_of(frequency_vector: Counter) -> TwoLevelHashSketch:
+    sketch = TwoLevelHashSketch(HASHES, SHAPE)
+    for element, count in frequency_vector.items():
+        if count:
+            sketch.update(element, count)
+    return sketch
+
+
+class TestSketchAlgebra:
+    @settings(max_examples=30, deadline=None)
+    @given(elements_strategy, elements_strategy)
+    def test_linearity(self, first: list[int], second: list[int]):
+        """sketch(A) + sketch(B) == sketch(A ⊎ B) for any multisets."""
+        combined = sketch_of(Counter(first) + Counter(second))
+        merged = sketch_of(Counter(first)).merged_with(sketch_of(Counter(second)))
+        assert merged == combined
+
+    @settings(max_examples=30, deadline=None)
+    @given(elements_strategy, elements_strategy)
+    def test_deletion_invariance(self, keep: list[int], churn: list[int]):
+        """Inserting then deleting any multiset leaves no trace."""
+        churned = sketch_of(Counter(keep))
+        for element in churn:
+            churned.update(element, +2)
+        for element in churn:
+            churned.update(element, -2)
+        assert churned == sketch_of(Counter(keep))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2**DOMAIN_BITS - 1),
+                st.integers(min_value=-4, max_value=4).filter(lambda d: d != 0),
+            ),
+            max_size=50,
+        )
+    )
+    def test_update_order_irrelevant(self, updates: list[tuple[int, int]]):
+        """The sketch is a function of net frequencies, not arrival order."""
+        forward = TwoLevelHashSketch(HASHES, SHAPE)
+        backward = TwoLevelHashSketch(HASHES, SHAPE)
+        for element, delta in updates:
+            forward.update(element, delta)
+        for element, delta in reversed(updates):
+            backward.update(element, delta)
+        assert forward == backward
+
+    @settings(max_examples=25, deadline=None)
+    @given(elements_strategy, st.lists(counts_strategy, max_size=60))
+    def test_batch_matches_scalar(self, elements: list[int], counts: list[int]):
+        length = min(len(elements), len(counts))
+        elements, counts = elements[:length], counts[:length]
+        batched = TwoLevelHashSketch(HASHES, SHAPE)
+        batched.update_batch(
+            np.asarray(elements, dtype=np.uint64), np.asarray(counts)
+        )
+        scalar = TwoLevelHashSketch(HASHES, SHAPE)
+        for element, count in zip(elements, counts):
+            scalar.update(element, count)
+        assert batched == scalar
+
+    @settings(max_examples=20, deadline=None)
+    @given(elements_strategy)
+    def test_serialisation_roundtrip(self, elements: list[int]):
+        original = sketch_of(Counter(elements))
+        restored = TwoLevelHashSketch.from_bytes(
+            original.to_bytes(), HASHES, SHAPE
+        )
+        assert restored == original
+
+
+# -- expression strategies ----------------------------------------------------
+
+names = st.sampled_from(["A", "B", "C"])
+
+
+def expression_strategy() -> st.SearchStrategy[SetExpression]:
+    leaves = names.map(StreamRef)
+
+    def extend(children):
+        return st.one_of(
+            st.builds(UnionExpr, children, children),
+            st.builds(IntersectionExpr, children, children),
+            st.builds(DifferenceExpr, children, children),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+class TestExpressionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(expression_strategy())
+    def test_parse_roundtrip(self, expression: SetExpression):
+        assert parse(expression.to_text()) == expression
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        expression_strategy(),
+        st.dictionaries(names, st.sets(st.integers(0, 30)), min_size=3, max_size=3),
+    )
+    def test_contains_matches_evaluate(self, expression, sets):
+        universe = set().union(*sets.values()) if sets else set()
+        evaluated = expression.evaluate(sets)
+        for element in universe:
+            membership = {name: element in sets[name] for name in sets}
+            assert expression.contains(membership) == (element in evaluated)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        expression_strategy(),
+        st.lists(st.integers(0, 40), min_size=7, max_size=7),
+    )
+    def test_venn_size_matches_brute_force(self, expression, sizes):
+        stream_names = sorted(expression.streams())
+        cells = all_cells(["A", "B", "C"])
+        cell_sizes = dict(zip(cells, sizes))
+        # Materialise disjoint sets per cell and evaluate exactly.
+        sets: dict[str, set] = {"A": set(), "B": set(), "C": set()}
+        next_element = 0
+        for cell, size in cell_sizes.items():
+            members = set(range(next_element, next_element + size))
+            next_element += size
+            for name in cell:
+                sets[name] |= members
+        expected = len(expression.evaluate({name: sets[name] for name in stream_names}))
+        assert expression_size_from_cells(expression, cell_sizes) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        expression_strategy(),
+        st.dictionaries(
+            names,
+            st.lists(st.booleans(), min_size=5, max_size=5),
+            min_size=3,
+            max_size=3,
+        ),
+    )
+    def test_boolean_mask_matches_contains(self, expression, mask_lists):
+        masks = {name: np.asarray(bits) for name, bits in mask_lists.items()}
+        result = expression.boolean_mask(masks)
+        for position in range(5):
+            membership = {name: bool(masks[name][position]) for name in masks}
+            assert bool(result[position]) == expression.contains(membership)
+
+
+class TestOptimizerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(expression_strategy())
+    def test_simplify_preserves_semantics(self, expression: SetExpression):
+        from repro.expr.optimize import equivalent, simplify
+
+        assert equivalent(expression, simplify(expression))
+
+    @settings(max_examples=50, deadline=None)
+    @given(expression_strategy())
+    def test_simplify_idempotent(self, expression: SetExpression):
+        from repro.expr.optimize import simplify
+
+        once = simplify(expression)
+        assert simplify(once) == once
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        expression_strategy(),
+        st.dictionaries(names, st.sets(st.integers(0, 25)), min_size=3, max_size=3),
+    )
+    def test_simplified_evaluates_identically(self, expression, sets):
+        from repro.expr.optimize import simplify
+
+        simplified = simplify(expression)
+        full_sets = {name: sets.get(name, set()) for name in ("A", "B", "C")}
+        assert expression.evaluate(full_sets) == simplified.evaluate(full_sets)
+
+    @settings(max_examples=50, deadline=None)
+    @given(expression_strategy(), expression_strategy())
+    def test_equivalence_agrees_with_evaluation(self, first, second):
+        from repro.expr.optimize import equivalent
+
+        sets = {"A": {1, 2, 5}, "B": {2, 3, 5}, "C": {3, 4, 5, 6}}
+        if equivalent(first, second):
+            assert first.evaluate(sets) == second.evaluate(sets)
+
+
+class TestExactStoreProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B"]),
+                st.integers(0, 20),
+                st.integers(1, 3),
+            ),
+            max_size=40,
+        )
+    )
+    def test_store_matches_counter_semantics(self, inserts):
+        store = ExactStreamStore()
+        reference: dict[str, Counter] = {"A": Counter(), "B": Counter()}
+        for stream, element, count in inserts:
+            store.apply(Update(stream, element, count))
+            reference[stream][element] += count
+        for stream in ("A", "B"):
+            assert store.distinct_set(stream) == set(reference[stream])
+            assert store.total_items(stream) == sum(reference[stream].values())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=30))
+    def test_insert_then_delete_everything(self, elements):
+        store = ExactStreamStore()
+        for element in elements:
+            store.apply(Update("A", element, 1))
+        for element in elements:
+            store.apply(Update("A", element, -1))
+        assert store.distinct_count("A") == 0
+
+
+class TestFamilyProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(elements_strategy, st.integers(min_value=1, max_value=8))
+    def test_prefix_consistency(self, elements, prefix_size):
+        spec = SketchSpec(num_sketches=8, shape=SHAPE, seed=3)
+        family = spec.build()
+        family.update_batch(np.asarray(elements, dtype=np.uint64))
+        small_spec = SketchSpec(num_sketches=prefix_size, shape=SHAPE, seed=3)
+        small = small_spec.build()
+        small.update_batch(np.asarray(elements, dtype=np.uint64))
+        assert family.prefix(prefix_size) == small
+
+
+class TestFieldAlgebraProperties:
+    """GF(2^61-1) arithmetic obeys field laws (hypothesis-driven)."""
+
+    P = (1 << 61) - 1
+    residues = st.integers(min_value=0, max_value=P - 1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(residues, residues, residues)
+    def test_mul_associative(self, a, b, c):
+        from repro.hashing.mersenne import mulmod
+
+        left = mulmod(mulmod(np.uint64(a), np.uint64(b)), np.uint64(c))
+        right = mulmod(np.uint64(a), mulmod(np.uint64(b), np.uint64(c)))
+        assert int(left) == int(right)
+
+    @settings(max_examples=200, deadline=None)
+    @given(residues, residues, residues)
+    def test_distributive(self, a, b, c):
+        from repro.hashing.mersenne import addmod, mulmod
+
+        left = mulmod(np.uint64(a), addmod(np.uint64(b), np.uint64(c)))
+        right = addmod(
+            mulmod(np.uint64(a), np.uint64(b)), mulmod(np.uint64(a), np.uint64(c))
+        )
+        assert int(left) == int(right)
+
+    @settings(max_examples=200, deadline=None)
+    @given(residues, residues)
+    def test_matches_python_ints(self, a, b):
+        from repro.hashing.mersenne import mulmod
+
+        assert int(mulmod(np.uint64(a), np.uint64(b))) == (a * b) % self.P
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_mod_p_canonical(self, x):
+        from repro.hashing.mersenne import mod_p
+
+        reduced = int(mod_p(np.uint64(x)))
+        assert reduced == x % self.P
+        assert reduced < self.P
