@@ -5,9 +5,22 @@ The paper claims "small processing time per update": each update touches
 second-level hash evaluations.  This bench measures updates/second for
 the scalar path (one tuple at a time, the streaming API) and the
 vectorised batch path, across family sizes.
+
+Run directly (``python benchmarks/bench_throughput.py --shards 4``) it
+becomes an end-to-end ingest benchmark: a realistic skewed
+insert/delete workload is driven through a single-threaded
+:class:`~repro.streams.engine.StreamEngine` and through a
+:class:`~repro.streams.sharded.ShardedEngine`, results are verified
+bit-identical, and the measurements land in ``BENCH_throughput.json``.
 """
 
 from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
 
 import numpy as np
 
@@ -68,3 +81,147 @@ def test_estimation_latency(benchmark):
         estimate_intersection, args=(family_a, family_b, 0.1), rounds=20, iterations=1
     )
     print(f"\nintersection query latency: {benchmark.stats['mean'] * 1e3:.2f} ms")
+
+
+# -- standalone sharded-ingest benchmark -------------------------------------
+
+
+def _skewed_workload(num_updates: int, num_streams: int, seed: int):
+    """A realistic continuous-update workload: Zipf-skewed elements over
+    several streams with insert/delete churn (hot elements repeat and
+    partially cancel — exactly the traffic the linearity aggregation and
+    the sharded engine are built for)."""
+    from repro.streams.updates import Update
+
+    rng = np.random.default_rng(seed)
+    domain = SHAPE.domain_size
+    elements = (rng.zipf(1.2, size=num_updates) - 1) % domain
+    deltas = np.where(rng.random(num_updates) < 0.7, 1, -1)
+    streams = rng.integers(0, num_streams, size=num_updates)
+    names = [f"S{i}" for i in range(num_streams)]
+    return [
+        Update(names[int(s)], int(e), int(d))
+        for s, e, d in zip(streams, elements, deltas)
+    ]
+
+
+def run_ingest_benchmark(
+    num_updates: int = 200_000,
+    num_streams: int = 3,
+    num_sketches: int = 64,
+    shards: int = 4,
+    executor: str = "threads",
+    seed: int = 7,
+    out: str | pathlib.Path = "BENCH_throughput.json",
+) -> dict:
+    """Single-engine vs sharded-engine ingest on one workload.
+
+    Returns (and writes to ``out``) a JSON report with both throughputs,
+    the speedup, per-shard stats, and a bit-identical equivalence check
+    of the merged counters.
+    """
+    from repro.streams.engine import StreamEngine
+    from repro.streams.sharded import ShardedEngine
+
+    spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
+    updates = _skewed_workload(num_updates, num_streams, seed)
+
+    baseline = StreamEngine(spec)
+    started = time.perf_counter()
+    baseline.process_many(updates)
+    baseline.flush()
+    baseline_seconds = time.perf_counter() - started
+
+    with ShardedEngine(spec, num_shards=shards, executor=executor) as sharded:
+        started = time.perf_counter()
+        sharded.process_many(updates)
+        sharded.flush()
+        sharded_seconds = time.perf_counter() - started
+        identical = all(
+            np.array_equal(
+                sharded.family(name).counters, baseline.family(name).counters
+            )
+            for name in baseline.stream_names()
+        )
+        stats = sharded.stats()
+
+    report = {
+        "workload": {
+            "updates": num_updates,
+            "streams": num_streams,
+            "num_sketches": num_sketches,
+            "domain_bits": SHAPE.domain_bits,
+            "distribution": "zipf(1.2), 30% deletions",
+            "seed": seed,
+        },
+        "single_engine": {
+            "seconds": baseline_seconds,
+            "updates_per_second": num_updates / baseline_seconds,
+        },
+        "sharded_engine": {
+            "shards": shards,
+            "executor": executor,
+            "seconds": sharded_seconds,
+            "updates_per_second": num_updates / sharded_seconds,
+            "aggregation_ratio": stats.aggregation_ratio,
+            "per_shard": [
+                {
+                    "shard": s.shard_id,
+                    "routed": s.updates_routed,
+                    "applied": s.updates_applied,
+                    "flush_seconds": s.flush_seconds,
+                }
+                for s in stats.shards
+            ],
+        },
+        "speedup": baseline_seconds / sharded_seconds,
+        "counters_bit_identical": identical,
+    }
+    pathlib.Path(out).write_text(json.dumps(report, indent=2))
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="sharded vs single-engine ingest throughput"
+    )
+    parser.add_argument("--updates", type=int, default=200_000)
+    parser.add_argument("--streams", type=int, default=3)
+    parser.add_argument("--sketches", type=int, default=64)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--executor", choices=("serial", "threads", "processes"),
+        default="threads",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("BENCH_throughput.json")
+    )
+    args = parser.parse_args(argv)
+    report = run_ingest_benchmark(
+        num_updates=args.updates,
+        num_streams=args.streams,
+        num_sketches=args.sketches,
+        shards=args.shards,
+        executor=args.executor,
+        seed=args.seed,
+        out=args.out,
+    )
+    single = report["single_engine"]["updates_per_second"]
+    sharded = report["sharded_engine"]["updates_per_second"]
+    print(f"single engine : {single:>12,.0f} updates/s")
+    print(
+        f"sharded ({report['sharded_engine']['shards']}x{args.executor:>9}): "
+        f"{sharded:>12,.0f} updates/s"
+    )
+    print(
+        f"speedup       : {report['speedup']:.2f}x   "
+        f"(aggregation x{report['sharded_engine']['aggregation_ratio']:.2f}, "
+        f"counters identical: {report['counters_bit_identical']})"
+    )
+    print(f"report written to {args.out}")
+    return 0 if report["counters_bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--independence", type=int, default=8)
     ingest.add_argument("--domain-bits", type=int, default=30)
     ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument(
+        "--shards", type=int, default=1,
+        help="partition ingest across N parallel shards (1 = single engine)",
+    )
+    ingest.add_argument(
+        "--executor", choices=("serial", "threads", "processes"),
+        default="threads",
+        help="shard backend when --shards > 1",
+    )
 
     query = subparsers.add_parser(
         "query", help="estimate |E| from checkpointed synopses"
@@ -172,8 +181,12 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_ingest(args: argparse.Namespace) -> int:
     from repro.core.family import SketchSpec
     from repro.core.sketch import SketchShape
-    from repro.streams.checkpoint import checkpoint_engine
+    from repro.streams.checkpoint import (
+        checkpoint_engine,
+        checkpoint_sharded_engine,
+    )
     from repro.streams.engine import StreamEngine
+    from repro.streams.sharded import ShardedEngine
     from repro.streams.sources import replay_into
 
     spec = SketchSpec(
@@ -185,13 +198,29 @@ def _command_ingest(args: argparse.Namespace) -> int:
         ),
         seed=args.seed,
     )
-    engine = StreamEngine(spec)
-    count = replay_into(
-        args.log,
-        engine,
-        progress=lambda n: print(f"  {n:,} updates ingested ..."),
-    )
-    checkpoint_engine(engine, args.checkpoint)
+    if args.shards < 1:
+        print("--shards must be positive", file=sys.stderr)
+        return 2
+    progress = lambda n: print(f"  {n:,} updates ingested ...")  # noqa: E731
+    if args.shards == 1:
+        engine = StreamEngine(spec)
+        count = replay_into(args.log, engine, progress=progress)
+        checkpoint_engine(engine, args.checkpoint)
+    else:
+        with ShardedEngine(
+            spec, num_shards=args.shards, executor=args.executor
+        ) as engine:
+            count = replay_into(args.log, engine, progress=progress)
+            engine.flush()
+            checkpoint_sharded_engine(engine, args.checkpoint)
+            print(engine.stats().as_table())
+            print(
+                f"ingested {count:,} updates over streams "
+                f"{', '.join(engine.stream_names())} across {args.shards} "
+                f"{args.executor} shards; checkpoint at {args.checkpoint} "
+                f"({engine.synopsis_bytes() / 1e6:.1f} MB of counters)"
+            )
+            return 0
     print(
         f"ingested {count:,} updates over streams "
         f"{', '.join(engine.stream_names())}; checkpoint at {args.checkpoint} "

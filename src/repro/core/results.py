@@ -30,12 +30,19 @@ class UnionEstimate:
         The observed fraction ``p̂`` of non-empty buckets at that level.
     num_sketches:
         Number of sketches averaged over (the ``r`` of the analysis).
+    saturated:
+        True when the level scan exhausted every first-level bucket index
+        with all ``r`` sketches still non-empty (``p̂ == 1``).  The
+        inversion formula is undefined there, so ``value`` is the
+        saturation floor ``≈ R·ln(2r)`` — treat it as "at least this
+        large" and re-plan the synopsis (more levels / larger domain).
     """
 
     value: float
     level: int
     non_empty_fraction: float
     num_sketches: int
+    saturated: bool = False
 
     def __float__(self) -> float:
         return self.value

@@ -196,8 +196,18 @@ class TwoLevelHashSketch:
         bits = self.hashes.second_level.bits(elements).astype(np.int64)  # (n, s)
         # Flat index into (L, s, 2): ((level * s) + j) * 2 + bit.
         flat = (levels[:, None] * s + np.arange(s)[None, :]) * 2 + bits
-        weights = None if counts is None else np.repeat(counts, s)
-        scatter_add(self.counters.reshape(-1), flat.reshape(-1), weights)
+        target = self.counters.reshape(-1)
+        if counts is None:
+            scatter_add(target, flat.reshape(-1), None)
+            return
+        first = int(counts[0])
+        if bool((counts == first).all()):
+            # Uniform deltas (every tuple inserts, or every tuple deletes,
+            # the same magnitude): one unweighted histogram scaled once is
+            # exact in int64 and skips the weight materialisation.
+            target += np.bincount(flat.reshape(-1), minlength=target.size) * first
+        else:
+            scatter_add(target, flat.reshape(-1), np.repeat(counts, s))
 
     # -- bucket accessors used by the property checks ---------------------
 

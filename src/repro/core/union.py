@@ -67,14 +67,28 @@ def estimate_union(
 
     count = int(non_empty_counts[level])
     fraction = count / num_sketches
+    saturated = count == num_sketches
     if count == 0:
         value = 0.0
     else:
+        # When the scan runs out of levels with *every* sketch still
+        # non-empty (fraction == 1.0), the inversion formula degenerates to
+        # log(0).  Saturate: evaluate at the largest observable fraction
+        # short of 1 (a half-count continuity correction), which yields the
+        # finite estimate R·ln(2r) — the smallest union size that would
+        # plausibly fill all r buckets at this level — and flag the result
+        # so callers know the synopsis was too small for the stream.
+        effective = fraction
+        if saturated:
+            effective = (num_sketches - 0.5) / num_sketches
         scale = float(1 << (level + 1))  # R = 2^(level+1)
-        value = math.log(1.0 - fraction) / math.log(1.0 - 1.0 / scale)
+        # log1p keeps the denominator non-zero at the deepest levels,
+        # where 1 - 1/R rounds to exactly 1.0 in float64.
+        value = math.log1p(-effective) / math.log1p(-1.0 / scale)
     return UnionEstimate(
         value=value,
         level=level,
         non_empty_fraction=fraction,
         num_sketches=num_sketches,
+        saturated=saturated,
     )

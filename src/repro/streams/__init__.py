@@ -1,7 +1,14 @@
 """Update-stream processing substrate: data model, engine, exact store,
-sources, checkpointing, and the distributed-sites model."""
+sources, checkpointing, sharded parallel ingest, and the
+distributed-sites model."""
 
-from repro.streams.checkpoint import CheckpointError, checkpoint_engine, restore_engine
+from repro.streams.checkpoint import (
+    CheckpointError,
+    checkpoint_engine,
+    checkpoint_sharded_engine,
+    restore_engine,
+    restore_sharded_engine,
+)
 from repro.streams.continuous import (
     ContinuousQueryProcessor,
     Observation,
@@ -10,6 +17,8 @@ from repro.streams.continuous import (
 from repro.streams.distributed import Coordinator, StreamSite
 from repro.streams.engine import StreamEngine
 from repro.streams.exact import ExactStreamStore
+from repro.streams.sharded import ShardedEngine, shard_for, shard_vector
+from repro.streams.stats import IngestStats, ShardStats
 from repro.streams.sources import (
     UpdateLogError,
     load_updates,
@@ -25,10 +34,17 @@ __all__ = [
     "StandingQuery",
     "CheckpointError",
     "checkpoint_engine",
+    "checkpoint_sharded_engine",
     "restore_engine",
+    "restore_sharded_engine",
     "Coordinator",
     "StreamSite",
     "StreamEngine",
+    "ShardedEngine",
+    "shard_for",
+    "shard_vector",
+    "IngestStats",
+    "ShardStats",
     "ExactStreamStore",
     "UpdateLogError",
     "load_updates",

@@ -5,11 +5,26 @@ replayed to rebuild the synopses.  A checkpoint writes the engine's whole
 state — the sketch spec (the coins) and every stream's counter array — to
 a directory that :func:`restore_engine` turns back into a live engine.
 
-Layout::
+Layout (format version 2)::
 
     <checkpoint>/
-        manifest.json          # format version, spec, stream names
-        streams/<name>.sketch  # counter payload (SketchFamily.to_bytes)
+        manifest.json            # version, spec, stream-name -> file map
+        streams/<escaped>.sketch # counter payload (SketchFamily.to_bytes)
+
+Stream names are user data and may contain anything (``/``, ``..``,
+``NUL``, characters illegal on the target filesystem), so they are never
+used as file names directly: each name is percent-escaped into a safe
+file stem and the manifest records the exact ``name -> file`` mapping.
+Version-1 checkpoints (raw names, no mapping) are still restorable.
+
+Sharded engines (:class:`~repro.streams.sharded.ShardedEngine`) checkpoint
+through the same format — :func:`checkpoint_sharded_engine` writes one
+payload per *(shard, stream)* slice plus the shard layout, and
+:func:`restore_sharded_engine` rebuilds each slice in place so a restored
+engine keeps ingesting with the same partitioning.  A sharded checkpoint
+is also a superset of the flat format: :func:`restore_engine` on one
+yields a single :class:`~repro.streams.engine.StreamEngine` holding the
+merged synopses (linearity again).
 
 The counters are the only state; hash functions regenerate from the spec
 seed, so checkpoints are small and portable across machines.
@@ -19,18 +34,57 @@ from __future__ import annotations
 
 import json
 import pathlib
+from urllib.parse import quote, unquote
 
-from repro.core.family import SketchFamily, SketchSpec
+from repro.core.family import SketchFamily, SketchSpec, sum_families
 from repro.errors import ReproError
 from repro.streams.engine import StreamEngine
 
-__all__ = ["checkpoint_engine", "restore_engine", "CheckpointError"]
+__all__ = [
+    "checkpoint_engine",
+    "restore_engine",
+    "checkpoint_sharded_engine",
+    "restore_sharded_engine",
+    "CheckpointError",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 class CheckpointError(ReproError, ValueError):
     """A checkpoint directory is missing, malformed, or incompatible."""
+
+
+def _escape_stream_name(name: str) -> str:
+    """A filesystem-safe, collision-free file stem for a stream name.
+
+    Percent-escapes everything outside ``[A-Za-z0-9_-]`` (``safe=""``
+    escapes ``/`` too, so names cannot nest or traverse directories) and
+    caps the stem length; the manifest mapping — not the escaping — is
+    authoritative on restore, so the cap cannot cause ambiguity.
+    """
+    escaped = quote(name, safe="")
+    escaped = escaped.replace(".", "%2E")  # forbid "..", hidden files
+    if not escaped:
+        escaped = "%00empty"
+    return escaped[:150]
+
+
+def _write_stream_payloads(streams_dir, named_payloads) -> dict[str, str]:
+    """Write payloads under escaped names; return name -> file mapping."""
+    files: dict[str, str] = {}
+    used: set[str] = set()
+    for name, payload in named_payloads:
+        stem = _escape_stream_name(name)
+        candidate = stem
+        suffix = 0
+        while candidate in used:  # length-capped stems may collide
+            suffix += 1
+            candidate = f"{stem}~{suffix}"
+        used.add(candidate)
+        files[name] = f"{candidate}.sketch"
+        (streams_dir / files[name]).write_bytes(payload)
+    return files
 
 
 def checkpoint_engine(engine: StreamEngine, directory: str | pathlib.Path) -> None:
@@ -42,24 +96,22 @@ def checkpoint_engine(engine: StreamEngine, directory: str | pathlib.Path) -> No
 
     engine.flush()
     stream_names = engine.stream_names()
-    for name in stream_names:
-        payload = engine.family(name).to_bytes()
-        (streams_dir / f"{name}.sketch").write_bytes(payload)
+    files = _write_stream_payloads(
+        streams_dir,
+        ((name, engine.family(name).to_bytes()) for name in stream_names),
+    )
 
     manifest = {
         "format_version": _FORMAT_VERSION,
         "spec": engine.spec.to_json_dict(),
         "streams": stream_names,
+        "stream_files": files,
         "updates_processed": engine.updates_processed,
     }
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
 
 
-def restore_engine(
-    directory: str | pathlib.Path, batch_size: int = 4096
-) -> StreamEngine:
-    """Rebuild a live engine from a checkpoint directory."""
-    directory = pathlib.Path(directory)
+def _load_manifest(directory: pathlib.Path) -> dict:
     manifest_path = directory / "manifest.json"
     if not manifest_path.is_file():
         raise CheckpointError(f"no manifest.json under {directory}")
@@ -67,20 +119,165 @@ def restore_engine(
         manifest = json.loads(manifest_path.read_text())
     except json.JSONDecodeError as exc:
         raise CheckpointError(f"corrupt manifest: {exc}") from exc
-
     version = manifest.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in (1, _FORMAT_VERSION):
         raise CheckpointError(
             f"checkpoint format {version!r} not supported (expected "
             f"{_FORMAT_VERSION})"
         )
+    return manifest
+
+
+def _stream_file(manifest: dict, name: str) -> str:
+    """The payload file for ``name`` (mapping in v2, raw name in v1)."""
+    files = manifest.get("stream_files")
+    if files is not None:
+        try:
+            return files[name]
+        except KeyError:
+            raise CheckpointError(
+                f"manifest has no payload file for stream {name!r}"
+            ) from None
+    return f"{name}.sketch"  # format v1: raw names on disk
+
+
+def _read_family(
+    directory: pathlib.Path, manifest: dict, name: str, spec: SketchSpec
+) -> SketchFamily:
+    payload_path = directory / "streams" / _stream_file(manifest, name)
+    if not payload_path.is_file():
+        raise CheckpointError(f"missing sketch payload for stream {name!r}")
+    return SketchFamily.from_bytes(payload_path.read_bytes(), spec)
+
+
+def restore_engine(
+    directory: str | pathlib.Path, batch_size: int = 4096
+) -> StreamEngine:
+    """Rebuild a live engine from a checkpoint directory.
+
+    Accepts flat checkpoints (format 1 or 2) and sharded checkpoints —
+    for the latter the per-shard slices of each stream are summed into
+    one family per stream, which by linearity is exactly the synopsis of
+    the full stream.
+    """
+    directory = pathlib.Path(directory)
+    manifest = _load_manifest(directory)
     spec = SketchSpec.from_json_dict(manifest["spec"])
     engine = StreamEngine(spec, batch_size=batch_size)
+    shards = manifest.get("shards")
     for name in manifest["streams"]:
-        payload_path = directory / "streams" / f"{name}.sketch"
-        if not payload_path.is_file():
-            raise CheckpointError(f"missing sketch payload for stream {name!r}")
-        family = SketchFamily.from_bytes(payload_path.read_bytes(), spec)
+        if shards is None:
+            family = _read_family(directory, manifest, name, spec)
+        else:
+            parts = [
+                _read_family(directory, manifest, slice_key, spec)
+                for slice_key in _slice_keys(manifest, name)
+            ]
+            family = sum_families(parts) if parts else spec.build()
         engine.adopt_family(name, family)
     engine.mark_replayed(int(manifest.get("updates_processed", 0)))
+    return engine
+
+
+# -- sharded engines ---------------------------------------------------------
+
+
+def _slice_name(shard: int, stream: str) -> str:
+    return f"shard{shard}/{stream}"
+
+
+def _slice_keys(manifest: dict, stream: str) -> list[str]:
+    """The per-shard payload keys recorded for ``stream``."""
+    return [
+        _slice_name(shard, stream)
+        for shard in range(int(manifest["shards"]))
+        if _slice_name(shard, stream) in manifest.get("stream_files", {})
+    ]
+
+
+def checkpoint_sharded_engine(engine, directory: str | pathlib.Path) -> None:
+    """Write a :class:`~repro.streams.sharded.ShardedEngine`'s state.
+
+    One payload per non-empty *(shard, stream)* slice, keyed
+    ``shard<i>/<stream>`` in the manifest's ``stream_files`` mapping (the
+    key goes through the same escaping as any stream name, so the ``/``
+    never reaches the filesystem).
+    """
+    directory = pathlib.Path(directory)
+    streams_dir = directory / "streams"
+    streams_dir.mkdir(parents=True, exist_ok=True)
+
+    engine.flush()
+    stream_names = engine.stream_names()
+    named_payloads = []
+    for stream in stream_names:
+        for shard, family in sorted(engine._iter_shard_families(stream)):
+            named_payloads.append(
+                (_slice_name(shard, stream), family.to_bytes())
+            )
+    files = _write_stream_payloads(streams_dir, named_payloads)
+
+    manifest = {
+        "format_version": _FORMAT_VERSION,
+        "spec": engine.spec.to_json_dict(),
+        "streams": stream_names,
+        "stream_files": files,
+        "updates_processed": engine.updates_processed,
+        "shards": engine.num_shards,
+    }
+    (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+
+def restore_sharded_engine(
+    directory: str | pathlib.Path,
+    num_shards: int | None = None,
+    batch_size: int = 4096,
+    executor: str = "threads",
+):
+    """Rebuild a live :class:`~repro.streams.sharded.ShardedEngine`.
+
+    From a sharded checkpoint with the same shard count, every slice is
+    restored onto its original shard, so the restored engine's per-shard
+    state — not just the merged view — matches the checkpointed one.
+    From a flat checkpoint, or when ``num_shards`` differs, each stream's
+    merged family lands on shard 0 (safe by linearity; the partitioner
+    still routes *future* updates by element).
+    """
+    from repro.streams.sharded import ShardedEngine
+
+    directory = pathlib.Path(directory)
+    manifest = _load_manifest(directory)
+    spec = SketchSpec.from_json_dict(manifest["spec"])
+    checkpoint_shards = manifest.get("shards")
+    if num_shards is None:
+        num_shards = int(checkpoint_shards) if checkpoint_shards else 4
+    engine = ShardedEngine(
+        spec, num_shards=num_shards, batch_size=batch_size, executor=executor
+    )
+    try:
+        aligned = checkpoint_shards is not None and int(checkpoint_shards) == num_shards
+        for name in manifest["streams"]:
+            if aligned:
+                for shard in range(num_shards):
+                    key = _slice_name(shard, name)
+                    if key in manifest.get("stream_files", {}):
+                        engine.adopt_shard_family(
+                            shard, name, _read_family(directory, manifest, key, spec)
+                        )
+            elif checkpoint_shards is not None:
+                parts = [
+                    _read_family(directory, manifest, key, spec)
+                    for key in _slice_keys(manifest, name)
+                ]
+                engine.adopt_family(
+                    name, sum_families(parts) if parts else spec.build()
+                )
+            else:
+                engine.adopt_family(
+                    name, _read_family(directory, manifest, name, spec)
+                )
+        engine.mark_replayed(int(manifest.get("updates_processed", 0)))
+    except BaseException:
+        engine.close()
+        raise
     return engine

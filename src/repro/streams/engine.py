@@ -176,6 +176,10 @@ class StreamEngine:
             )
         self._families[stream] = family
         self._buffers.pop(stream, None)
+        # The synopsis changed without updates_processed moving, so cached
+        # estimates keyed on the old position would be served against the
+        # new state — drop them all.
+        self._query_cache.clear()
 
     def mark_replayed(self, num_updates: int) -> None:
         """Record updates that were applied before this engine existed
@@ -183,6 +187,8 @@ class StreamEngine:
         if num_updates < 0:
             raise ValueError("num_updates must be non-negative")
         self._updates_processed += num_updates
+        if num_updates:
+            self._query_cache.clear()
 
     # -- internals ------------------------------------------------------------
 

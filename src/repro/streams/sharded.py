@@ -1,0 +1,706 @@
+"""Sharded parallel ingestion: scale-out maintenance by sketch linearity.
+
+The 2-level hash sketch is a *linear* synopsis: the sketch of a multiset
+sum is the entrywise sum of sketches.  The distributed-sites model
+(:mod:`repro.streams.distributed`) uses that property across machines;
+this module uses it **inside one process** to parallelise ingest.  A
+:class:`ShardedEngine` hash-partitions incoming update tuples by
+``(stream, element)`` across ``N`` worker shards, so each shard owns a
+disjoint slice of every stream's element domain and maintains its own
+:class:`~repro.core.family.SketchFamily` per stream — under the *same*
+:class:`~repro.core.family.SketchSpec` coins, which is what keeps the
+shards' synopses combinable.  Queries merge by summing counter arrays;
+correctness is exactly the linearity argument, so no coordination is
+needed on the ingest hot path and the merged counters are bit-identical
+to a single engine's.
+
+Three executor backends share one routing/buffering front end:
+
+``"serial"``
+    Apply batches inline.  The zero-moving-parts reference; sharding
+    still pays via the linearity aggregation of
+    :meth:`~repro.core.family.SketchFamily.ingest_batch`.
+``"threads"``
+    One single-thread executor per shard.  Per-shard ordering is free
+    (one worker per shard), shards never share counter state, and the
+    numpy maintenance kernels release the GIL, so shards overlap on
+    multi-core hosts.
+``"processes"``
+    One worker process per shard, with every (shard, stream) counter
+    array living in POSIX shared memory (``multiprocessing.shared_memory``).
+    Workers write their shard's counters in place; the parent maps the
+    same segments and merges them zero-copy at query time — counters are
+    never serialised after the initial handshake.
+
+Per-shard ingest metrics (updates routed/applied, flush time, merge
+time) are surfaced through :meth:`ShardedEngine.stats` as
+:class:`~repro.streams.stats.IngestStats`.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.family import SketchFamily, SketchSpec, sum_families
+from repro.core.results import UnionEstimate, WitnessEstimate
+from repro.expr.ast import SetExpression
+from repro.streams.engine import StreamEngine
+from repro.streams.stats import IngestStats, ShardStats
+from repro.streams.updates import Update
+
+__all__ = ["ShardedEngine", "shard_for", "shard_vector"]
+
+_MASK64 = (1 << 64) - 1
+_MIX = 0x9E3779B97F4A7C15  # splitmix64 / golden-ratio multiplier
+_FNV = 0x100000001B3
+
+
+def _stream_salt(stream: str) -> int:
+    """A 64-bit per-stream salt, stable across processes and Python runs.
+
+    ``zlib.crc32`` is seed-free (unlike ``hash``, which varies with
+    ``PYTHONHASHSEED``), so every worker process routes identically.
+    """
+    return (zlib.crc32(stream.encode("utf-8")) * _FNV) & _MASK64
+
+
+def shard_for(stream: str, element: int, num_shards: int) -> int:
+    """The shard that owns ``(stream, element)``.
+
+    Deterministic, process-stable, and independent of the sketch hash
+    functions (the partitioner must not correlate with the first-level
+    hash, or shards would own biased slices of the level distribution).
+    """
+    x = (int(element) ^ _stream_salt(stream)) & _MASK64
+    x = (x * _MIX) & _MASK64
+    x ^= x >> 33
+    return int(x % num_shards)
+
+
+def shard_vector(stream: str, elements, num_shards: int) -> np.ndarray:
+    """Vectorised :func:`shard_for` over an element array."""
+    x = np.asarray(elements, dtype=np.uint64) ^ np.uint64(_stream_salt(stream))
+    x = x * np.uint64(_MIX)  # uint64 arithmetic wraps mod 2**64
+    x = x ^ (x >> np.uint64(33))
+    return (x % np.uint64(num_shards)).astype(np.int64)
+
+
+class _MutableShardStats:
+    """Mutable per-shard counters; snapshots freeze into ShardStats."""
+
+    __slots__ = (
+        "shard_id",
+        "updates_routed",
+        "updates_applied",
+        "batches_flushed",
+        "flush_seconds",
+    )
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.updates_routed = 0
+        self.updates_applied = 0
+        self.batches_flushed = 0
+        self.flush_seconds = 0.0
+
+    def snapshot(self, streams: int) -> ShardStats:
+        return ShardStats(
+            shard_id=self.shard_id,
+            updates_routed=self.updates_routed,
+            updates_applied=self.updates_applied,
+            batches_flushed=self.batches_flushed,
+            flush_seconds=self.flush_seconds,
+            streams=streams,
+        )
+
+
+# -- process-backend worker ---------------------------------------------------
+#
+# The worker owns no counter memory: every (shard, stream) family wraps a
+# shared-memory segment created by the parent.  Messages arrive on a FIFO
+# queue, so a "sync" reply proves every earlier batch has been applied.
+
+
+def _disable_worker_shm_tracking() -> None:
+    """Stop this worker process from resource-tracking shared memory.
+
+    Segment lifetime is owned by the parent (create → unlink); Python 3.11
+    has no ``track=False`` on attach, and letting the worker register too
+    either double-unregisters a fork-shared tracker or makes a spawn-local
+    tracker "clean up" segments the parent still uses.
+    """
+    try:  # pragma: no cover - depends on CPython internals
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def register(name, rtype):
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = register
+    except Exception:
+        pass
+
+
+def _shard_worker(shard_id, spec_payload, inbox, outbox):
+    """Run one shard: attach segments, apply batches, answer syncs."""
+    from multiprocessing import shared_memory
+
+    _disable_worker_shm_tracking()
+
+    spec = SketchSpec.from_json_dict(spec_payload)
+    counter_shape = (spec.num_sketches,) + spec.shape.counter_shape
+    segments: dict[str, object] = {}
+    families: dict[str, SketchFamily] = {}
+    stats = _MutableShardStats(shard_id)
+    failure: str | None = None
+
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        try:
+            if kind == "register":
+                _, stream, shm_name = message
+                shm = shared_memory.SharedMemory(name=shm_name)
+                segments[stream] = shm
+                counters = np.ndarray(
+                    counter_shape, dtype=np.int64, buffer=shm.buf
+                )
+                families[stream] = SketchFamily(spec, counters)
+            elif kind == "batch":
+                _, stream, element_bytes, delta_bytes = message
+                if failure is not None:
+                    continue  # poisoned: drain without applying
+                elements = np.frombuffer(element_bytes, dtype=np.uint64)
+                deltas = (
+                    None
+                    if delta_bytes is None
+                    else np.frombuffer(delta_bytes, dtype=np.int64)
+                )
+                started = time.perf_counter()
+                applied = families[stream].ingest_batch(elements, deltas)
+                stats.flush_seconds += time.perf_counter() - started
+                stats.batches_flushed += 1
+                stats.updates_routed += elements.size
+                stats.updates_applied += applied
+            elif kind == "sync":
+                outbox.put(
+                    (
+                        "sync",
+                        shard_id,
+                        stats.snapshot(len(families)),
+                        failure,
+                    )
+                )
+            elif kind == "stop":
+                families.clear()
+                for shm in segments.values():
+                    try:
+                        shm.close()
+                    except BufferError:  # pragma: no cover
+                        pass
+                outbox.put(("stopped", shard_id, None, None))
+                return
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            if failure is None:
+                failure = f"{type(exc).__name__}: {exc}"
+
+
+class ShardedEngine:
+    """Parallel-ingest engine: N shards, one linear synopsis per slice.
+
+    Drop-in alternative to :class:`~repro.streams.engine.StreamEngine`
+    for the ingest-heavy deployment: same ``process``/``flush``/``query``
+    surface, same estimates (merged counters are bit-identical to a
+    single engine fed the same updates), but maintenance is partitioned
+    across ``num_shards`` workers that never contend on counter state.
+
+    Parameters
+    ----------
+    spec:
+        Sketch recipe shared by every shard and stream (the coins).
+    num_shards:
+        Number of disjoint element-slice owners.
+    batch_size:
+        Buffered updates per (shard, stream) that trigger a dispatch.
+        The default (16384) is deliberately larger than
+        :class:`StreamEngine`'s: each dispatch is aggregated by linearity
+        (``np.unique`` collapses repeats, churn cancels) before any
+        counter maintenance, and a wider aggregation window collapses
+        more of a skewed stream's hot head — the single-engine weighted
+        path, by contrast, is fastest at small cache-friendly batches.
+    executor:
+        ``"serial"``, ``"threads"`` (default), or ``"processes"`` — see
+        the module docstring for the trade-offs.
+
+    The engine is a context manager; ``close()`` releases worker threads,
+    worker processes, and shared-memory segments (idempotent, and
+    required for the ``"processes"`` backend).
+    """
+
+    def __init__(
+        self,
+        spec: SketchSpec,
+        num_shards: int = 4,
+        batch_size: int = 16384,
+        executor: str = "threads",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if executor not in ("serial", "threads", "processes"):
+            raise ValueError(
+                "executor must be 'serial', 'threads', or 'processes'"
+            )
+        self.spec = spec
+        self.num_shards = num_shards
+        self.executor = executor
+        self._batch_size = batch_size
+        self._buffers: dict[tuple[int, str], tuple[list[int], list[int]]] = {}
+        self._salts: dict[str, int] = {}
+        self._known_streams: set[str] = set()
+        self._updates_processed = 0
+        self._version = 0  # bumped on any state change; keys merge caches
+        self._stats = [_MutableShardStats(shard) for shard in range(num_shards)]
+        self._merges = 0
+        self._merge_seconds = 0.0
+        self._merged: tuple[int, StreamEngine] | None = None
+        self._merged_storage: dict[str, SketchFamily] = {}
+        self._closed = False
+
+        # serial / threads state: per-shard family maps (disjoint by
+        # construction, so the thread backend needs no locks).
+        self._families: list[dict[str, SketchFamily]] = [
+            {} for _ in range(num_shards)
+        ]
+        self._executors: list[ThreadPoolExecutor] = []
+        self._pending: list[list[Future]] = [[] for _ in range(num_shards)]
+        if executor == "threads":
+            self._executors = [
+                ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix=f"repro-shard-{shard}"
+                )
+                for shard in range(num_shards)
+            ]
+
+        # processes state
+        self._workers = []
+        self._inboxes = []
+        self._outbox = None
+        self._segments: dict[tuple[int, str], object] = {}
+        self._shard_views: dict[tuple[int, str], np.ndarray] = {}
+        self._synced_stats: list[ShardStats] | None = None
+        if executor == "processes":
+            self._start_workers()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start_workers(self) -> None:
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        self._outbox = context.Queue()
+        payload = self.spec.to_json_dict()
+        for shard in range(self.num_shards):
+            inbox = context.Queue()
+            worker = context.Process(
+                target=_shard_worker,
+                args=(shard, payload, inbox, self._outbox),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            worker.start()
+            self._inboxes.append(inbox)
+            self._workers.append(worker)
+
+    def close(self) -> None:
+        """Release worker threads/processes and shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for pool in self._executors:
+            pool.shutdown(wait=True)
+        if self.executor == "processes":
+            for inbox in self._inboxes:
+                try:
+                    inbox.put(("stop",))
+                except Exception:  # pragma: no cover
+                    pass
+            for worker in self._workers:
+                worker.join(timeout=10)
+                if worker.is_alive():  # pragma: no cover
+                    worker.terminate()
+            self._shard_views.clear()
+            for shm in self._segments.values():
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - caller holds a view
+                    pass
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            self._segments.clear()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- ingest ------------------------------------------------------------
+
+    def process(self, update: Update) -> None:
+        """Ingest one update tuple ``<stream, element, ±delta>``."""
+        salt = self._salts.get(update.stream)
+        if salt is None:
+            salt = _stream_salt(update.stream)
+            self._salts[update.stream] = salt
+        x = (update.element ^ salt) & _MASK64
+        x = (x * _MIX) & _MASK64
+        shard = (x ^ (x >> 33)) % self.num_shards
+        key = (shard, update.stream)
+        buffered = self._buffers.get(key)
+        if buffered is None:
+            buffered = self._buffers[key] = ([], [])
+        elements, deltas = buffered
+        elements.append(update.element)
+        deltas.append(update.delta)
+        self._updates_processed += 1
+        self._version += 1
+        if len(elements) >= self._batch_size:
+            self._dispatch(shard, update.stream)
+
+    def process_many(self, updates: Iterable[Update]) -> None:
+        """Ingest a sequence of update tuples."""
+        for update in updates:
+            self.process(update)
+
+    def process_batch(self, stream: str, elements, deltas=None) -> None:
+        """Array ingest: route a whole batch with one vectorised partition.
+
+        ``elements`` (and optional aligned ``deltas``) are routed with
+        :func:`shard_vector` and appended to the per-shard buffers —
+        equivalent to ``process`` per tuple, minus the Python loop.
+        """
+        elements = np.asarray(elements, dtype=np.uint64)
+        if elements.size == 0:
+            return
+        if deltas is None:
+            deltas = np.ones(elements.shape, dtype=np.int64)
+        else:
+            deltas = np.asarray(deltas, dtype=np.int64)
+            if deltas.shape != elements.shape:
+                raise ValueError("deltas must align with elements")
+        shards = shard_vector(stream, elements, self.num_shards)
+        for shard in range(self.num_shards):
+            mask = shards == shard
+            if not mask.any():
+                continue
+            key = (shard, stream)
+            buffered = self._buffers.get(key)
+            if buffered is None:
+                buffered = self._buffers[key] = ([], [])
+            buffered[0].extend(int(e) for e in elements[mask])
+            buffered[1].extend(int(d) for d in deltas[mask])
+            if len(buffered[0]) >= self._batch_size:
+                self._dispatch(shard, stream)
+        self._updates_processed += int(elements.size)
+        self._version += 1
+
+    def flush(self) -> None:
+        """Dispatch all buffers and wait until every shard has applied them."""
+        for shard, stream in list(self._buffers):
+            self._dispatch(shard, stream)
+        self._barrier()
+
+    # -- dispatch internals ------------------------------------------------
+
+    def _dispatch(self, shard: int, stream: str) -> None:
+        buffered = self._buffers.pop((shard, stream), None)
+        if not buffered or not buffered[0]:
+            return
+        elements = np.asarray(buffered[0], dtype=np.uint64)
+        deltas = np.asarray(buffered[1], dtype=np.int64)
+        self._known_streams.add(stream)
+        if self.executor == "serial":
+            self._apply(shard, stream, elements, deltas)
+        elif self.executor == "threads":
+            pending = self._pending[shard]
+            if len(pending) > 32:
+                self._pending[shard] = pending = [
+                    future for future in pending if not future.done()
+                ]
+            pending.append(
+                self._executors[shard].submit(
+                    self._apply, shard, stream, elements, deltas
+                )
+            )
+        else:
+            self._ensure_segment(shard, stream)
+            self._inboxes[shard].put(
+                ("batch", stream, elements.tobytes(), deltas.tobytes())
+            )
+
+    def _apply(self, shard, stream, elements, deltas) -> None:
+        """Maintenance body for the serial/threads backends."""
+        families = self._families[shard]
+        family = families.get(stream)
+        if family is None:
+            family = families[stream] = self.spec.build()
+        stats = self._stats[shard]
+        started = time.perf_counter()
+        applied = family.ingest_batch(elements, deltas)
+        stats.flush_seconds += time.perf_counter() - started
+        stats.batches_flushed += 1
+        stats.updates_routed += int(elements.size)
+        stats.updates_applied += applied
+
+    def _ensure_segment(self, shard: int, stream: str) -> None:
+        key = (shard, stream)
+        if key in self._segments:
+            return
+        from multiprocessing import shared_memory
+
+        shape = (self.spec.num_sketches,) + self.spec.shape.counter_shape
+        nbytes = int(np.prod(shape)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        view = np.ndarray(shape, dtype=np.int64, buffer=shm.buf)
+        view[:] = 0
+        self._segments[key] = shm
+        self._shard_views[key] = view
+        self._inboxes[shard].put(("register", stream, shm.name))
+
+    def _barrier(self) -> None:
+        if self.executor == "threads":
+            pending = [f for futures in self._pending for f in futures]
+            self._pending = [[] for _ in range(self.num_shards)]
+            if pending:
+                wait(pending)
+                for future in pending:
+                    future.result()  # re-raise worker failures
+        elif self.executor == "processes":
+            self._sync_workers()
+
+    def _sync_workers(self) -> None:
+        for inbox in self._inboxes:
+            inbox.put(("sync",))
+        snapshots: dict[int, ShardStats] = {}
+        failure = None
+        while len(snapshots) < self.num_shards:
+            kind, shard_id, snapshot, shard_failure = self._outbox.get(
+                timeout=60
+            )
+            if kind != "sync":  # pragma: no cover - stop/stray replies
+                continue
+            snapshots[shard_id] = snapshot
+            if shard_failure is not None and failure is None:
+                failure = (shard_id, shard_failure)
+        self._synced_stats = [snapshots[s] for s in range(self.num_shards)]
+        if failure is not None:
+            raise RuntimeError(
+                f"shard {failure[0]} worker failed: {failure[1]}"
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def query(
+        self,
+        expression: SetExpression | str,
+        epsilon: float = 0.1,
+        pool_levels: int = 1,
+        use_cache: bool = True,
+    ) -> WitnessEstimate:
+        """Estimate ``|E|`` over the merged (all-shard) synopses."""
+        return self._merged_engine().query(
+            expression, epsilon, pool_levels=pool_levels, use_cache=use_cache
+        )
+
+    def query_union(
+        self, stream_names: Iterable[str], epsilon: float = 0.1
+    ) -> UnionEstimate:
+        """Estimate the distinct-element count of a union of streams."""
+        return self._merged_engine().query_union(stream_names, epsilon)
+
+    def explain(self, expression: SetExpression | str, epsilon: float = 0.1):
+        """Per-subexpression cardinality breakdown over merged synopses."""
+        return self._merged_engine().explain(expression, epsilon)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def updates_processed(self) -> int:
+        return self._updates_processed
+
+    def stream_names(self) -> list[str]:
+        """Streams with shard state or buffered updates."""
+        buffered = {stream for _, stream in self._buffers}
+        return sorted(self._known_streams | buffered)
+
+    def family(self, stream: str) -> SketchFamily:
+        """The merged synopsis for ``stream`` (flushed and summed).
+
+        The returned family is a snapshot: it stays valid, but stops
+        tracking the engine once further updates arrive.
+        """
+        return self._merged_engine().family(stream)
+
+    def shard_families(self, stream: str) -> list[SketchFamily]:
+        """Per-shard synopses for ``stream`` (flushed; empty shards skipped)."""
+        self.flush()
+        return [
+            family
+            for _, family in sorted(self._iter_shard_families(stream))
+        ]
+
+    def synopsis_bytes(self) -> int:
+        """Total bytes of maintained counters, summed across all shards."""
+        if self.executor == "processes":
+            return sum(view.nbytes for view in self._shard_views.values())
+        return sum(
+            family.counters.nbytes
+            for families in self._families
+            for family in families.values()
+        )
+
+    def stats(self) -> IngestStats:
+        """Per-shard ingest metrics plus merge counters.
+
+        For the ``"processes"`` backend the shard rows reflect the last
+        synchronisation point (``flush()`` or any query); the serial and
+        thread backends report live counters.
+        """
+        if self.executor == "processes":
+            shard_rows = self._synced_stats or [
+                ShardStats(shard_id=shard) for shard in range(self.num_shards)
+            ]
+        else:
+            shard_rows = [
+                stats.snapshot(len(self._families[stats.shard_id]))
+                for stats in self._stats
+            ]
+        return IngestStats(
+            shards=tuple(shard_rows),
+            merges=self._merges,
+            merge_seconds=self._merge_seconds,
+        )
+
+    # -- checkpoint / hand-off --------------------------------------------
+
+    def adopt_family(self, stream: str, family: SketchFamily) -> None:
+        """Install a pre-built synopsis for ``stream`` (checkpoint restore).
+
+        The whole family lands on the shard the partitioner would least
+        expect — shard 0 — which is harmless: by linearity any placement
+        of counters across shards sums to the same merged synopsis, and
+        future updates still route by ``(stream, element)``.
+        """
+        self.adopt_shard_family(0, stream, family)
+        for shard in range(1, self.num_shards):
+            self._clear_shard_stream(shard, stream)
+
+    def adopt_shard_family(
+        self, shard: int, stream: str, family: SketchFamily
+    ) -> None:
+        """Install state for one ``(shard, stream)`` slice (sharded restore)."""
+        if not (0 <= shard < self.num_shards):
+            raise ValueError("shard index out of range")
+        if family.spec != self.spec:
+            from repro.errors import IncompatibleSketchesError
+
+            raise IncompatibleSketchesError(
+                "adopted family does not follow the engine's SketchSpec"
+            )
+        self.flush()  # settle in-flight batches before overwriting state
+        self._buffers.pop((shard, stream), None)
+        self._known_streams.add(stream)
+        if self.executor == "processes":
+            self._ensure_segment(shard, stream)
+            self._sync_workers()  # make sure the worker attached first
+            np.copyto(self._shard_views[(shard, stream)], family.counters)
+        else:
+            self._families[shard][stream] = family.copy()
+        self._version += 1
+
+    def _clear_shard_stream(self, shard: int, stream: str) -> None:
+        self._buffers.pop((shard, stream), None)
+        if self.executor == "processes":
+            view = self._shard_views.get((shard, stream))
+            if view is not None:
+                view[:] = 0
+        else:
+            self._families[shard].pop(stream, None)
+
+    def mark_replayed(self, num_updates: int) -> None:
+        """Record updates applied before this engine existed (restores)."""
+        if num_updates < 0:
+            raise ValueError("num_updates must be non-negative")
+        self._updates_processed += num_updates
+        self._version += 1
+
+    def merged_engine(self, batch_size: int | None = None) -> StreamEngine:
+        """A single-process :class:`StreamEngine` over the merged synopses.
+
+        The hand-off path: the returned engine owns independent counter
+        copies and can keep ingesting on its own.
+        """
+        merged = self._merged_engine()
+        engine = StreamEngine(
+            self.spec, batch_size=batch_size or self._batch_size
+        )
+        for stream in merged.stream_names():
+            engine.adopt_family(stream, merged.family(stream).copy())
+        engine.mark_replayed(self._updates_processed)
+        return engine
+
+    # -- merge internals ---------------------------------------------------
+
+    def _iter_shard_families(self, stream: str):
+        if self.executor == "processes":
+            for (shard, name), view in self._shard_views.items():
+                if name == stream:
+                    yield shard, SketchFamily(self.spec, view)
+        else:
+            for shard, families in enumerate(self._families):
+                family = families.get(stream)
+                if family is not None:
+                    yield shard, family
+
+    def _merged_engine(self) -> StreamEngine:
+        """The query facade: an engine adopting per-stream shard sums.
+
+        Rebuilt only when the version counter moved; merged counter
+        storage is reused across rebuilds (``sum_families(out=...)``), so
+        steady-state queries allocate nothing.
+        """
+        self.flush()
+        if self._merged is not None and self._merged[0] == self._version:
+            return self._merged[1]
+        started = time.perf_counter()
+        engine = StreamEngine(self.spec, batch_size=self._batch_size)
+        for stream in self.stream_names():
+            parts = [family for _, family in self._iter_shard_families(stream)]
+            if not parts:
+                continue
+            out = self._merged_storage.get(stream)
+            merged = sum_families(parts, out=out)
+            self._merged_storage[stream] = merged
+            engine.adopt_family(stream, merged)
+        engine.mark_replayed(self._updates_processed)
+        self._merges += 1
+        self._merge_seconds += time.perf_counter() - started
+        self._merged = (self._version, engine)
+        return engine

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -130,6 +132,56 @@ class TestValidation:
     def test_no_families(self):
         with pytest.raises(ValueError):
             estimate_union([])
+
+
+class TestSaturation:
+    """Regression: a synopsis whose every level stays above the stopping
+    threshold used to hit ``math.log(0.0)`` and raise ``ValueError``."""
+
+    def saturated_family(self, num_sketches=16):
+        spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=3)
+        family = spec.build()
+        # Every bucket of every sketch non-empty at every level: the scan
+        # can never stop early and ends on the last level with
+        # non_empty_fraction == 1.0.
+        family.counters[:, :, 0, 0] = 1
+        return family
+
+    def test_saturated_synopsis_returns_finite_estimate(self):
+        estimate = estimate_union([self.saturated_family()])
+        assert math.isfinite(estimate.value)
+        assert estimate.value > 0
+
+    def test_saturated_flag_set(self):
+        estimate = estimate_union([self.saturated_family()])
+        assert estimate.saturated
+        assert estimate.non_empty_fraction == 1.0
+        assert estimate.level == SHAPE.num_levels - 1
+
+    def test_saturation_floor_value(self):
+        """The clamp evaluates at (r - 1/2)/r, i.e. about R·ln(2r)."""
+        num_sketches = 16
+        estimate = estimate_union([self.saturated_family(num_sketches)])
+        scale = float(1 << SHAPE.num_levels)  # R at the last level
+        expected = math.log(0.5 / num_sketches) / math.log1p(-1.0 / scale)
+        assert estimate.value == pytest.approx(expected)
+
+    def test_normal_estimates_not_flagged(self):
+        rng = np.random.default_rng(49)
+        family = family_with(rng.choice(2**24, size=3000, replace=False), 128)
+        estimate = estimate_union([family])
+        assert not estimate.saturated
+
+    def test_full_low_levels_alone_do_not_saturate(self):
+        """Only an end-of-scan full level is saturation; a dense stream
+        whose counts eventually drop below threshold is normal."""
+        rng = np.random.default_rng(50)
+        family = family_with(
+            rng.choice(2**24, size=50_000, replace=False), 64
+        )
+        estimate = estimate_union([family])
+        assert not estimate.saturated
+        assert math.isfinite(estimate.value)
 
 
 class TestAccuracyImprovesWithSketches:

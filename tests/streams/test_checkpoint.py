@@ -13,9 +13,12 @@ from repro.errors import IncompatibleSketchesError
 from repro.streams.checkpoint import (
     CheckpointError,
     checkpoint_engine,
+    checkpoint_sharded_engine,
     restore_engine,
+    restore_sharded_engine,
 )
 from repro.streams.engine import StreamEngine
+from repro.streams.sharded import ShardedEngine
 from repro.streams.updates import Update, insertions
 
 SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
@@ -105,6 +108,130 @@ class TestFailureModes:
         (tmp_path / "ckpt" / "streams" / "A.sketch").unlink()
         with pytest.raises(CheckpointError, match="A"):
             restore_engine(tmp_path / "ckpt")
+
+
+class TestStreamNameEscaping:
+    """Regression: stream names are user data; ``../x``, ``a/b``, NULs and
+    friends used to be spliced into payload paths verbatim, corrupting or
+    escaping the checkpoint directory."""
+
+    NASTY = ["../escape", "a/b/c", "nul\x00byte", ".", "..", "", "ünïcode"]
+
+    def nasty_engine(self) -> StreamEngine:
+        engine = StreamEngine(SPEC)
+        for index, name in enumerate(self.NASTY):
+            for element in range(20 + index):
+                engine.process(Update(name, element, 1))
+        return engine
+
+    def test_round_trip_preserves_names_and_counters(self, tmp_path):
+        engine = self.nasty_engine()
+        checkpoint_engine(engine, tmp_path / "ckpt")
+        restored = restore_engine(tmp_path / "ckpt")
+        assert restored.stream_names() == engine.stream_names()
+        for name in self.NASTY:
+            assert restored.family(name) == engine.family(name)
+
+    def test_no_file_escapes_the_checkpoint_directory(self, tmp_path):
+        root = tmp_path / "nest" / "ckpt"
+        checkpoint_engine(self.nasty_engine(), root)
+        streams_dir = root / "streams"
+        written = list((tmp_path).rglob("*.sketch"))
+        assert written  # payloads exist ...
+        assert all(path.parent == streams_dir for path in written)
+        # ... every one directly inside streams/, nothing nested or above.
+
+    def test_payload_file_names_are_flat_and_safe(self, tmp_path):
+        checkpoint_engine(self.nasty_engine(), tmp_path / "ckpt")
+        manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
+        assert set(manifest["stream_files"]) == set(self.NASTY)
+        for filename in manifest["stream_files"].values():
+            assert "/" not in filename and "\x00" not in filename
+            assert not filename.startswith(".")
+
+    def test_format_v1_checkpoints_still_restore(self, tmp_path):
+        engine = loaded_engine()
+        directory = tmp_path / "v1"
+        (directory / "streams").mkdir(parents=True)
+        for name in engine.stream_names():
+            payload = engine.family(name).to_bytes()
+            (directory / "streams" / f"{name}.sketch").write_bytes(payload)
+        (directory / "manifest.json").write_text(
+            json.dumps(
+                {
+                    "format_version": 1,
+                    "spec": SPEC.to_json_dict(),
+                    "streams": engine.stream_names(),
+                    "updates_processed": engine.updates_processed,
+                }
+            )
+        )
+        restored = restore_engine(directory)
+        for name in engine.stream_names():
+            assert restored.family(name) == engine.family(name)
+        assert restored.updates_processed == engine.updates_processed
+
+
+class TestShardedCheckpoint:
+    def sharded_engine(self) -> ShardedEngine:
+        engine = ShardedEngine(SPEC, num_shards=3, executor="serial", batch_size=64)
+        rng = np.random.default_rng(77)
+        for _ in range(3000):
+            stream = ("A", "b/b")[int(rng.integers(0, 2))]
+            delta = 1 if rng.random() < 0.8 else -1
+            engine.process(Update(stream, int(rng.integers(0, 2**20)), delta))
+        return engine
+
+    def test_round_trip_preserves_per_shard_state(self, tmp_path):
+        with self.sharded_engine() as engine:
+            checkpoint_sharded_engine(engine, tmp_path / "ckpt")
+            with restore_sharded_engine(
+                tmp_path / "ckpt", executor="serial"
+            ) as restored:
+                assert restored.num_shards == engine.num_shards
+                assert restored.updates_processed == engine.updates_processed
+                for name in engine.stream_names():
+                    before = dict(engine._iter_shard_families(name))
+                    after = dict(restored._iter_shard_families(name))
+                    assert before.keys() == after.keys()
+                    for shard in before:
+                        assert np.array_equal(
+                            before[shard].counters, after[shard].counters
+                        )
+
+    def test_restored_engine_continues_identically(self, tmp_path):
+        with self.sharded_engine() as engine:
+            checkpoint_sharded_engine(engine, tmp_path / "ckpt")
+            with restore_sharded_engine(
+                tmp_path / "ckpt", executor="serial"
+            ) as restored:
+                for sink in (engine, restored):
+                    sink.process(Update("A", 12345, 1))
+                    sink.flush()
+                assert np.array_equal(
+                    restored.family("A").counters, engine.family("A").counters
+                )
+
+    def test_flat_restore_merges_by_linearity(self, tmp_path):
+        with self.sharded_engine() as engine:
+            checkpoint_sharded_engine(engine, tmp_path / "ckpt")
+            flat = restore_engine(tmp_path / "ckpt")
+            for name in engine.stream_names():
+                assert np.array_equal(
+                    flat.family(name).counters, engine.family(name).counters
+                )
+
+    def test_restore_with_different_shard_count(self, tmp_path):
+        with self.sharded_engine() as engine:
+            checkpoint_sharded_engine(engine, tmp_path / "ckpt")
+            with restore_sharded_engine(
+                tmp_path / "ckpt", num_shards=5, executor="serial"
+            ) as resharded:
+                for name in engine.stream_names():
+                    assert np.array_equal(
+                        resharded.family(name).counters,
+                        engine.family(name).counters,
+                    )
 
 
 class TestAdoptFamily:

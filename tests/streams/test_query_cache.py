@@ -65,3 +65,39 @@ class TestQueryCache:
         intersection = engine.query("A & B", 0.2)
         difference = engine.query("A - B", 0.2)
         assert difference is not intersection
+
+
+class TestInvalidationWithoutUpdates:
+    """Regression: adopt_family / mark_replayed change the synopses (or the
+    position they are keyed on) without moving ``updates_processed``
+    through ``process``, and used to leave stale cache entries behind."""
+
+    def test_adopt_family_invalidates(self):
+        engine = loaded_engine()
+        stale = engine.query("A & B", 0.2)
+        engine.adopt_family("A", SPEC.build())  # A is now empty
+        fresh = engine.query("A & B", 0.2)
+        assert fresh is not stale
+        assert fresh.value == 0.0  # intersection with an empty stream
+
+    def test_adopt_family_invalidates_unrelated_expressions_too(self):
+        """Cache keys don't record which streams each entry read, so the
+        whole cache goes — an entry over B alone must also refresh."""
+        engine = loaded_engine()
+        stale = engine.query("B", 0.2)
+        engine.adopt_family("B", SPEC.build())
+        assert engine.query("B", 0.2) is not stale
+
+    def test_mark_replayed_invalidates(self):
+        engine = loaded_engine()
+        stale = engine.query("A & B", 0.2)
+        engine.mark_replayed(10)
+        fresh = engine.query("A & B", 0.2)
+        assert fresh is not stale
+        assert fresh.value == stale.value  # same synopses, fresh entry
+
+    def test_mark_replayed_zero_keeps_cache(self):
+        engine = loaded_engine()
+        first = engine.query("A & B", 0.2)
+        engine.mark_replayed(0)
+        assert engine.query("A & B", 0.2) is first

@@ -1,0 +1,277 @@
+"""Unit tests for the sharded parallel-ingest engine.
+
+The load-bearing property is *exact* equivalence: by sketch linearity a
+sharded engine's merged counters must be bit-identical to a single
+:class:`StreamEngine` fed the same updates — for every executor backend,
+on workloads mixing insertions and deletions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.errors import DomainError, IncompatibleSketchesError
+from repro.streams.engine import StreamEngine
+from repro.streams.sharded import ShardedEngine, shard_for, shard_vector
+from repro.streams.updates import Update
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+SPEC = SketchSpec(num_sketches=32, shape=SHAPE, seed=21)
+
+EXECUTORS = ("serial", "threads", "processes")
+
+
+def mixed_workload(num_updates=6000, seed=123):
+    """Skewed mixed insert/delete updates over two streams."""
+    rng = np.random.default_rng(seed)
+    updates = []
+    for _ in range(num_updates):
+        stream = ("A", "B")[int(rng.integers(0, 2))]
+        element = int(rng.integers(0, 2**12))  # small range -> repeats
+        delta = 1 if rng.random() < 0.7 else -1
+        updates.append(Update(stream, element, delta))
+    return updates
+
+
+def reference_engine(updates) -> StreamEngine:
+    engine = StreamEngine(SPEC, batch_size=512)
+    engine.process_many(updates)
+    engine.flush()
+    return engine
+
+
+class TestPartitioner:
+    def test_scalar_vector_parity(self):
+        elements = np.arange(2048, dtype=np.uint64) * 7919
+        routed = shard_vector("S", elements, 4)
+        for element, shard in zip(elements[:256], routed[:256]):
+            assert shard_for("S", int(element), 4) == int(shard)
+
+    def test_deterministic_and_in_range(self):
+        for element in (0, 1, 2**20 - 1, 123456):
+            shard = shard_for("stream", element, 8)
+            assert 0 <= shard < 8
+            assert shard == shard_for("stream", element, 8)
+
+    def test_streams_get_different_layouts(self):
+        elements = np.arange(4096, dtype=np.uint64)
+        a = shard_vector("A", elements, 4)
+        b = shard_vector("B", elements, 4)
+        assert not np.array_equal(a, b)
+
+    def test_all_shards_used(self):
+        elements = np.arange(10_000, dtype=np.uint64)
+        counts = np.bincount(shard_vector("S", elements, 7), minlength=7)
+        assert (counts > 0).all()
+        # roughly balanced: no shard more than 2x the mean
+        assert counts.max() < 2 * elements.size / 7
+
+
+class TestEquivalence:
+    """ShardedEngine merged counters == StreamEngine counters, bitwise."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_bit_identical_on_mixed_workload(self, executor):
+        updates = mixed_workload()
+        reference = reference_engine(updates)
+        with ShardedEngine(
+            SPEC, num_shards=4, batch_size=512, executor=executor
+        ) as sharded:
+            sharded.process_many(updates)
+            sharded.flush()
+            assert sharded.stream_names() == reference.stream_names()
+            for name in reference.stream_names():
+                assert np.array_equal(
+                    sharded.family(name).counters,
+                    reference.family(name).counters,
+                )
+            assert sharded.updates_processed == reference.updates_processed
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_queries_identical(self, executor):
+        updates = mixed_workload()
+        reference = reference_engine(updates)
+        with ShardedEngine(
+            SPEC, num_shards=4, batch_size=512, executor=executor
+        ) as sharded:
+            sharded.process_many(updates)
+            assert (
+                sharded.query("A & B", 0.2).value
+                == reference.query("A & B", 0.2).value
+            )
+            assert (
+                sharded.query_union(["A", "B"], 0.2).value
+                == reference.query_union(["A", "B"], 0.2).value
+            )
+
+    def test_shard_count_does_not_change_results(self):
+        updates = mixed_workload()
+        reference = reference_engine(updates)
+        for num_shards in (1, 2, 7):
+            with ShardedEngine(
+                SPEC, num_shards=num_shards, batch_size=256, executor="serial"
+            ) as sharded:
+                sharded.process_many(updates)
+                for name in reference.stream_names():
+                    assert np.array_equal(
+                        sharded.family(name).counters,
+                        reference.family(name).counters,
+                    )
+
+    def test_process_batch_equivalent_to_tuples(self):
+        rng = np.random.default_rng(5)
+        elements = rng.integers(0, 2**20, size=3000, dtype=np.uint64)
+        deltas = np.where(rng.random(3000) < 0.6, 1, -1).astype(np.int64)
+        reference = reference_engine(
+            [Update("Z", int(e), int(d)) for e, d in zip(elements, deltas)]
+        )
+        with ShardedEngine(
+            SPEC, num_shards=4, batch_size=256, executor="serial"
+        ) as sharded:
+            sharded.process_batch("Z", elements, deltas)
+            assert np.array_equal(
+                sharded.family("Z").counters, reference.family("Z").counters
+            )
+            assert sharded.updates_processed == 3000
+
+    def test_shards_hold_disjoint_slices(self):
+        updates = mixed_workload()
+        with ShardedEngine(
+            SPEC, num_shards=4, batch_size=256, executor="serial"
+        ) as sharded:
+            sharded.process_many(updates)
+            parts = sharded.shard_families("A")
+            assert len(parts) > 1
+            merged = parts[0].copy()
+            for part in parts[1:]:
+                merged.merge_in_place(part)
+            assert np.array_equal(
+                merged.counters, sharded.family("A").counters
+            )
+
+
+class TestStats:
+    def test_counters_add_up(self):
+        updates = mixed_workload(4000)
+        with ShardedEngine(
+            SPEC, num_shards=4, batch_size=256, executor="serial"
+        ) as sharded:
+            sharded.process_many(updates)
+            sharded.flush()
+            stats = sharded.stats()
+            assert stats.updates_routed == 4000
+            assert sum(s.updates_routed for s in stats.shards) == 4000
+            assert 0 < stats.updates_applied <= stats.updates_routed
+            assert 0.0 < stats.aggregation_ratio <= 1.0
+            assert stats.busiest_shard is not None
+
+    def test_processes_stats_reflect_sync_point(self):
+        updates = mixed_workload(2000)
+        with ShardedEngine(
+            SPEC, num_shards=2, batch_size=128, executor="processes"
+        ) as sharded:
+            sharded.process_many(updates)
+            sharded.flush()
+            stats = sharded.stats()
+            assert stats.updates_routed == 2000
+            assert len(stats.shards) == 2
+
+    def test_merge_metrics_count_query_merges(self):
+        with ShardedEngine(
+            SPEC, num_shards=2, batch_size=128, executor="serial"
+        ) as sharded:
+            sharded.process_many(mixed_workload(1000))
+            sharded.query("A | B", 0.3)
+            sharded.query("A | B", 0.3)  # cached merge, no rebuild
+            assert sharded.stats().merges == 1
+            sharded.process(Update("A", 1, 1))
+            sharded.query("A | B", 0.3)
+            assert sharded.stats().merges == 2
+
+    def test_as_table_renders(self):
+        with ShardedEngine(
+            SPEC, num_shards=2, batch_size=128, executor="serial"
+        ) as sharded:
+            sharded.process_many(mixed_workload(1000))
+            sharded.flush()
+            table = sharded.stats().as_table()
+            assert "shard" in table and "routed" in table
+            assert len(table.splitlines()) == 4  # header + 2 shards + total
+
+
+class TestHandOffAndAdoption:
+    def test_merged_engine_is_independent(self):
+        updates = mixed_workload(3000)
+        reference = reference_engine(updates)
+        with ShardedEngine(
+            SPEC, num_shards=3, batch_size=256, executor="serial"
+        ) as sharded:
+            sharded.process_many(updates)
+            merged = sharded.merged_engine()
+        assert merged.updates_processed == reference.updates_processed
+        for name in reference.stream_names():
+            assert np.array_equal(
+                merged.family(name).counters, reference.family(name).counters
+            )
+        merged.process(Update("A", 9, 1))  # usable after close()
+        merged.flush()
+
+    def test_adopt_family_then_continue(self):
+        seeded = reference_engine(mixed_workload(2000, seed=9))
+        with ShardedEngine(
+            SPEC, num_shards=3, batch_size=128, executor="serial"
+        ) as sharded:
+            sharded.adopt_family("A", seeded.family("A"))
+            sharded.mark_replayed(seeded.updates_processed)
+            extra = [Update("A", i, 1) for i in range(500)]
+            sharded.process_many(extra)
+            seeded.process_many(extra)
+            seeded.flush()
+            assert np.array_equal(
+                sharded.family("A").counters, seeded.family("A").counters
+            )
+            assert sharded.updates_processed == seeded.updates_processed
+
+    def test_adopt_requires_matching_spec(self):
+        with ShardedEngine(SPEC, num_shards=2, executor="serial") as sharded:
+            other = SketchSpec(num_sketches=8, shape=SHAPE, seed=21).build()
+            with pytest.raises(IncompatibleSketchesError):
+                sharded.adopt_family("A", other)
+
+
+class TestValidationAndFailures:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardedEngine(SPEC, num_shards=0)
+        with pytest.raises(ValueError):
+            ShardedEngine(SPEC, batch_size=0)
+        with pytest.raises(ValueError):
+            ShardedEngine(SPEC, executor="fibers")
+
+    def test_thread_worker_errors_surface_on_flush(self):
+        with ShardedEngine(
+            SPEC, num_shards=2, batch_size=4, executor="threads"
+        ) as sharded:
+            for i in range(8):
+                sharded.process(Update("A", SHAPE.domain_size + i, 1))
+            with pytest.raises(DomainError):
+                sharded.flush()
+
+    def test_process_worker_errors_surface_on_flush(self):
+        with ShardedEngine(
+            SPEC, num_shards=2, batch_size=4, executor="processes"
+        ) as sharded:
+            for i in range(8):
+                sharded.process(Update("A", SHAPE.domain_size + i, 1))
+            with pytest.raises(RuntimeError, match="DomainError"):
+                sharded.flush()
+
+    def test_close_is_idempotent(self):
+        sharded = ShardedEngine(SPEC, num_shards=2, executor="processes")
+        sharded.process(Update("A", 1, 1))
+        sharded.flush()
+        sharded.close()
+        sharded.close()

@@ -9,6 +9,8 @@ not benchmark assertions; tight accuracy claims live in benchmarks/).
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 import pytest
 
@@ -17,6 +19,10 @@ from repro.core.family import SketchSpec
 from repro.core.sketch import SketchShape
 from repro.datagen.controlled import generate_controlled
 from repro.experiments.metrics import relative_error
+
+# Full-accuracy sweeps dominate suite runtime; the fast tier skips them
+# (`pytest -m "not slow"`), the default invocation still runs everything.
+pytestmark = pytest.mark.slow
 
 SHAPE = SketchShape(domain_bits=24, num_second_level=12, independence=8)
 NUM_SKETCHES = 384
@@ -42,7 +48,11 @@ def test_expression_accuracy(text: str, ratio: float):
     when the target is a solid fraction of the union."""
     errors = []
     for trial in range(TRIALS):
-        rng = np.random.default_rng([hash(text) % 2**32, int(ratio * 100), trial])
+        # crc32, not hash(): str hashing is salted per process, which made
+        # the drawn datasets — and with them this test — change per run.
+        rng = np.random.default_rng(
+            [zlib.crc32(text.encode()) % 2**32, int(ratio * 100), trial]
+        )
         dataset = generate_controlled(text, 3072, ratio, rng, domain_bits=24)
         spec = SketchSpec(num_sketches=NUM_SKETCHES, shape=SHAPE, seed=trial)
         families = {}
