@@ -4,14 +4,26 @@ The default first-level family is a degree-(t−1) polynomial over
 GF(2^61−1) — the construction the paper's limited-independence analysis
 (Section 3.6) covers.  Tabulation hashing is only 3-wise independent but
 evaluates by table lookups.  This bench measures raw hashing throughput
-for both and checks that each feeds the geometric LSB level distribution
-the sketches rely on.
+for both, the shared :class:`~repro.core.plan.HashPlan`'s stacked
+index-row production, and checks that each hash family feeds the
+geometric LSB level distribution the sketches rely on.
+
+Run directly (``python benchmarks/bench_hashing.py --smoke``) it becomes
+a dependency-free smoke check for CI: a quick pass over the same paths
+with small inputs, asserting the level-distribution quality gate and
+that plan rows match per-sketch hashing bit-for-bit.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+
 import numpy as np
 
+from repro.core.plan import HashPlan
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
 from repro.hashing.families import random_polynomial_hash
 from repro.hashing.lsb import lsb_array
 from repro.hashing.tabulation import random_tabulation_hash
@@ -40,6 +52,27 @@ def test_tabulation_hash_throughput(benchmark):
     print(f"\ntabulation (3-wise): {rate / 1e6:.1f} M elements/s")
 
 
+def test_plan_row_throughput(benchmark):
+    """Stacked index-row production of the shared hash plan.
+
+    One :meth:`~repro.core.plan.HashPlan.compute_rows` call replaces
+    ``r`` first-level evaluations plus ``r`` second-level bank passes;
+    this measures rows/second at the library-default shape on a batch
+    sized for the stacked (small-batch) regime.
+    """
+    spec = SketchSpec(
+        num_sketches=64,
+        shape=SketchShape(domain_bits=24, num_second_level=16, independence=8),
+        seed=11,
+    )
+    plan = HashPlan(spec.hashes(), spec.shape, cache_size=0)
+    rng = np.random.default_rng(12)
+    elements = rng.integers(0, 2**24, size=1024, dtype=np.uint64)
+    benchmark.pedantic(plan.compute_rows, args=(elements,), rounds=5, iterations=1)
+    rate = elements.size / benchmark.stats["mean"]
+    print(f"\nplan rows (r=64, s=16): {rate / 1e3:.1f} K elements/s")
+
+
 def test_level_distribution_quality(benchmark):
     """Both families must produce geometric LSB levels — the property
     every estimator in the library rests on."""
@@ -66,3 +99,105 @@ def test_level_distribution_quality(benchmark):
         print(f"{name}: worst relative deviation from 2^-(l+1) over levels "
               f"0-7: {100 * worst:.2f}%")
     assert all(worst < 0.05 for worst in deviations.values())
+
+
+# -- standalone smoke mode (CI) ----------------------------------------------
+
+
+def run_smoke(num_elements: int = 1 << 14) -> dict:
+    """A fast, assertion-backed pass over the hashing substrate.
+
+    Measures polynomial / tabulation / plan-row throughput on a small
+    input, checks the LSB geometric-distribution gate, and verifies that
+    plan-based family maintenance leaves counters bit-identical to the
+    per-sketch path.  Raises ``AssertionError`` on any quality failure.
+    """
+    import time
+
+    rng = np.random.default_rng(42)
+    elements = rng.integers(0, 2**24, size=num_elements, dtype=np.uint64)
+    report: dict = {"elements": num_elements}
+
+    for name, hash_fn in (
+        ("polynomial", random_polynomial_hash(np.random.default_rng(1), 8)),
+        ("tabulation", random_tabulation_hash(np.random.default_rng(2))),
+    ):
+        started = time.perf_counter()
+        hashed = hash_fn(elements)
+        report[f"{name}_million_per_s"] = (
+            num_elements / (time.perf_counter() - started) / 1e6
+        )
+        levels = lsb_array(hashed)
+        # Only levels with >=1000 expected hits: deeper levels are pure
+        # sampling noise at smoke sizes (the full bench covers 0-7 at 2^20).
+        checked = max(1, int(np.log2(num_elements / 1000)))
+        worst = max(
+            abs(float((levels == level).mean()) - 2.0 ** -(level + 1))
+            / 2.0 ** -(level + 1)
+            for level in range(checked)
+        )
+        report[f"{name}_worst_level_deviation"] = worst
+        assert worst < 0.10, f"{name} level distribution degraded: {worst:.3f}"
+
+    spec = SketchSpec(
+        num_sketches=16,
+        shape=SketchShape(domain_bits=24, num_second_level=8, independence=8),
+        seed=11,
+    )
+    plan = HashPlan(spec.hashes(), spec.shape, cache_size=4096)
+    started = time.perf_counter()
+    plan.compute_rows(elements[:1024])
+    report["plan_rows_thousand_per_s"] = (
+        1024 / (time.perf_counter() - started) / 1e3
+    )
+
+    # Keep the batch inside the cache so the second pass is all hits
+    # (a larger batch would — correctly — trigger the scan-flood bypass
+    # and fall back to the per-sketch path, testing nothing new).
+    batch = elements[:1024]
+    counts = rng.choice(np.asarray([-2, -1, 1, 3], dtype=np.int64), batch.size)
+    via_plan, via_sketch = spec.build(), spec.build()
+    via_plan.update_batch(batch, counts, plan=plan)
+    via_plan.update_batch(batch, plan=plan)  # warm: served from the cache
+    via_sketch.update_batch(batch, counts, plan=None)
+    via_sketch.update_batch(batch, plan=None)
+    assert np.array_equal(via_plan.counters, via_sketch.counters), (
+        "plan-based maintenance diverged from the per-sketch path"
+    )
+    report["plan_counters_bit_identical"] = True
+    report["plan_cache_hit_rate"] = plan.stats().hit_rate
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="hashing-substrate benchmarks (smoke mode)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the fast CI smoke pass instead of pytest-benchmark",
+    )
+    parser.add_argument("--elements", type=int, default=1 << 14)
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("run under pytest for full benchmarks, or pass --smoke")
+    report = run_smoke(args.elements)
+    print(f"elements            : {report['elements']:,}")
+    print(f"polynomial (t=8)    : {report['polynomial_million_per_s']:.1f} M/s")
+    print(f"tabulation (3-wise) : {report['tabulation_million_per_s']:.1f} M/s")
+    print(f"plan rows (r=16,s=8): {report['plan_rows_thousand_per_s']:.1f} K/s")
+    print(
+        "level deviation     : "
+        f"poly {100 * report['polynomial_worst_level_deviation']:.2f}% / "
+        f"tab {100 * report['tabulation_worst_level_deviation']:.2f}%"
+    )
+    print(
+        "plan maintenance    : bit-identical, "
+        f"{report['plan_cache_hit_rate']:.0%} cache hit rate"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

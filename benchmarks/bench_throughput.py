@@ -9,9 +9,13 @@ vectorised batch path, across family sizes.
 Run directly (``python benchmarks/bench_throughput.py --shards 4``) it
 becomes an end-to-end ingest benchmark: a realistic skewed
 insert/delete workload is driven through a single-threaded
-:class:`~repro.streams.engine.StreamEngine` and through a
-:class:`~repro.streams.sharded.ShardedEngine`, results are verified
-bit-identical, and the measurements land in ``BENCH_throughput.json``.
+:class:`~repro.streams.engine.StreamEngine` — once on the legacy
+per-sketch path and once through the shared
+:class:`~repro.core.plan.HashPlan` — and through a
+:class:`~repro.streams.sharded.ShardedEngine`.  All results are
+verified bit-identical, the plan's hash-vs-scatter time breakdown and
+element-row cache hit rate are captured, and the measurements land in
+``BENCH_throughput.json``.
 """
 
 from __future__ import annotations
@@ -114,24 +118,48 @@ def run_ingest_benchmark(
     seed: int = 7,
     out: str | pathlib.Path = "BENCH_throughput.json",
 ) -> dict:
-    """Single-engine vs sharded-engine ingest on one workload.
+    """Legacy vs plan-based vs sharded ingest on one workload.
 
-    Returns (and writes to ``out``) a JSON report with both throughputs,
-    the speedup, per-shard stats, and a bit-identical equivalence check
-    of the merged counters.
+    Three passes over the same updates: a single engine on the legacy
+    per-sketch path (``use_plan=False``), a single engine through the
+    shared :class:`~repro.core.plan.HashPlan` (the default), and the
+    sharded engine (plan-based).  Returns (and writes to ``out``) a JSON
+    report with all three throughputs, the plan speedup and cache/time
+    breakdown, per-shard stats, and bit-identical equivalence checks of
+    the counters.
     """
+    from repro.core.plan import plan_for
     from repro.streams.engine import StreamEngine
     from repro.streams.sharded import ShardedEngine
 
     spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
     updates = _skewed_workload(num_updates, num_streams, seed)
 
+    legacy = StreamEngine(spec, use_plan=False)
+    started = time.perf_counter()
+    legacy.process_many(updates)
+    legacy.flush()
+    legacy_seconds = time.perf_counter() - started
+
+    # Cold plan: measure from an empty element-row cache and zeroed stats
+    # so the hit rate / time breakdown describe exactly this run.
+    shared_plan = plan_for(spec)
+    shared_plan.clear_cache()
+    shared_plan.reset_stats()
     baseline = StreamEngine(spec)
     started = time.perf_counter()
     baseline.process_many(updates)
     baseline.flush()
     baseline_seconds = time.perf_counter() - started
+    plan_stats = baseline.plan_stats()
+    plan_identical = all(
+        np.array_equal(
+            baseline.family(name).counters, legacy.family(name).counters
+        )
+        for name in legacy.stream_names()
+    )
 
+    shared_plan.reset_stats()  # sharded pass reports its own counters
     with ShardedEngine(spec, num_shards=shards, executor=executor) as sharded:
         started = time.perf_counter()
         sharded.process_many(updates)
@@ -154,16 +182,24 @@ def run_ingest_benchmark(
             "distribution": "zipf(1.2), 30% deletions",
             "seed": seed,
         },
+        "single_engine_legacy": {
+            "seconds": legacy_seconds,
+            "updates_per_second": num_updates / legacy_seconds,
+        },
         "single_engine": {
             "seconds": baseline_seconds,
             "updates_per_second": num_updates / baseline_seconds,
+            "plan": plan_stats.to_json_dict(),
+            "plan_hit_rate": plan_stats.hit_rate,
         },
+        "plan_speedup": legacy_seconds / baseline_seconds,
         "sharded_engine": {
             "shards": shards,
             "executor": executor,
             "seconds": sharded_seconds,
             "updates_per_second": num_updates / sharded_seconds,
             "aggregation_ratio": stats.aggregation_ratio,
+            "plan": None if stats.plan is None else stats.plan.to_json_dict(),
             "per_shard": [
                 {
                     "shard": s.shard_id,
@@ -175,7 +211,7 @@ def run_ingest_benchmark(
             ],
         },
         "speedup": baseline_seconds / sharded_seconds,
-        "counters_bit_identical": identical,
+        "counters_bit_identical": identical and plan_identical,
     }
     pathlib.Path(out).write_text(json.dumps(report, indent=2))
     return report
@@ -207,15 +243,27 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         out=args.out,
     )
+    legacy = report["single_engine_legacy"]["updates_per_second"]
     single = report["single_engine"]["updates_per_second"]
     sharded = report["sharded_engine"]["updates_per_second"]
-    print(f"single engine : {single:>12,.0f} updates/s")
+    plan = report["single_engine"]["plan"]
+    print(f"single engine (legacy) : {legacy:>12,.0f} updates/s")
+    print(
+        f"single engine (plan)   : {single:>12,.0f} updates/s   "
+        f"({report['plan_speedup']:.2f}x vs legacy)"
+    )
+    print(
+        f"  plan: {report['single_engine']['plan_hit_rate']:.0%} row-cache "
+        f"hit rate, hash {plan['hash_seconds']:.3f}s / "
+        f"scatter {plan['scatter_seconds']:.3f}s, "
+        f"{plan['bypasses']} bypasses"
+    )
     print(
         f"sharded ({report['sharded_engine']['shards']}x{args.executor:>9}): "
         f"{sharded:>12,.0f} updates/s"
     )
     print(
-        f"speedup       : {report['speedup']:.2f}x   "
+        f"speedup vs plan engine : {report['speedup']:.2f}x   "
         f"(aggregation x{report['sharded_engine']['aggregation_ratio']:.2f}, "
         f"counters identical: {report['counters_bit_identical']})"
     )

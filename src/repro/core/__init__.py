@@ -15,6 +15,7 @@ from repro.core.intervals import (
 )
 from repro.core.expression import estimate_expression
 from repro.core.family import SketchFamily, SketchSpec, check_same_coins
+from repro.core.plan import HashPlan, HashPlanStats, plan_for
 from repro.core.sizing import (
     SynopsisPlan,
     recommend_spec,
@@ -38,6 +39,9 @@ __all__ = [
     "SketchShape",
     "TwoLevelHashSketch",
     "check_same_coins",
+    "HashPlan",
+    "HashPlanStats",
+    "plan_for",
     "estimate_union",
     "estimate_difference",
     "estimate_intersection",

@@ -18,14 +18,16 @@ synopsis space by building one large family and evaluating estimators on
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
-from repro.core.sketch import SketchHashes, SketchShape, TwoLevelHashSketch
-from repro.errors import IncompatibleSketchesError
+from repro.core.plan import HashPlan, plan_for
+from repro.core.sketch import SketchHashes, SketchShape, TwoLevelHashSketch, scatter_add
+from repro.errors import DomainError, IncompatibleSketchesError
 
 __all__ = ["SketchSpec", "SketchFamily", "check_same_coins", "sum_families"]
 
@@ -201,26 +203,54 @@ class SketchFamily:
         for index in range(self.spec.num_sketches):
             self.sketch(index).update(element, count)
 
-    def update_batch(self, elements, counts=None) -> None:
+    def update_batch(self, elements, counts=None, *, plan: HashPlan | str | None = "auto") -> None:
         """Vectorised maintenance of all members over a batch of updates.
 
-        One member at a time, each via the sketch's vectorised batch
-        path.  (A fully stacked variant — evaluating all members' hashes
-        as one broadcast and scattering with a single ``bincount`` — was
-        measured and *rejected*: per-sketch batches of a few thousand
-        elements already saturate numpy's per-op throughput, and the
-        stacked path's (r, s, n) intermediates cost more in allocation
-        and cache traffic than the removed Python loop saved.)
+        By default the batch is routed through the spec's shared
+        :class:`~repro.core.plan.HashPlan`: index rows come from the
+        plan's element-row cache when the elements repeat, and fresh rows
+        are hashed/scattered via the plan's measured hybrid — stacked
+        single-pass evaluation for small miss sets, per-sketch passes for
+        large ones (see ``STACKED_HASH_MAX``/``STACKED_SCATTER_MAX`` in
+        :mod:`repro.core.plan`) — bit-identical to the per-sketch path.
+        (PR 1 measured and rejected a stacked variant; re-measured here,
+        that verdict holds for *scatter at large batch sizes* — ``r``
+        cache-resident per-sketch histograms still beat one giant
+        ``bincount`` — but not for hashing small batches or for repeated
+        elements, where the cache skips hashing entirely.  The plan keeps
+        whichever side wins at each size.)
+
+        ``plan`` selects the maintenance path: ``"auto"`` (the spec's
+        shared plan), an explicit :class:`~repro.core.plan.HashPlan`
+        (must be built from this spec's coins), or ``None`` for the
+        legacy per-sketch path.
         """
         elements = np.asarray(elements, dtype=np.uint64)
         if elements.size == 0:
             return
         if counts is not None:
             counts = np.asarray(counts, dtype=np.int64)
-        for index in range(self.spec.num_sketches):
-            self.sketch(index).update_batch(elements, counts)
+        resolved = self._resolve_plan(plan)
+        if resolved is None:
+            for index in range(self.spec.num_sketches):
+                self.sketch(index).update_batch(elements, counts)
+            return
+        # Plan path: mirror the per-sketch checks before touching state.
+        if int(elements.max()) >= self.spec.shape.domain_size:
+            raise DomainError("batch contains elements outside [0, M)")
+        if counts is not None and counts.shape != elements.shape:
+            raise ValueError("counts must align with elements")
+        rows = resolved.scatter_rows(elements)
+        if rows is None:
+            # Scan flood: the plan declined (see HashPlan.scatter_rows) —
+            # classic per-sketch maintenance is faster than materialising
+            # unreusable index rows.
+            for index in range(self.spec.num_sketches):
+                self.sketch(index).update_batch(elements, counts)
+            return
+        self._scatter_rows(resolved, rows, counts)
 
-    def ingest_batch(self, elements, counts=None) -> int:
+    def ingest_batch(self, elements, counts=None, *, plan: HashPlan | str | None = "auto") -> int:
         """Maintenance over a batch, aggregated by linearity first.
 
         Because the sketch is a linear function of the element-frequency
@@ -231,6 +261,11 @@ class SketchFamily:
         through the unweighted scatter fast path — typically 1.5–3× the
         throughput of :meth:`update_batch` on realistic (skewed, churning)
         update streams, and bit-identical to it in the final counters.
+
+        ``plan`` is forwarded to :meth:`update_batch` (the aggregated
+        groups are where the shared hash plan pays most: a skewed
+        stream's hot head is both collapsed by linearity *and* served
+        from the plan's row cache).
 
         Returns the number of distinct elements actually maintained (the
         post-aggregation batch size, used by ingest metrics).
@@ -259,20 +294,21 @@ class SketchFamily:
             unique, net = unique[nonzero], net[nonzero]
         if unique.size == 0:
             return 0
+        resolved = self._resolve_plan(plan)
         # Split by delta so uniform groups (the bulk of real traffic: unit
         # insertions, unit deletions) hit the unweighted histogram path.
         ones = net == 1
         if ones.all():
-            self.update_batch(unique)
+            self.update_batch(unique, plan=resolved)
             return int(unique.size)
         minus = net == -1
         mixed = ~(ones | minus)
         if ones.any():
-            self.update_batch(unique[ones])
+            self.update_batch(unique[ones], plan=resolved)
         if minus.any():
-            self.update_batch(unique[minus], net[minus])
+            self.update_batch(unique[minus], net[minus], plan=resolved)
         if mixed.any():
-            self.update_batch(unique[mixed], net[mixed])
+            self.update_batch(unique[mixed], net[mixed], plan=resolved)
         return int(unique.size)
 
     # -- level-wise aggregates used by the estimators ----------------------
@@ -341,6 +377,69 @@ class SketchFamily:
         return family
 
     # -- internals ------------------------------------------------------------
+
+    def plan(self) -> HashPlan:
+        """The spec's shared :class:`~repro.core.plan.HashPlan`.
+
+        One object per distinct spec process-wide (see
+        :func:`repro.core.plan.plan_for`), so its element-row cache is
+        warmed by *every* family of the spec.
+        """
+        return plan_for(self.spec)
+
+    def _resolve_plan(self, plan: HashPlan | str | None) -> HashPlan | None:
+        if plan is None:
+            return None
+        if isinstance(plan, str):
+            if plan != "auto":
+                raise ValueError("plan must be 'auto', a HashPlan, or None")
+            return plan_for(self.spec)
+        if (
+            plan.num_sketches != self.spec.num_sketches
+            or plan.shape != self.spec.shape
+        ):
+            raise IncompatibleSketchesError(
+                "hash plan does not match this family's spec"
+            )
+        # Structure matching is not enough: a plan built from different
+        # coins would scatter into the wrong cells silently.  Compare
+        # against the spec's canonical plan (memoised, so this is three
+        # small array comparisons, not a hash re-draw).
+        canonical = plan_for(self.spec)
+        if plan is not canonical and not plan.same_coins_as(canonical):
+            raise IncompatibleSketchesError(
+                "hash plan was built from different coins than this spec"
+            )
+        return plan
+
+    def _scatter_rows(self, plan: HashPlan, rows: np.ndarray, counts) -> None:
+        """Scatter plan-produced index rows into the stacked counters.
+
+        Accumulation rules mirror
+        :meth:`repro.core.sketch.TwoLevelHashSketch.update_batch` exactly
+        (unweighted histogram for uniform deltas, the guarded
+        ``scatter_add`` otherwise), so the result is bit-identical to the
+        per-sketch path in every case.
+        """
+        started = time.perf_counter()
+        counters = self.counters
+        contiguous = counters.flags.c_contiguous
+        target = (
+            counters.reshape(-1)
+            if contiguous
+            else np.ascontiguousarray(counters).reshape(-1)
+        )
+        if counts is None:
+            plan.scatter(target, rows)
+        else:
+            first = int(counts[0])
+            if bool((counts == first).all()):
+                plan.scatter(target, rows, scale=first)
+            else:
+                scatter_add(target, rows.reshape(-1), np.repeat(counts, plan.row_width))
+        if not contiguous:
+            np.copyto(counters, target.reshape(counters.shape))
+        plan.note_scatter_seconds(time.perf_counter() - started)
 
     def _check_compatible(self, other: "SketchFamily") -> None:
         if self.spec != other.spec:

@@ -169,10 +169,10 @@ class TwoLevelHashSketch:
         for deletion legality, exactly as in the paper's stream model.
         """
         self._check_domain(element)
-        level = self._level_of(element)
-        bits = self.hashes.second_level.bits(np.uint64(element))[0]
-        for j in range(self.shape.num_second_level):
-            self.counters[level, j, bits[j]] += count
+        self.update_batch(
+            np.asarray([element], dtype=np.uint64),
+            np.asarray([count], dtype=np.int64),
+        )
 
     def update_batch(self, elements, counts=None) -> None:
         """Vectorised maintenance over many updates at once.

@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.family import SketchFamily, check_same_coins
 from repro.core.results import UnionEstimate
 
@@ -60,10 +62,12 @@ def estimate_union(
     num_sketches = families[0].num_sketches
     threshold = (1.0 + epsilon) * num_sketches / 8.0
 
+    # First level whose non-empty count drops to the threshold; if every
+    # level stays above it, fall back to the last level (argmax over an
+    # all-False condition would report index 0, hence the guard).
     num_levels = non_empty_counts.shape[0]
-    level = 0
-    while level < num_levels - 1 and non_empty_counts[level] > threshold:
-        level += 1
+    below = non_empty_counts <= threshold
+    level = int(np.argmax(below)) if bool(below.any()) else num_levels - 1
 
     count = int(non_empty_counts[level])
     fraction = count / num_sketches

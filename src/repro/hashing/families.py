@@ -56,12 +56,16 @@ class PolynomialHash:
     """
 
     coefficients: tuple[int, ...]
+    _coeff_arr: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.coefficients:
             raise ValueError("a polynomial hash needs at least one coefficient")
         if any(not (0 <= c < _P_INT) for c in self.coefficients):
             raise ValueError("coefficients must be residues modulo 2**61 - 1")
+        object.__setattr__(
+            self, "_coeff_arr", np.asarray(self.coefficients, dtype=np.uint64)
+        )
 
     @property
     def independence(self) -> int:
@@ -74,7 +78,7 @@ class PolynomialHash:
         values = np.atleast_1d(np.asarray(element, dtype=np.uint64))
         if values.size and int(values.max()) >= _P_INT:
             raise ValueError("elements must lie in [0, 2**61 - 1)")
-        hashed = horner_mod(self.coefficients, values)
+        hashed = horner_mod(self._coeff_arr, values)
         return int(hashed[0]) if scalar else hashed
 
 

@@ -103,18 +103,42 @@ def mulmod(a, b):
 
 
 def horner_mod(coefficients, x):
-    """Evaluate a polynomial at ``x`` modulo ``p`` by Horner's rule.
+    """Evaluate one or many polynomials at ``x`` modulo ``p`` by Horner's rule.
 
-    ``coefficients`` is an iterable ordered from the highest-degree term to
-    the constant term (as produced by the hash-family seed generators).
-    ``x`` may be a scalar or an array of residues; the result has the same
-    shape as ``x``.
+    ``coefficients`` is ordered from the highest-degree term to the constant
+    term (as produced by the hash-family seed generators) and may be
+
+    * a 1-D iterable/array of ``t`` residues — one polynomial, evaluated at
+      ``x`` (scalar or array); the result has the shape of ``x``; or
+    * a 2-D ``(r, t)`` ``uint64`` array — ``r`` polynomials sharing a degree,
+      evaluated at every entry of ``x`` in one stacked pass; the result has
+      shape ``(r,) + x.shape``.  This is the kernel behind
+      :class:`repro.core.plan.HashPlan`: the loop runs ``t - 1`` times total
+      instead of once per polynomial.
+
+    Passing an existing ``uint64`` array avoids any per-call conversion
+    (:class:`repro.hashing.families.PolynomialHash` stores one).
     """
-    coefficients = [np.uint64(c) for c in coefficients]
-    if not coefficients:
+    coefficients = np.asarray(coefficients, dtype=np.uint64)
+    if coefficients.size == 0:
         raise ValueError("polynomial needs at least one coefficient")
+    if coefficients.ndim > 2:
+        raise ValueError("coefficients must be a 1-D or 2-D array")
     x = np.asarray(x, dtype=np.uint64)
-    acc = np.broadcast_to(coefficients[0], x.shape).copy()
-    for coefficient in coefficients[1:]:
-        acc = addmod(mulmod(acc, x), coefficient)
-    return acc
+    if coefficients.ndim == 1:
+        acc = np.broadcast_to(coefficients[0], x.shape).copy()
+        for coefficient in coefficients[1:]:
+            acc = addmod(mulmod(acc, x), coefficient)
+        return acc
+    # Stacked form: column k holds every polynomial's degree-(t-1-k)
+    # coefficient, broadcast as an (r, 1) addend against the (r, n) residues.
+    stacked = np.broadcast_to(
+        coefficients[:, 0].reshape(coefficients.shape[:1] + (1,) * x.ndim),
+        coefficients.shape[:1] + x.shape,
+    ).copy()
+    for k in range(1, coefficients.shape[1]):
+        column = coefficients[:, k].reshape(
+            coefficients.shape[:1] + (1,) * x.ndim
+        )
+        stacked = addmod(mulmod(stacked, x), column)
+    return stacked

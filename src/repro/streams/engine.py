@@ -38,13 +38,23 @@ class StreamEngine:
     batch_size:
         Number of buffered updates per stream that triggers the vectorised
         maintenance path.
+    use_plan:
+        Route maintenance through the spec's shared
+        :class:`~repro.core.plan.HashPlan` (stacked hashing plus the
+        element-row cache; bit-identical counters).  Because the plan is
+        keyed to the spec's coins, *all* streams of the engine share one
+        plan: an element hashed for one stream is a cache hit for every
+        other.  ``False`` restores the classic per-sketch path.
     """
 
-    def __init__(self, spec: SketchSpec, batch_size: int = 4096) -> None:
+    def __init__(
+        self, spec: SketchSpec, batch_size: int = 4096, use_plan: bool = True
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self.spec = spec
         self._batch_size = batch_size
+        self._plan_arg = "auto" if use_plan else None
         self._families: dict[str, SketchFamily] = {}
         self._buffers: dict[str, tuple[list[int], list[int]]] = {}
         self._updates_processed = 0
@@ -159,6 +169,21 @@ class StreamEngine:
         """Total size of all maintained counter arrays, in bytes."""
         return sum(family.counters.nbytes for family in self._families.values())
 
+    def plan_stats(self):
+        """Hash-plan cache counters for this engine's spec.
+
+        Returns a :class:`~repro.core.plan.HashPlanStats` snapshot.  The
+        plan is shared process-wide by spec, so the counters cover every
+        family built from the same coins (all this engine's streams, and
+        any sibling engine on the spec).  With ``use_plan=False`` the
+        snapshot is empty.
+        """
+        from repro.core.plan import HashPlanStats, plan_for
+
+        if self._plan_arg is None:
+            return HashPlanStats()
+        return plan_for(self.spec).stats()
+
     # -- checkpoint support -----------------------------------------------
 
     def adopt_family(self, stream: str, family: SketchFamily) -> None:
@@ -202,5 +227,9 @@ class StreamEngine:
         if not buffered or not buffered[0]:
             return
         elements, deltas = buffered
-        self._family(stream).update_batch(elements, deltas)
+        # ingest_batch aggregates the buffer by linearity (duplicates
+        # collapse, churn cancels) before maintenance and routes through
+        # the shared hash plan — bit-identical to update_batch, faster on
+        # real (skewed, churning) traffic.
+        self._family(stream).ingest_batch(elements, deltas, plan=self._plan_arg)
         self._buffers[stream] = ([], [])

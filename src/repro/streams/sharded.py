@@ -148,13 +148,16 @@ def _disable_worker_shm_tracking() -> None:
         pass
 
 
-def _shard_worker(shard_id, spec_payload, inbox, outbox):
+def _shard_worker(shard_id, spec_payload, use_plan, inbox, outbox):
     """Run one shard: attach segments, apply batches, answer syncs."""
     from multiprocessing import shared_memory
+
+    from repro.core.plan import plan_for
 
     _disable_worker_shm_tracking()
 
     spec = SketchSpec.from_json_dict(spec_payload)
+    plan_arg = "auto" if use_plan else None
     counter_shape = (spec.num_sketches,) + spec.shape.counter_shape
     segments: dict[str, object] = {}
     families: dict[str, SketchFamily] = {}
@@ -184,17 +187,23 @@ def _shard_worker(shard_id, spec_payload, inbox, outbox):
                     else np.frombuffer(delta_bytes, dtype=np.int64)
                 )
                 started = time.perf_counter()
-                applied = families[stream].ingest_batch(elements, deltas)
+                applied = families[stream].ingest_batch(
+                    elements, deltas, plan=plan_arg
+                )
                 stats.flush_seconds += time.perf_counter() - started
                 stats.batches_flushed += 1
                 stats.updates_routed += elements.size
                 stats.updates_applied += applied
             elif kind == "sync":
+                plan_payload = (
+                    plan_for(spec).stats().to_json_dict() if use_plan else None
+                )
                 outbox.put(
                     (
                         "sync",
                         shard_id,
                         stats.snapshot(len(families)),
+                        plan_payload,
                         failure,
                     )
                 )
@@ -205,7 +214,7 @@ def _shard_worker(shard_id, spec_payload, inbox, outbox):
                         shm.close()
                     except BufferError:  # pragma: no cover
                         pass
-                outbox.put(("stopped", shard_id, None, None))
+                outbox.put(("stopped", shard_id, None, None, None))
                 return
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             if failure is None:
@@ -238,6 +247,13 @@ class ShardedEngine:
     executor:
         ``"serial"``, ``"threads"`` (default), or ``"processes"`` — see
         the module docstring for the trade-offs.
+    use_plan:
+        Route shard maintenance through the spec's shared
+        :class:`~repro.core.plan.HashPlan`.  The in-process backends
+        (``"serial"``, ``"threads"``) share one plan — and one element-row
+        cache — across *all* shards and streams (same coins ⇒ same
+        indices); each ``"processes"`` worker holds its own per-process
+        plan.  Counters stay bit-identical either way.
 
     The engine is a context manager; ``close()`` releases worker threads,
     worker processes, and shared-memory segments (idempotent, and
@@ -250,6 +266,7 @@ class ShardedEngine:
         num_shards: int = 4,
         batch_size: int = 16384,
         executor: str = "threads",
+        use_plan: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be positive")
@@ -262,6 +279,8 @@ class ShardedEngine:
         self.spec = spec
         self.num_shards = num_shards
         self.executor = executor
+        self._use_plan = use_plan
+        self._plan_arg = "auto" if use_plan else None
         self._batch_size = batch_size
         self._buffers: dict[tuple[int, str], tuple[list[int], list[int]]] = {}
         self._salts: dict[str, int] = {}
@@ -297,6 +316,7 @@ class ShardedEngine:
         self._segments: dict[tuple[int, str], object] = {}
         self._shard_views: dict[tuple[int, str], np.ndarray] = {}
         self._synced_stats: list[ShardStats] | None = None
+        self._synced_plan_stats = None
         if executor == "processes":
             self._start_workers()
 
@@ -312,7 +332,7 @@ class ShardedEngine:
             inbox = context.Queue()
             worker = context.Process(
                 target=_shard_worker,
-                args=(shard, payload, inbox, self._outbox),
+                args=(shard, payload, self._use_plan, inbox, self._outbox),
                 daemon=True,
                 name=f"repro-shard-{shard}",
             )
@@ -463,7 +483,7 @@ class ShardedEngine:
             family = families[stream] = self.spec.build()
         stats = self._stats[shard]
         started = time.perf_counter()
-        applied = family.ingest_batch(elements, deltas)
+        applied = family.ingest_batch(elements, deltas, plan=self._plan_arg)
         stats.flush_seconds += time.perf_counter() - started
         stats.batches_flushed += 1
         stats.updates_routed += int(elements.size)
@@ -496,20 +516,31 @@ class ShardedEngine:
             self._sync_workers()
 
     def _sync_workers(self) -> None:
+        from repro.core.plan import HashPlanStats
+
         for inbox in self._inboxes:
             inbox.put(("sync",))
         snapshots: dict[int, ShardStats] = {}
+        plan_rollup: HashPlanStats | None = None
         failure = None
         while len(snapshots) < self.num_shards:
-            kind, shard_id, snapshot, shard_failure = self._outbox.get(
-                timeout=60
+            kind, shard_id, snapshot, plan_payload, shard_failure = (
+                self._outbox.get(timeout=60)
             )
             if kind != "sync":  # pragma: no cover - stop/stray replies
                 continue
             snapshots[shard_id] = snapshot
+            if plan_payload is not None:
+                reported = HashPlanStats.from_json_dict(plan_payload)
+                plan_rollup = (
+                    reported
+                    if plan_rollup is None
+                    else plan_rollup.merged_with(reported)
+                )
             if shard_failure is not None and failure is None:
                 failure = (shard_id, shard_failure)
         self._synced_stats = [snapshots[s] for s in range(self.num_shards)]
+        self._synced_plan_stats = plan_rollup
         if failure is not None:
             raise RuntimeError(
                 f"shard {failure[0]} worker failed: {failure[1]}"
@@ -577,25 +608,33 @@ class ShardedEngine:
         )
 
     def stats(self) -> IngestStats:
-        """Per-shard ingest metrics plus merge counters.
+        """Per-shard ingest metrics plus merge and hash-plan counters.
 
-        For the ``"processes"`` backend the shard rows reflect the last
-        synchronisation point (``flush()`` or any query); the serial and
-        thread backends report live counters.
+        For the ``"processes"`` backend the shard rows (and the plan
+        roll-up, summed over the workers' per-process plans) reflect the
+        last synchronisation point (``flush()`` or any query); the serial
+        and thread backends report live counters.
         """
         if self.executor == "processes":
             shard_rows = self._synced_stats or [
                 ShardStats(shard_id=shard) for shard in range(self.num_shards)
             ]
+            plan_stats = self._synced_plan_stats
         else:
             shard_rows = [
                 stats.snapshot(len(self._families[stats.shard_id]))
                 for stats in self._stats
             ]
+            plan_stats = None
+            if self._use_plan:
+                from repro.core.plan import plan_for
+
+                plan_stats = plan_for(self.spec).stats()
         return IngestStats(
             shards=tuple(shard_rows),
             merges=self._merges,
             merge_seconds=self._merge_seconds,
+            plan=plan_stats,
         )
 
     # -- checkpoint / hand-off --------------------------------------------

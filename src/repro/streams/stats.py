@@ -9,13 +9,19 @@ snapshots, safe to read while ingestion continues.
 
 ``ShardStats`` describes one shard; ``IngestStats`` is the engine-level
 roll-up returned by :meth:`repro.streams.sharded.ShardedEngine.stats`.
+:class:`~repro.core.plan.HashPlanStats` (re-exported here) reports the
+shared hash plan's element-row cache — hit rate, evictions, and the
+hash-vs-scatter time breakdown — via ``IngestStats.plan`` and
+:meth:`repro.streams.engine.StreamEngine.plan_stats`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ShardStats", "IngestStats"]
+from repro.core.plan import HashPlanStats
+
+__all__ = ["ShardStats", "IngestStats", "HashPlanStats"]
 
 
 @dataclass(frozen=True)
@@ -80,11 +86,17 @@ class IngestStats:
         (counter summation across shards).
     merge_seconds:
         Total wall-clock time spent in those merges.
+    plan:
+        Shared hash-plan cache counters, when plan-based maintenance is
+        active.  For the in-process backends this is the one plan every
+        shard shares; for the ``"processes"`` backend it is the sum over
+        the workers' per-process plans as of the last synchronisation.
     """
 
     shards: tuple[ShardStats, ...] = field(default_factory=tuple)
     merges: int = 0
     merge_seconds: float = 0.0
+    plan: HashPlanStats | None = None
 
     @property
     def updates_routed(self) -> int:
@@ -128,4 +140,11 @@ class IngestStats:
             f"(aggregation ×{self.aggregation_ratio:.2f}), "
             f"{self.merges} merges in {self.merge_seconds:.3f}s"
         )
+        if self.plan is not None and self.plan.lookups:
+            lines.append(
+                f"plan   {self.plan.hits:,}/{self.plan.lookups:,} row-cache "
+                f"hits ({100 * self.plan.hit_rate:.0f}%), "
+                f"hash {self.plan.hash_seconds:.3f}s / "
+                f"scatter {self.plan.scatter_seconds:.3f}s"
+            )
         return "\n".join(lines)

@@ -199,7 +199,9 @@ class TestStats:
             sharded.flush()
             table = sharded.stats().as_table()
             assert "shard" in table and "routed" in table
-            assert len(table.splitlines()) == 4  # header + 2 shards + total
+            # header + 2 shards + total + hash-plan row
+            assert len(table.splitlines()) == 5
+            assert "row-cache" in table.splitlines()[-1]
 
 
 class TestHandOffAndAdoption:
