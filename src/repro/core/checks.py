@@ -136,7 +136,12 @@ def combined_singleton_union_mask(slabs: list[np.ndarray]) -> np.ndarray:
     """
     if not slabs:
         raise ValueError("need at least one slab")
-    combined = slabs[0]
-    for slab in slabs[1:]:
-        combined = combined + slab
+    if len(slabs) == 1:
+        return singleton_mask(slabs[0])
+    # Accumulate into one buffer instead of a chain of `combined + slab`
+    # temporaries (n-1 allocations for n streams); int64 addition is
+    # exact and order-independent, so the mask is unchanged.
+    combined = np.add(slabs[0], slabs[1])
+    for slab in slabs[2:]:
+        np.add(combined, slab, out=combined)
     return singleton_mask(combined)

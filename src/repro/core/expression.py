@@ -32,6 +32,7 @@ from repro.core.results import UnionEstimate, WitnessEstimate
 from repro.core.witness import run_witness_estimator
 from repro.errors import UnknownStreamError
 from repro.expr.ast import SetExpression
+from repro.expr.compile import compile_expression
 from repro.expr.parser import parse
 
 __all__ = ["estimate_expression"]
@@ -77,12 +78,17 @@ def estimate_expression(
         )
     participating = [families[name] for name in names]
 
+    # Compiled once per distinct expression (memoised): the flat postfix
+    # program evaluates the same B(E) algebra as boolean_mask without an
+    # AST walk per call — bit-identical by construction.
+    program = compile_expression(expression)
+
     def witness_masks(slabs: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
         valid = combined_singleton_union_mask(slabs)
         non_empty = {
             name: ~empty_mask(slab) for name, slab in zip(names, slabs)
         }
-        witness = expression.boolean_mask(non_empty)
+        witness = program.evaluate(non_empty)
         return valid, witness
 
     return run_witness_estimator(

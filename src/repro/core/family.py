@@ -132,9 +132,39 @@ class SketchFamily:
     ``(r, levels, s, 2)`` array, which the estimators slice level-wise to
     evaluate all ``r`` property checks with vectorised numpy; individual
     members are exposed as zero-copy :class:`TwoLevelHashSketch` views.
+
+    Alongside the raw counters the family maintains **incremental level
+    aggregates** for the query planner: the ``(r, levels)`` bucket-total
+    matrix (what :meth:`level_totals` returns, kept up to date as updates
+    apply instead of re-derived from the counter slab per query), a
+    monotone :attr:`version` counter bumped on every mutation, and a
+    per-level *dirty version* recording when each first-level bucket
+    index last changed.  Query caches use the dirty versions to
+    revalidate in O(levels) — see
+    :meth:`levels_clean_since` and :mod:`repro.streams.engine`.
+
+    The aggregates are maintained by every mutation that goes through
+    the family's own methods.  Writing through a :meth:`sketch` view or
+    into :attr:`counters` directly bypasses the bookkeeping; call
+    :meth:`refresh_aggregates` afterwards.  Zero-copy :meth:`prefix` /
+    :meth:`slice` views snapshot their aggregates at construction, so
+    build them *after* the parent family stops mutating (which is how
+    the experiment harness and the boosting groups already use them).
     """
 
-    __slots__ = ("spec", "_hashes", "counters")
+    __slots__ = (
+        "spec",
+        "_hashes",
+        "counters",
+        "_version",
+        "_level_totals",
+        "_level_versions",
+        "_nonempty_counts",
+        "_nonempty_version",
+        "_dirty_list",
+        "_dirty_prefix_max",
+        "_dirty_list_version",
+    )
 
     def __init__(self, spec: SketchSpec, counters: np.ndarray | None = None) -> None:
         self.spec = spec
@@ -147,6 +177,16 @@ class SketchFamily:
                 f"counter array has shape {counters.shape}, expected {expected}"
             )
         self.counters = counters
+        self._version = 0
+        self._level_versions = np.zeros(spec.shape.num_levels, dtype=np.int64)
+        self._level_totals = (
+            self.counters[:, :, 0, 0] + self.counters[:, :, 0, 1]
+        )
+        self._nonempty_counts: np.ndarray | None = None
+        self._nonempty_version = -1
+        self._dirty_list: list[int] | None = None
+        self._dirty_prefix_max: list[int] | None = None
+        self._dirty_list_version = -1
 
     # -- structure ---------------------------------------------------------
 
@@ -202,6 +242,7 @@ class SketchFamily:
         """Apply one update ``<element, +/-count>`` to every member."""
         for index in range(self.spec.num_sketches):
             self.sketch(index).update(element, count)
+        self._mark_all_dirty()
 
     def update_batch(self, elements, counts=None, *, plan: HashPlan | str | None = "auto") -> None:
         """Vectorised maintenance of all members over a batch of updates.
@@ -234,6 +275,7 @@ class SketchFamily:
         if resolved is None:
             for index in range(self.spec.num_sketches):
                 self.sketch(index).update_batch(elements, counts)
+            self._mark_all_dirty()
             return
         # Plan path: mirror the per-sketch checks before touching state.
         if int(elements.max()) >= self.spec.shape.domain_size:
@@ -247,6 +289,7 @@ class SketchFamily:
             # unreusable index rows.
             for index in range(self.spec.num_sketches):
                 self.sketch(index).update_batch(elements, counts)
+            self._mark_all_dirty()
             return
         self._scatter_rows(resolved, rows, counts)
 
@@ -318,13 +361,126 @@ class SketchFamily:
 
         The first second-level pair's sum counts every item in the bucket
         (each update touches exactly one of its two cells), so this is the
-        per-bucket emptiness/total statistic of the paper.
+        per-bucket emptiness/total statistic of the paper.  Maintained
+        incrementally as updates apply (exact int64 arithmetic,
+        bit-identical to re-deriving from the counter slab); returned as
+        a read-only view — copy before mutating.
         """
-        return self.counters[:, :, 0, 0] + self.counters[:, :, 0, 1]
+        view = self._level_totals.view()
+        view.flags.writeable = False
+        return view
+
+    def level_nonempty_counts(self) -> np.ndarray:
+        """Per-level count of members with a non-empty bucket: ``(levels,)``.
+
+        Exactly ``(level_totals() > 0).sum(axis=0)`` — what the union
+        estimator's level scan consults for a single stream — derived
+        lazily from the maintained totals and memoised per
+        :attr:`version`.  Read-only view.
+        """
+        if self._nonempty_version != self._version:
+            self._nonempty_counts = (self._level_totals > 0).sum(axis=0)
+            self._nonempty_version = self._version
+        view = self._nonempty_counts.view()
+        view.flags.writeable = False
+        return view
 
     def level_slab(self, level: int) -> np.ndarray:
         """All members' counters at one first-level bucket: ``(r, s, 2)``."""
         return self.counters[:, level]
+
+    # -- change tracking (query-plan layer) --------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumped whenever counters change."""
+        return self._version
+
+    def level_dirty_versions(self) -> np.ndarray:
+        """Per first-level bucket index: the :attr:`version` at which that
+        level last changed (read-only view, shape ``(levels,)``)."""
+        view = self._level_versions.view()
+        view.flags.writeable = False
+        return view
+
+    def levels_clean_since(
+        self, version: int, prefix_level: int, start: int = 0, stop: int = 0
+    ) -> bool:
+        """Whether no *consulted* level changed after ``version``.
+
+        Consulted levels are the union-scan prefix ``0..prefix_level``
+        plus the witness window ``[start, stop)``; a query-cache entry
+        that recorded its families' versions and these bounds revalidates
+        by calling this instead of recomputing (see
+        :meth:`repro.streams.engine.StreamEngine.query`).
+        """
+        if self._version <= version:
+            return True  # nothing at all changed since: trivially clean
+        # Plain-Python snapshots of the dirty versions (rebuilt lazily per
+        # mutation) keep the hot revalidation path free of per-call numpy
+        # overhead: the prefix check is one list index, the witness-window
+        # check a max over a handful of ints.
+        if self._dirty_list_version != self._version:
+            self._dirty_list = self._level_versions.tolist()
+            self._dirty_prefix_max = np.maximum.accumulate(
+                self._level_versions
+            ).tolist()
+            self._dirty_list_version = self._version
+        if prefix_level >= 0 and self._dirty_prefix_max[prefix_level] > version:
+            return False
+        if stop > start and max(self._dirty_list[start:stop]) > version:
+            return False
+        return True
+
+    def refresh_aggregates(self) -> None:
+        """Rebuild the incremental aggregates from the raw counters.
+
+        For callers that mutate :attr:`counters` directly (or through a
+        :meth:`sketch` view) instead of the family's maintenance methods.
+        Bumps :attr:`version` and marks every level dirty.
+        """
+        self._mark_all_dirty()
+
+    def _mark_all_dirty(self) -> None:
+        """Counters changed in an untracked way: recompute totals (cheap,
+        ``O(r·levels)``), bump the version, dirty every level."""
+        self._version += 1
+        np.add(
+            self.counters[:, :, 0, 0],
+            self.counters[:, :, 0, 1],
+            out=self._level_totals,
+        )
+        self._level_versions[:] = self._version
+
+    def _note_rows(self, plan: HashPlan, rows: np.ndarray, counts) -> None:
+        """Fold one scattered batch into the incremental aggregates.
+
+        The plan's index rows name exactly the cells the batch touched;
+        the ``j = 0`` column per sketch is the cell whose counter pair
+        forms the bucket total, so the totals delta is one ``bincount``
+        over the ``(n, r)`` bucket keys — the same exact int64
+        accumulation the counters saw, an ``s``-th of the scatter work.
+        """
+        keys = plan.bucket_keys(rows)  # (n, r) values k·L + level
+        num_levels = self.spec.shape.num_levels
+        flat_totals = self._level_totals.reshape(-1)
+        if counts is None:
+            flat_totals += np.bincount(keys.ravel(), minlength=flat_totals.size)
+        else:
+            first = int(counts[0])
+            if bool((counts == first).all()):
+                binned = np.bincount(keys.ravel(), minlength=flat_totals.size)
+                flat_totals += binned * first
+            else:
+                np.add.at(
+                    flat_totals,
+                    keys.ravel(),
+                    np.repeat(counts, self.spec.num_sketches),
+                )
+        self._version += 1
+        touched = np.zeros(num_levels, dtype=bool)
+        touched[(keys % num_levels).ravel()] = True
+        self._level_versions[touched] = self._version
 
     # -- algebra ------------------------------------------------------------
 
@@ -337,10 +493,14 @@ class SketchFamily:
         """Fold another family's counters into this one (coordinator combine).
 
         Zero-copy: the addition happens directly in this family's counter
-        storage, no intermediate array is allocated.
+        storage, no intermediate array is allocated.  The incremental
+        level aggregates are refreshed (all levels marked dirty — the
+        incoming counters can change second-level structure even where
+        their bucket totals are zero).
         """
         self._check_compatible(other)
         np.add(self.counters, other.counters, out=self.counters)
+        self._mark_all_dirty()
 
     def copy(self) -> "SketchFamily":
         """A deep copy with independent counter storage."""
@@ -366,15 +526,18 @@ class SketchFamily:
 
     @classmethod
     def from_bytes(cls, payload: bytes, spec: SketchSpec) -> "SketchFamily":
-        family = cls(spec)
-        expected = family.counters.size * 8
+        shape = (spec.num_sketches,) + spec.shape.counter_shape
+        expected = int(np.prod(shape)) * 8
         if len(payload) != expected:
             raise IncompatibleSketchesError(
                 f"payload is {len(payload)} bytes, expected {expected}"
             )
         counters = np.frombuffer(payload, dtype="<i8").astype(np.int64)
-        family.counters = counters.reshape(family.counters.shape).copy()
-        return family
+        # Constructing with the counters (rather than assigning them after
+        # the fact) builds the incremental level aggregates from the
+        # restored state — checkpoint restore starts with fresh, correct
+        # aggregates at version 0.
+        return cls(spec, counters.reshape(shape).copy())
 
     # -- internals ------------------------------------------------------------
 
@@ -439,6 +602,7 @@ class SketchFamily:
                 scatter_add(target, rows.reshape(-1), np.repeat(counts, plan.row_width))
         if not contiguous:
             np.copyto(counters, target.reshape(counters.shape))
+        self._note_rows(plan, rows, counts)
         plan.note_scatter_seconds(time.perf_counter() - started)
 
     def _check_compatible(self, other: "SketchFamily") -> None:
@@ -469,6 +633,9 @@ def sum_families(
         np.copyto(out.counters, families[0].counters)
     for family in families[1:]:
         np.add(out.counters, family.counters, out=out.counters)
+    # The counters were written directly into out's storage; rebuild its
+    # incremental level aggregates so the query-plan layer stays exact.
+    out.refresh_aggregates()
     return out
 
 

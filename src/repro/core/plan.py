@@ -294,6 +294,23 @@ class HashPlan:
             self._hash_seconds += elapsed
         return rows
 
+    def bucket_keys(self, rows: np.ndarray) -> np.ndarray:
+        """Per-(element, sketch) first-level bucket keys from index rows.
+
+        Returns an ``(n, r)`` array of ``sketch·levels + level`` keys —
+        flat indices into an ``(r, levels)`` aggregate such as
+        :meth:`repro.core.family.SketchFamily.level_totals`.  Derived
+        from the ``j = 0`` column of each sketch's row segment (the cell
+        pair whose sum is the bucket total), so incremental aggregate
+        maintenance piggybacks on rows the scatter already computed
+        instead of hashing again.
+        """
+        n = rows.shape[0]
+        s = self.shape.num_second_level
+        first_cells = rows.reshape(n, self.num_sketches, s)[:, :, 0]
+        # cell = ((k·L + level)·s + 0)·2 + bit  ⇒  (cell >> 1) // s
+        return (first_cells >> 1) // s
+
     # -- scattering --------------------------------------------------------
 
     def scatter(self, target: np.ndarray, rows: np.ndarray, scale: int = 1) -> None:

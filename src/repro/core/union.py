@@ -53,11 +53,18 @@ def estimate_union(
     check_same_coins(*families)
 
     # Non-empty bucket counts for the combined stream, per level: the
-    # bucket of the union is non-empty iff any stream's bucket is.
-    combined_totals = families[0].level_totals().copy()
-    for family in families[1:]:
-        combined_totals += family.level_totals()
-    non_empty_counts = (combined_totals > 0).sum(axis=0)  # (levels,)
+    # bucket of the union is non-empty iff any stream's bucket is.  The
+    # totals are the families' incrementally maintained (r, levels)
+    # aggregates — no (r, levels, s, 2) slab is touched on this path.
+    if len(families) == 1 and hasattr(families[0], "level_nonempty_counts"):
+        # Single stream: the memoised per-level non-empty counts are the
+        # statistic directly (same computation, cached per family version).
+        non_empty_counts = families[0].level_nonempty_counts()
+    else:
+        combined_totals = families[0].level_totals().copy()
+        for family in families[1:]:
+            combined_totals += family.level_totals()
+        non_empty_counts = (combined_totals > 0).sum(axis=0)  # (levels,)
 
     num_sketches = families[0].num_sketches
     threshold = (1.0 + epsilon) * num_sketches / 8.0

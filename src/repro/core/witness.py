@@ -78,6 +78,11 @@ def run_witness_estimator(
     union_estimate:
         Optional externally supplied ``û`` (ablation hook / reuse across
         queries).  When omitted it is computed from the same families.
+        :class:`~repro.streams.engine.StreamEngine` always supplies it —
+        at ``ε/3``, from its version-revalidated union cache — so N
+        queries over one stream set pay for one union scan.  Supplying
+        the estimate the omitted path would compute keeps the result
+        bit-identical to the self-contained run.
     pool_levels:
         Number of consecutive first-level buckets, starting at the chosen
         index, to harvest observations from.  The paper's algorithms use

@@ -8,6 +8,7 @@ from repro.expr.ast import (
     UnionExpr,
     streams,
 )
+from repro.expr.compile import CompiledExpression, compile_expression
 from repro.expr.optimize import (
     canonical_cells,
     equivalent,
@@ -31,6 +32,8 @@ __all__ = [
     "StreamRef",
     "UnionExpr",
     "streams",
+    "CompiledExpression",
+    "compile_expression",
     "parse",
     "canonical_cells",
     "equivalent",

@@ -74,6 +74,17 @@ class SetExpression(ABC):
         for child in self._children():
             yield from child.subexpressions()
 
+    def compiled(self):
+        """This expression as a flat postfix program (memoised).
+
+        Returns a :class:`~repro.expr.compile.CompiledExpression` whose
+        ``evaluate`` is bit-identical to :meth:`boolean_mask` without the
+        per-call tree walk — what the engine uses for standing queries.
+        """
+        from repro.expr.compile import compile_expression
+
+        return compile_expression(self)
+
     def _children(self) -> tuple["SetExpression", ...]:
         return ()
 

@@ -1,0 +1,163 @@
+"""Compiled set expressions: flat postfix programs over stream-bit arrays.
+
+:meth:`~repro.expr.ast.SetExpression.boolean_mask` walks the expression
+tree on every evaluation — one Python call per node per query.  For
+*standing* queries the tree is fixed while evaluation repeats thousands
+of times, so :func:`compile_expression` lowers the tree once into a flat
+postfix program whose ops are numpy boolean kernels:
+
+* ``LOAD name`` — push stream *name*'s bucket non-emptiness mask;
+* ``OR`` / ``AND`` — pop two masks, push their ∨ / ∧ (the paper's
+  ``B(E₁ ∪ E₂)`` / ``B(E₁ ∩ E₂)``);
+* ``DIFF`` — pop two masks, push ``left ∧ ¬right`` (``B(E₁ − E₂)``).
+
+Evaluation reuses scratch buffers where ownership allows (a popped
+intermediate becomes the output of the next op), so a deep expression
+costs one allocation per *leaf-adjacent* op rather than one per node —
+and no Python-level recursion.  The program is **bit-identical** to
+``boolean_mask``: both compute the same ∨/∧/∧¬ algebra over the same
+inputs (property-tested in ``tests/expr/test_compile.py``).
+
+Programs are memoised per expression (expressions are frozen, hashable
+trees), so the engine's shared-tick evaluator and the continuous-query
+processor compile each registered expression exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ExpressionError
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    SetExpression,
+    StreamRef,
+    UnionExpr,
+)
+
+__all__ = ["CompiledExpression", "compile_expression"]
+
+# Opcodes.  LOAD carries the stream name; FALLBACK carries a subtree that
+# is not one of the four core node types (user subclasses keep working —
+# the subtree's own boolean_mask is invoked as a single op).
+_LOAD, _OR, _AND, _DIFF, _FALLBACK = range(5)
+
+_SYMBOLS = {_OR: "OR", _AND: "AND", _DIFF: "DIFF"}
+
+
+@dataclass(frozen=True)
+class CompiledExpression:
+    """A set expression lowered to a postfix boolean program.
+
+    Obtained from :func:`compile_expression`; evaluate with
+    :meth:`evaluate` over the same per-stream mask mapping
+    :meth:`~repro.expr.ast.SetExpression.boolean_mask` takes.
+    """
+
+    source: SetExpression
+    ops: tuple[tuple[int, object], ...]
+    streams: frozenset[str]
+
+    def evaluate(self, masks: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Run the program; bit-identical to ``source.boolean_mask(masks)``.
+
+        Like ``boolean_mask``, the result may alias an input mask when
+        the expression is a bare stream reference — treat it as
+        read-only or combine it into a fresh array.
+        """
+        stack: list[tuple[np.ndarray, bool]] = []  # (mask, scratch-owned)
+        for opcode, operand in self.ops:
+            if opcode == _LOAD:
+                stack.append((np.asarray(masks[operand], dtype=bool), False))
+                continue
+            if opcode == _FALLBACK:
+                stack.append(
+                    (np.asarray(operand.boolean_mask(masks), dtype=bool), True)
+                )
+                continue
+            right, right_owned = stack.pop()
+            left, left_owned = stack.pop()
+            if opcode == _OR:
+                if left_owned:
+                    out = np.logical_or(left, right, out=left)
+                elif right_owned:
+                    out = np.logical_or(left, right, out=right)
+                else:
+                    out = np.logical_or(left, right)
+            elif opcode == _AND:
+                if left_owned:
+                    out = np.logical_and(left, right, out=left)
+                elif right_owned:
+                    out = np.logical_and(left, right, out=right)
+                else:
+                    out = np.logical_and(left, right)
+            else:  # _DIFF: left ∧ ¬right
+                if right_owned:
+                    np.logical_not(right, out=right)
+                    out = np.logical_and(left, right, out=right)
+                else:
+                    out = np.logical_not(right)
+                    np.logical_and(left, out, out=out)
+            stack.append((out, True))
+        if len(stack) != 1:  # pragma: no cover - compiler invariant
+            raise ExpressionError("corrupt compiled program")
+        return stack[0][0]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def as_text(self) -> str:
+        """Human-readable program listing (one op per line)."""
+        lines = []
+        for opcode, operand in self.ops:
+            if opcode == _LOAD:
+                lines.append(f"LOAD {operand}")
+            elif opcode == _FALLBACK:
+                lines.append(f"MASK {operand.to_text()}")
+            else:
+                lines.append(_SYMBOLS[opcode])
+        return "\n".join(lines)
+
+
+def _emit(node: SetExpression, ops: list[tuple[int, object]]) -> None:
+    if isinstance(node, StreamRef):
+        ops.append((_LOAD, node.name))
+    elif isinstance(node, UnionExpr):
+        _emit(node.left, ops)
+        _emit(node.right, ops)
+        ops.append((_OR, None))
+    elif isinstance(node, IntersectionExpr):
+        _emit(node.left, ops)
+        _emit(node.right, ops)
+        ops.append((_AND, None))
+    elif isinstance(node, DifferenceExpr):
+        _emit(node.left, ops)
+        _emit(node.right, ops)
+        ops.append((_DIFF, None))
+    else:
+        # Unknown node type (a user extension): evaluate its subtree via
+        # its own boolean_mask in one opaque op.
+        ops.append((_FALLBACK, node))
+
+
+@lru_cache(maxsize=1024)
+def _compile_cached(expression: SetExpression) -> CompiledExpression:
+    ops: list[tuple[int, object]] = []
+    _emit(expression, ops)
+    return CompiledExpression(
+        source=expression, ops=tuple(ops), streams=expression.streams()
+    )
+
+
+def compile_expression(expression: SetExpression) -> CompiledExpression:
+    """Lower an expression tree to a :class:`CompiledExpression`.
+
+    Memoised: repeated compilation of an equal tree (standing queries,
+    the engine's shared-tick evaluator) returns the cached program.
+    """
+    return _compile_cached(expression)

@@ -147,6 +147,9 @@ def _read_family(
     payload_path = directory / "streams" / _stream_file(manifest, name)
     if not payload_path.is_file():
         raise CheckpointError(f"missing sketch payload for stream {name!r}")
+    # from_bytes rebuilds the family's incremental per-level aggregates
+    # from the restored counters, so queries on a restored engine go
+    # straight to the maintained-totals fast path.
     return SketchFamily.from_bytes(payload_path.read_bytes(), spec)
 
 

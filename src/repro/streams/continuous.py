@@ -39,7 +39,14 @@ class Observation:
 
 @dataclass
 class StandingQuery:
-    """A registered continuous query and its observation history."""
+    """A registered continuous query and its observation history.
+
+    ``history`` and ``alerts`` are plain lists used as ring buffers: when
+    a log exceeds ``max_history`` entries the oldest are dropped, so a
+    query evaluated every few updates on an unbounded stream holds a
+    bounded tail of observations rather than growing without limit.
+    ``max_history=None`` disables trimming (the pre-existing behaviour).
+    """
 
     name: str
     expression: SetExpression
@@ -47,6 +54,7 @@ class StandingQuery:
     every: int
     threshold: float | None
     on_alert: Callable[["StandingQuery", Observation], None] | None
+    max_history: int | None = 10_000
     history: list[Observation] = field(default_factory=list)
     alerts: list[Observation] = field(default_factory=list)
 
@@ -58,6 +66,26 @@ class StandingQuery:
     def breached(self, observation: Observation) -> bool:
         """Whether an observation exceeds the query's alert threshold."""
         return self.threshold is not None and observation.value > self.threshold
+
+    def record(self, observation: Observation) -> bool:
+        """Append an observation (and any alert), trimming both logs.
+
+        Returns whether the observation breached the alert threshold; the
+        caller fires ``on_alert``.
+        """
+        self.history.append(observation)
+        self._trim(self.history)
+        alerted = self.breached(observation)
+        if alerted:
+            self.alerts.append(observation)
+            self._trim(self.alerts)
+        return alerted
+
+    def _trim(self, log: list[Observation]) -> None:
+        # Front-trim in place: history/alerts stay plain lists (cheap
+        # amortised, and list equality keeps working for callers/tests).
+        if self.max_history is not None and len(log) > self.max_history:
+            del log[: len(log) - self.max_history]
 
 
 class ContinuousQueryProcessor:
@@ -92,12 +120,18 @@ class ContinuousQueryProcessor:
         every: int = 10_000,
         threshold: float | None = None,
         on_alert: Callable[[StandingQuery, Observation], None] | None = None,
+        max_history: int | None = 10_000,
     ) -> StandingQuery:
         """Register a standing query evaluated every ``every`` updates.
 
         ``threshold``/``on_alert`` make it an alerting rule: when an
         observation exceeds the threshold, it is recorded in
         ``query.alerts`` and the callback (if any) fires.
+
+        ``max_history`` bounds the per-query observation and alert logs
+        (oldest entries dropped first).  The generous default keeps
+        long-running processors at a fixed footprint; pass ``None`` to
+        keep every observation.
         """
         if name in self._queries:
             raise ReproError(f"standing query {name!r} already registered")
@@ -105,6 +139,8 @@ class ContinuousQueryProcessor:
             raise ValueError("every must be positive")
         if not (0 < epsilon < 1):
             raise ValueError("epsilon must be in (0, 1)")
+        if max_history is not None and max_history < 1:
+            raise ValueError("max_history must be positive (or None)")
         if isinstance(expression, str):
             expression = parse(expression)
         query = StandingQuery(
@@ -114,6 +150,7 @@ class ContinuousQueryProcessor:
             every=every,
             threshold=threshold,
             on_alert=on_alert,
+            max_history=max_history,
         )
         self._queries[name] = query
         return query
@@ -132,12 +169,37 @@ class ContinuousQueryProcessor:
     # -- streaming ----------------------------------------------------------
 
     def process(self, update: Update) -> None:
-        """Feed one update; evaluate any queries whose cadence is due."""
+        """Feed one update; evaluate any queries whose cadence is due.
+
+        When several queries fall due on the same tick they are evaluated
+        through :meth:`~repro.streams.engine.StreamEngine.query_many`, so
+        queries over the same stream set share one union estimate and one
+        set of singleton/non-emptiness masks — results stay bit-identical
+        to evaluating each query alone.
+        """
         self.engine.process(update)
         position = self.engine.updates_processed
-        for query in self._queries.values():
-            if position % query.every == 0:
-                self._evaluate(query, position)
+        due = [
+            query
+            for query in self._queries.values()
+            if position % query.every == 0
+        ]
+        if not due:
+            return
+        if len(due) == 1:
+            self._evaluate(due[0], position)
+            return
+        # query_many shares work per stream set but takes one epsilon per
+        # call, so group the due queries by their target error first.
+        by_epsilon: dict[float, list[StandingQuery]] = {}
+        for query in due:
+            by_epsilon.setdefault(query.epsilon, []).append(query)
+        for epsilon, group in by_epsilon.items():
+            estimates = self.engine.query_many(
+                [query.expression for query in group], epsilon=epsilon
+            )
+            for query, estimate in zip(group, estimates):
+                self._record(query, estimate, position)
 
     def process_many(self, updates) -> None:
         """Feed a sequence of updates through :meth:`process`."""
@@ -152,10 +214,12 @@ class ContinuousQueryProcessor:
 
     def _evaluate(self, query: StandingQuery, position: int) -> Observation:
         estimate = self.engine.query(query.expression, query.epsilon)
+        return self._record(query, estimate, position)
+
+    def _record(
+        self, query: StandingQuery, estimate: WitnessEstimate, position: int
+    ) -> Observation:
         observation = Observation(at_update=position, estimate=estimate)
-        query.history.append(observation)
-        if query.breached(observation):
-            query.alerts.append(observation)
-            if query.on_alert is not None:
-                query.on_alert(query, observation)
+        if query.record(observation) and query.on_alert is not None:
+            query.on_alert(query, observation)
         return observation

@@ -14,17 +14,64 @@ seen once, in order, and never re-read.
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Iterable, Sequence
 
+from repro.core.checks import combined_singleton_union_mask, empty_mask
 from repro.core.expression import estimate_expression
-from repro.core.family import SketchFamily, SketchSpec
+from repro.core.family import SketchFamily, SketchSpec, check_same_coins
 from repro.core.results import UnionEstimate, WitnessEstimate
 from repro.core.union import estimate_union
+from repro.core.witness import choose_witness_level
+from repro.errors import EstimationError
 from repro.expr.ast import SetExpression
+from repro.expr.compile import compile_expression
 from repro.expr.parser import parse
+from repro.streams.stats import QueryStats
 from repro.streams.updates import Update
 
 __all__ = ["StreamEngine"]
+
+
+@lru_cache(maxsize=4096)
+def _expression_key_parts(expression: SetExpression):
+    """Memoised ``(canonical cells, streams)`` of an (immutable) expression.
+
+    Standing queries look up the same expression tree every tick; both
+    parts are pure functions of the tree, so they are computed once per
+    distinct expression, process-wide.
+    """
+    from repro.expr.optimize import canonical_cells
+
+    return canonical_cells(expression), expression.streams()
+
+
+@dataclass
+class _CacheEntry:
+    """One cached estimate plus the synopsis state it was derived from.
+
+    ``families``/``versions`` record each participating synopsis and its
+    version counter at compute time; ``prefix`` is the deepest union-scan
+    level the estimate consulted and ``[start, stop)`` the witness window
+    (empty for pure union entries).  The entry stays servable while every
+    family reports those levels clean since its recorded version — see
+    :meth:`repro.core.family.SketchFamily.levels_clean_since`.
+    """
+
+    result: object
+    position: int
+    families: tuple[SketchFamily, ...]
+    versions: tuple[int, ...]
+    prefix: int
+    start: int = 0
+    stop: int = 0
+
+    def is_clean(self) -> bool:
+        return all(
+            family.levels_clean_since(version, self.prefix, self.start, self.stop)
+            for family, version in zip(self.families, self.versions)
+        )
 
 
 class StreamEngine:
@@ -58,8 +105,15 @@ class StreamEngine:
         self._families: dict[str, SketchFamily] = {}
         self._buffers: dict[str, tuple[list[int], list[int]]] = {}
         self._updates_processed = 0
-        # (canonical cells, streams, epsilon, pool) -> (as-of position, estimate)
-        self._query_cache: dict[tuple, tuple[int, WitnessEstimate]] = {}
+        # (canonical cells, streams, epsilon, pool) -> _CacheEntry; entries
+        # carry per-family version/level dependencies so repeat queries
+        # revalidate in O(streams) instead of recomputing whenever *any*
+        # update arrived anywhere (see _CacheEntry).
+        self._query_cache: dict[tuple, _CacheEntry] = {}
+        # (sorted stream names, epsilon) -> _CacheEntry for union estimates;
+        # shared between query_union and the ε/3 sub-estimates of query().
+        self._union_cache: dict[tuple, _CacheEntry] = {}
+        self._query_stats = QueryStats()
 
     # -- ingest --------------------------------------------------------------
 
@@ -99,43 +153,128 @@ class StreamEngine:
         Repeat queries are served from a semantic cache: the key is the
         expression's canonical Venn-cell set, so equivalent spellings
         (``"A & B"`` vs ``"B & A"`` vs ``"A - (A - B)"``) share one entry.
-        Entries are invalidated as soon as any update has been processed
-        since they were computed.  ``use_cache=False`` bypasses it.
+        An entry records which sketch levels it consulted (the union-scan
+        prefix and the witness window) and each participating family's
+        version; it is served again — bit-identical, the estimators are
+        deterministic functions of those levels — until an update actually
+        dirties a consulted level of a participating stream.  Updates to
+        other streams, or to deeper levels, do not evict.
+        ``use_cache=False`` bypasses the cache entirely.
         """
         if isinstance(expression, str):
             expression = parse(expression)
         self.flush()
+        stats = self._query_stats
+        stats.queries += 1
 
-        from repro.expr.optimize import canonical_cells
-
-        key = (
-            canonical_cells(expression),
-            frozenset(expression.streams()),
-            epsilon,
-            pool_levels,
-        )
+        key = None
         if use_cache:
-            cached = self._query_cache.get(key)
-            if cached is not None and cached[0] == self._updates_processed:
-                return cached[1]
+            key = self._expression_key(expression, epsilon, pool_levels)
+            cached = self._cache_lookup(self._query_cache, key)
+            if cached is not None:
+                return cached.result
 
-        families = {
-            name: self._family(name) for name in expression.streams()
-        }
-        estimate = estimate_expression(
-            expression, families, epsilon, pool_levels=pool_levels
+        estimate, entry = self._evaluate_expression(
+            expression, epsilon, pool_levels, use_cache
         )
+        stats.recomputes += 1
         if use_cache:
-            self._query_cache[key] = (self._updates_processed, estimate)
+            self._query_cache[key] = entry
         return estimate
 
-    def query_union(
-        self, stream_names: Iterable[str], epsilon: float = 0.1
-    ) -> UnionEstimate:
-        """Estimate the distinct-element count of a union of streams."""
+    def query_many(
+        self,
+        expressions: Sequence[SetExpression | str],
+        epsilon: float = 0.1,
+        pool_levels: int = 1,
+        use_cache: bool = True,
+    ) -> list[WitnessEstimate]:
+        """Estimate many expressions in one shared evaluation pass.
+
+        Answers each expression exactly as :meth:`query` would —
+        bit-identical results, same cache — but expressions over the same
+        *stream set* share the expensive sub-steps: one union estimate,
+        one combined-singleton ``valid`` mask, and one set of per-stream
+        non-emptiness masks per group, with only the compiled Boolean
+        program evaluated per expression.  N standing queries over one
+        stream set cost one mask computation plus N vector ops instead of
+        N full evaluations.  This is the continuous-query tick path (see
+        :class:`repro.streams.continuous.ContinuousQueryProcessor`).
+        """
+        if not (0 < epsilon < 1):
+            raise ValueError("epsilon must be in (0, 1)")
+        if pool_levels < 1:
+            raise ValueError("pool_levels must be at least 1")
+        parsed = [
+            parse(expression) if isinstance(expression, str) else expression
+            for expression in expressions
+        ]
         self.flush()
-        families = [self._family(name) for name in stream_names]
-        return estimate_union(families, epsilon)
+        stats = self._query_stats
+        stats.queries += len(parsed)
+        stats.batch_queries += len(parsed)
+
+        results: list[WitnessEstimate | None] = [None] * len(parsed)
+        groups: dict[frozenset[str], list[tuple[int, SetExpression, tuple | None]]] = {}
+        pending: dict[tuple, int] = {}
+        aliases: list[tuple[int, int]] = []
+        for index, expression in enumerate(parsed):
+            key = None
+            if use_cache:
+                key = self._expression_key(expression, epsilon, pool_levels)
+                cached = self._cache_lookup(self._query_cache, key)
+                if cached is not None:
+                    results[index] = cached.result
+                    continue
+                if key in pending:
+                    # An equivalent spelling earlier in this batch — share
+                    # its evaluation, exactly as the cache would across
+                    # calls (B(E) is the same Boolean function, so the
+                    # result is bit-identical).
+                    aliases.append((index, pending[key]))
+                    continue
+                pending[key] = index
+            groups.setdefault(expression.streams(), []).append(
+                (index, expression, key)
+            )
+
+        for stream_set, members in groups.items():
+            stats.batch_groups += 1
+            estimates, entry_for = self._evaluate_group(
+                stream_set, [expr for _, expr, _ in members],
+                epsilon, pool_levels, use_cache,
+            )
+            stats.recomputes += len(members)
+            for (index, _, key), estimate in zip(members, estimates):
+                results[index] = estimate
+                if use_cache:
+                    self._query_cache[key] = entry_for(estimate)
+        for index, source in aliases:
+            stats.recomputes += 1
+            results[index] = results[source]
+        return results
+
+    def query_union(
+        self,
+        stream_names: Iterable[str],
+        epsilon: float = 0.1,
+        use_cache: bool = True,
+    ) -> UnionEstimate:
+        """Estimate the distinct-element count of a union of streams.
+
+        Served through the same version-revalidated cache as :meth:`query`
+        (an entry depends only on the union scan's level prefix); the
+        entry is shared with the ``ε/3`` union sub-estimates that
+        expression queries compute, in both directions.
+        """
+        self.flush()
+        stats = self._query_stats
+        stats.union_queries += 1
+        names = tuple(sorted(set(stream_names)))
+        if not names:
+            # Preserve the uncached error behaviour for an empty selection.
+            return estimate_union([], epsilon)
+        return self._union_for(names, epsilon, use_cache)
 
     def explain(self, expression: SetExpression | str, epsilon: float = 0.1):
         """Per-subexpression cardinality breakdown (one consistent scan).
@@ -184,6 +323,14 @@ class StreamEngine:
             return HashPlanStats()
         return plan_for(self.spec).stats()
 
+    def query_stats(self) -> QueryStats:
+        """Query-path counters: cache hits, revalidations, recomputes.
+
+        Returns a :class:`~repro.streams.stats.QueryStats` snapshot
+        (a copy; it does not keep counting).
+        """
+        return replace(self._query_stats)
+
     # -- checkpoint support -----------------------------------------------
 
     def adopt_family(self, stream: str, family: SketchFamily) -> None:
@@ -201,10 +348,11 @@ class StreamEngine:
             )
         self._families[stream] = family
         self._buffers.pop(stream, None)
-        # The synopsis changed without updates_processed moving, so cached
-        # estimates keyed on the old position would be served against the
-        # new state — drop them all.
+        # The synopsis *object* was replaced (its version counter restarts),
+        # so cached entries referencing the old family could revalidate
+        # against stale state — drop everything.
         self._query_cache.clear()
+        self._union_cache.clear()
 
     def mark_replayed(self, num_updates: int) -> None:
         """Record updates that were applied before this engine existed
@@ -214,6 +362,214 @@ class StreamEngine:
         self._updates_processed += num_updates
         if num_updates:
             self._query_cache.clear()
+            self._union_cache.clear()
+
+    # -- query internals -------------------------------------------------------
+
+    def _expression_key(
+        self, expression: SetExpression, epsilon: float, pool_levels: int
+    ) -> tuple:
+        cells, stream_set = _expression_key_parts(expression)
+        return (cells, stream_set, epsilon, pool_levels)
+
+    def _cache_lookup(
+        self, cache: dict[tuple, _CacheEntry], key: tuple, union: bool = False
+    ) -> _CacheEntry | None:
+        """A servable entry for ``key``, or None (a miss counts nothing).
+
+        Fast path: nothing at all was processed since the entry was stored.
+        Slow path: updates arrived, but every level the entry's estimate
+        consulted is still clean in every participating family — the
+        estimators are deterministic in those levels, so the stored result
+        is bit-identical to what a recompute would produce.
+        """
+        entry = cache.get(key)
+        if entry is None:
+            return None
+        stats = self._query_stats
+        if entry.position == self._updates_processed:
+            if union:
+                stats.union_cache_hits += 1
+            else:
+                stats.cache_hits += 1
+            return entry
+        if entry.is_clean():
+            entry.position = self._updates_processed
+            if union:
+                stats.union_revalidations += 1
+            else:
+                stats.revalidations += 1
+            return entry
+        return None
+
+    def _union_for(
+        self, names: tuple[str, ...], epsilon: float, use_cache: bool = True
+    ) -> UnionEstimate:
+        """Cached union estimate over ``names`` (a sorted tuple)."""
+        key = (names, epsilon)
+        if use_cache:
+            cached = self._cache_lookup(self._union_cache, key, union=True)
+            if cached is not None:
+                return cached.result
+        families = tuple(self._family(name) for name in names)
+        result = estimate_union(families, epsilon)
+        self._query_stats.union_recomputes += 1
+        if use_cache:
+            # The union scan consulted levels 0..result.level only (the
+            # saturated fallback reports the last level, covering the full
+            # scan), so that prefix is the entry's whole dependency.
+            self._union_cache[key] = _CacheEntry(
+                result=result,
+                position=self._updates_processed,
+                families=families,
+                versions=tuple(family.version for family in families),
+                prefix=result.level,
+            )
+        return result
+
+    def _evaluate_expression(
+        self,
+        expression: SetExpression,
+        epsilon: float,
+        pool_levels: int,
+        use_cache: bool,
+    ) -> tuple[WitnessEstimate, _CacheEntry]:
+        names = tuple(sorted(expression.streams()))
+        union = self._union_for(names, epsilon / 3.0, use_cache)
+        families = {name: self._family(name) for name in names}
+        estimate = estimate_expression(
+            expression,
+            families,
+            epsilon,
+            union_estimate=union,
+            pool_levels=pool_levels,
+        )
+        return estimate, self._witness_entry(names, union, estimate, pool_levels)
+
+    def _witness_entry(
+        self,
+        names: tuple[str, ...],
+        union: UnionEstimate,
+        estimate: WitnessEstimate,
+        pool_levels: int,
+    ) -> _CacheEntry:
+        families = tuple(self._family(name) for name in names)
+        if estimate.union_estimate <= 0.0:
+            # Empty-union early return: no witness slab was consulted.
+            start = stop = 0
+        else:
+            num_levels = families[0].shape.num_levels
+            start = estimate.level
+            stop = min(start + pool_levels, num_levels)
+        return _CacheEntry(
+            result=estimate,
+            position=self._updates_processed,
+            families=families,
+            versions=tuple(family.version for family in families),
+            prefix=union.level,
+            start=start,
+            stop=stop,
+        )
+
+    def _evaluate_group(
+        self,
+        stream_set: frozenset[str],
+        expressions: list[SetExpression],
+        epsilon: float,
+        pool_levels: int,
+        use_cache: bool,
+    ):
+        """Evaluate expressions over one stream set with shared sub-steps.
+
+        Replicates :func:`repro.core.witness.run_witness_estimator` /
+        :func:`repro.core.expression.estimate_expression` exactly — same
+        union sub-estimate, same level choice, same masks, same error —
+        but hoists everything expression-independent out of the per-query
+        loop.  Returns ``(estimates, entry_for)`` with ``entry_for`` a
+        factory producing the cache entry for each estimate.
+        """
+        names = tuple(sorted(stream_set))
+        families = [self._family(name) for name in names]
+        check_same_coins(*families)
+        union = self._union_for(names, epsilon / 3.0, use_cache)
+        union_value = float(union)
+        num_sketches = families[0].num_sketches
+
+        if union_value <= 0.0:
+            # All streams (estimated) empty; every expression over them is
+            # too — mirror run_witness_estimator's early return.
+            empty = WitnessEstimate(
+                value=0.0,
+                level=0,
+                union_estimate=union_value,
+                num_valid=0,
+                num_witnesses=0,
+                num_sketches=num_sketches,
+            )
+            estimates = [empty for _ in expressions]
+        else:
+            num_levels = families[0].shape.num_levels
+            level = choose_witness_level(union_value, epsilon, num_levels)
+            programs = [compile_expression(expr) for expr in expressions]
+            num_valid = 0
+            witness_counts = [0] * len(expressions)
+            for pooled in range(level, min(level + pool_levels, num_levels)):
+                slabs = [family.level_slab(pooled) for family in families]
+                valid = combined_singleton_union_mask(slabs)
+                num_valid += int(valid.sum())
+                # Restrict the per-stream masks to the valid sketches once:
+                # programs are elementwise, so evaluating on the compressed
+                # masks and summing equals summing ``witness & valid`` —
+                # one fewer vector op per query, on shorter arrays.
+                non_empty = {
+                    name: (~empty_mask(slab))[valid]
+                    for name, slab in zip(names, slabs)
+                }
+                for position, program in enumerate(programs):
+                    witness_counts[position] += int(
+                        program.evaluate(non_empty).sum()
+                    )
+            if num_valid == 0:
+                raise EstimationError(
+                    f"no sketch yielded a valid atomic observation at level "
+                    f"{level}; maintain more sketches (have {num_sketches})"
+                )
+            estimates = [
+                WitnessEstimate(
+                    value=(count / num_valid) * union_value,
+                    level=level,
+                    union_estimate=union_value,
+                    num_valid=num_valid,
+                    num_witnesses=count,
+                    num_sketches=num_sketches,
+                )
+                for count in witness_counts
+            ]
+
+        # Every member of the group consulted the same levels of the same
+        # families, so the dependency record is computed once and shared
+        # (tuples are immutable; each entry still tracks its own position).
+        family_tuple = tuple(families)
+        versions = tuple(family.version for family in families)
+        if union_value <= 0.0:
+            start = stop = 0
+        else:
+            start = level
+            stop = min(level + pool_levels, num_levels)
+        position_now = self._updates_processed
+
+        def entry_for(estimate: WitnessEstimate) -> _CacheEntry:
+            return _CacheEntry(
+                result=estimate,
+                position=position_now,
+                families=family_tuple,
+                versions=versions,
+                prefix=union.level,
+                start=start,
+                stop=stop,
+            )
+
+        return estimates, entry_for
 
     # -- internals ------------------------------------------------------------
 

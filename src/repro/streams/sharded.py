@@ -561,10 +561,20 @@ class ShardedEngine:
         )
 
     def query_union(
-        self, stream_names: Iterable[str], epsilon: float = 0.1
+        self,
+        stream_names: Iterable[str],
+        epsilon: float = 0.1,
+        use_cache: bool = True,
     ) -> UnionEstimate:
-        """Estimate the distinct-element count of a union of streams."""
-        return self._merged_engine().query_union(stream_names, epsilon)
+        """Estimate the distinct-element count of a union of streams.
+
+        The merged query engine is rebuilt (and its caches dropped) only
+        when shard state moved, so between ingest bursts repeat unions are
+        served from its version-revalidated cache like any other query.
+        """
+        return self._merged_engine().query_union(
+            stream_names, epsilon, use_cache=use_cache
+        )
 
     def explain(self, expression: SetExpression | str, epsilon: float = 0.1):
         """Per-subexpression cardinality breakdown over merged synopses."""
@@ -588,6 +598,15 @@ class ShardedEngine:
         tracking the engine once further updates arrive.
         """
         return self._merged_engine().family(stream)
+
+    def query_stats(self):
+        """Query-cache counters of the current merged query engine.
+
+        Returns a :class:`~repro.streams.stats.QueryStats` snapshot.  The
+        counters cover the *current* merged engine only — they restart
+        whenever shard state moves and the query facade is rebuilt.
+        """
+        return self._merged_engine().query_stats()
 
     def shard_families(self, stream: str) -> list[SketchFamily]:
         """Per-shard synopses for ``stream`` (flushed; empty shards skipped)."""

@@ -21,7 +21,57 @@ from dataclasses import dataclass, field
 
 from repro.core.plan import HashPlanStats
 
-__all__ = ["ShardStats", "IngestStats", "HashPlanStats"]
+__all__ = ["ShardStats", "IngestStats", "HashPlanStats", "QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Query-path counters of a :class:`~repro.streams.engine.StreamEngine`.
+
+    Answered expression queries split three ways:
+
+    * ``cache_hits`` — served from the semantic cache with no updates
+      processed since the entry was stored;
+    * ``revalidations`` — updates *were* processed, but every sketch level
+      the entry's estimate consulted was still clean in every
+      participating family, so the stored (bit-identical) result was
+      served after an O(streams) version check;
+    * ``recomputes`` — a full estimator run.
+
+    The ``union_*`` trio counts the same outcomes for union estimates
+    (both ``query_union`` calls and the ``ε/3`` sub-estimates of
+    expression queries).  ``batch_queries``/``batch_groups`` describe
+    :meth:`~repro.streams.engine.StreamEngine.query_many`: how many
+    queries went through the batch path and how many shared evaluation
+    groups (one per distinct stream set) they collapsed into.
+
+    Mutable by design — the engine counts in place and
+    :meth:`~repro.streams.engine.StreamEngine.query_stats` hands out
+    copies.
+    """
+
+    queries: int = 0
+    cache_hits: int = 0
+    revalidations: int = 0
+    recomputes: int = 0
+    union_queries: int = 0
+    union_cache_hits: int = 0
+    union_revalidations: int = 0
+    union_recomputes: int = 0
+    batch_queries: int = 0
+    batch_groups: int = 0
+
+    @property
+    def served_from_cache(self) -> int:
+        """Expression queries answered without an estimator run."""
+        return self.cache_hits + self.revalidations
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of expression queries answered from the cache."""
+        if self.queries == 0:
+            return 0.0
+        return self.served_from_cache / self.queries
 
 
 @dataclass(frozen=True)

@@ -145,6 +145,7 @@ class TestSaturation:
         # can never stop early and ends on the last level with
         # non_empty_fraction == 1.0.
         family.counters[:, :, 0, 0] = 1
+        family.refresh_aggregates()  # direct counter writes bypass bookkeeping
         return family
 
     def test_saturated_synopsis_returns_finite_estimate(self):

@@ -1,0 +1,142 @@
+"""Tests for the postfix expression compiler (bit-identity with the AST walk)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.expr.ast import (
+    DifferenceExpr,
+    IntersectionExpr,
+    SetExpression,
+    StreamRef,
+    UnionExpr,
+    streams,
+)
+from repro.expr.compile import compile_expression
+from repro.expr.parser import parse
+
+NAMES = ("A", "B", "C", "D")
+
+
+def random_expression(rng: np.random.Generator, depth: int) -> SetExpression:
+    if depth == 0 or rng.random() < 0.3:
+        return StreamRef(NAMES[rng.integers(len(NAMES))])
+    operator = [UnionExpr, IntersectionExpr, DifferenceExpr][rng.integers(3)]
+    return operator(
+        random_expression(rng, depth - 1), random_expression(rng, depth - 1)
+    )
+
+
+def random_masks(rng: np.random.Generator, size: int = 64):
+    return {name: rng.random(size) < 0.5 for name in NAMES}
+
+
+class TestBitIdentity:
+    def test_matches_boolean_mask_on_random_trees(self):
+        rng = np.random.default_rng(42)
+        for _ in range(200):
+            expression = random_expression(rng, 4)
+            masks = random_masks(rng)
+            np.testing.assert_array_equal(
+                compile_expression(expression).evaluate(masks),
+                expression.boolean_mask(masks),
+            )
+
+    def test_inputs_never_mutated(self):
+        rng = np.random.default_rng(43)
+        expression = parse("(A - B) & (C | (D - A))")
+        masks = random_masks(rng)
+        saved = {name: mask.copy() for name, mask in masks.items()}
+        compile_expression(expression).evaluate(masks)
+        for name in NAMES:
+            np.testing.assert_array_equal(masks[name], saved[name])
+
+    def test_bare_stream_aliases_input(self):
+        # Same no-copy semantics as StreamRef.boolean_mask (np.asarray).
+        mask = np.array([True, False, True])
+        result = compile_expression(StreamRef("A")).evaluate({"A": mask})
+        assert result is mask
+
+    def test_non_boolean_inputs_coerced(self):
+        expression = parse("A & B")
+        masks = {"A": np.array([1, 0, 2]), "B": np.array([1, 1, 0])}
+        np.testing.assert_array_equal(
+            compile_expression(expression).evaluate(masks),
+            np.array([True, False, False]),
+        )
+
+
+class TestProgramStructure:
+    def test_memoised_per_expression(self):
+        first = compile_expression(parse("A & (B - C)"))
+        second = compile_expression(parse("A & (B - C)"))
+        assert second is first
+
+    def test_distinct_operators_not_confused(self):
+        A, B = streams("A", "B")
+        assert compile_expression(A | B) is not compile_expression(A & B)
+        masks = {"A": np.array([True, False]), "B": np.array([False, False])}
+        np.testing.assert_array_equal(
+            compile_expression(A | B).evaluate(masks), [True, False]
+        )
+        np.testing.assert_array_equal(
+            compile_expression(A & B).evaluate(masks), [False, False]
+        )
+
+    def test_streams_and_length(self):
+        program = compile_expression(parse("(A - B) | C"))
+        assert program.streams == frozenset({"A", "B", "C"})
+        assert len(program) == 5  # three loads, one DIFF, one OR
+
+    def test_listing(self):
+        text = compile_expression(parse("(A - B) | C")).as_text()
+        assert text.splitlines() == ["LOAD A", "LOAD B", "DIFF", "LOAD C", "OR"]
+
+
+class TestFallback:
+    def test_unknown_node_delegates_to_boolean_mask(self):
+        class Complement(SetExpression):
+            """A node type the compiler has no opcode for."""
+
+            def __init__(self, inner):
+                self.inner = inner
+
+            def streams(self):
+                return self.inner.streams()
+
+            def evaluate(self, sets):  # pragma: no cover - unused
+                raise NotImplementedError
+
+            def boolean_mask(self, masks):
+                return ~self.inner.boolean_mask(masks)
+
+            def contains(self, membership):  # pragma: no cover - unused
+                raise NotImplementedError
+
+            def to_text(self):
+                return f"~{self.inner.to_text()}"
+
+            def __hash__(self):
+                return hash(("complement", self.inner))
+
+            def __eq__(self, other):
+                return (
+                    isinstance(other, Complement) and other.inner == self.inner
+                )
+
+        A, B = streams("A", "B")
+        expression = IntersectionExpr(A, Complement(B))
+        masks = {"A": np.array([True, True]), "B": np.array([True, False])}
+        np.testing.assert_array_equal(
+            compile_expression(expression).evaluate(masks),
+            expression.boolean_mask(masks),
+        )
+
+    def test_compiled_convenience_method(self):
+        expression = parse("A - B")
+        assert expression.compiled() is compile_expression(expression)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
