@@ -39,12 +39,14 @@ from repro.core import (
     recommend_spec,
 )
 from repro.errors import (
+    DeltaSequenceError,
     DomainError,
     EstimationError,
     ExpressionError,
     IllegalDeletionError,
     IncompatibleSketchesError,
     ReproError,
+    UnknownQueryError,
     UnknownStreamError,
 )
 from repro.core.intervals import ConfidenceInterval, witness_confidence_interval
@@ -103,5 +105,7 @@ __all__ = [
     "IllegalDeletionError",
     "IncompatibleSketchesError",
     "UnknownStreamError",
+    "UnknownQueryError",
+    "DeltaSequenceError",
     "__version__",
 ]

@@ -21,6 +21,12 @@ Subcommands cover the full life of a deployment:
 ``repro experiment``
     Regenerate the paper's figures (delegates to
     ``repro.experiments.run_all``).
+``repro serve``
+    Run the asyncio coordinator server: accept delta exports from sites
+    over TCP, fold them by sketch linearity, checkpoint periodically.
+``repro ship``
+    Replay an update log through a site client, shipping delta exports
+    to a running coordinator every N updates.
 
 Example session::
 
@@ -125,6 +131,45 @@ def build_parser() -> argparse.ArgumentParser:
     exact.add_argument(
         "--expression", action="append", required=True,
         help="may be given multiple times",
+    )
+
+    def add_spec_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--sketches", type=int, default=256)
+        sub.add_argument("--second-level", type=int, default=16)
+        sub.add_argument("--independence", type=int, default=8)
+        sub.add_argument("--domain-bits", type=int, default=30)
+        sub.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the delta-shipping coordinator server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9431)
+    add_spec_arguments(serve)
+    serve.add_argument(
+        "--checkpoint", type=pathlib.Path, default=None,
+        help="checkpoint directory; restored from on startup if it exists",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=100,
+        help="write a checkpoint every N applied deltas",
+    )
+    serve.add_argument(
+        "--max-deltas", type=int, default=None,
+        help="exit after N applied deltas (default: run until interrupted)",
+    )
+
+    ship = subparsers.add_parser(
+        "ship", help="replay an update log through a delta-shipping site"
+    )
+    ship.add_argument("--log", type=pathlib.Path, required=True)
+    ship.add_argument("--host", default="127.0.0.1")
+    ship.add_argument("--port", type=int, default=9431)
+    ship.add_argument("--site-id", required=True)
+    add_spec_arguments(ship)
+    ship.add_argument(
+        "--every", type=int, default=100_000,
+        help="updates observed between export rounds",
     )
 
     experiment = subparsers.add_parser(
@@ -296,6 +341,128 @@ def _command_exact(args: argparse.Namespace) -> int:
     return 0
 
 
+def _spec_from_args(args: argparse.Namespace):
+    from repro.core.family import SketchSpec
+    from repro.core.sketch import SketchShape
+
+    return SketchSpec(
+        num_sketches=args.sketches,
+        shape=SketchShape(
+            domain_bits=args.domain_bits,
+            num_second_level=args.second_level,
+            independence=args.independence,
+        ),
+        seed=args.seed,
+    )
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.streams.net.coordinator import CoordinatorServer
+
+    async def run() -> None:
+        # SIGINT/SIGTERM request a clean shutdown: final checkpoint,
+        # connections closed, stats printed.  (A backgrounded process
+        # may have SIGINT ignored by the shell; SIGTERM still works.)
+        stop_requested = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # platform without signals, or not the main thread
+        if args.checkpoint is not None and (
+            args.checkpoint / "manifest.json"
+        ).is_file():
+            server = CoordinatorServer.restore(
+                args.checkpoint,
+                host=args.host,
+                port=args.port,
+                checkpoint_every=args.checkpoint_every,
+            )
+            print(f"restored coordinator state from {args.checkpoint}")
+        else:
+            server = CoordinatorServer(
+                _spec_from_args(args),
+                host=args.host,
+                port=args.port,
+                checkpoint_dir=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+            )
+        await server.start()
+        print(f"coordinator listening on {server.host}:{server.port}")
+        try:
+            if args.max_deltas is None:
+                await stop_requested.wait()
+            else:
+                while (
+                    server.total_deltas_applied < args.max_deltas
+                    and not stop_requested.is_set()
+                ):
+                    await asyncio.sleep(0.02)
+        finally:
+            if args.checkpoint is not None:
+                server.checkpoint()
+            await server.stop()
+            for site_id, stats in sorted(server.stats().items()):
+                print(
+                    f"site {site_id}: {stats.deltas_applied} deltas applied, "
+                    f"{stats.duplicates_dropped} duplicates dropped, "
+                    f"{stats.bytes_received:,} bytes in"
+                )
+            streams = ", ".join(server.coordinator.stream_names()) or "<none>"
+            print(
+                f"served {server.total_deltas_applied} deltas over streams "
+                f"{streams}; {server.checkpoints_written} checkpoints"
+            )
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _command_ship(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.streams.net.site import SiteClient
+    from repro.streams.sources import load_updates, load_updates_csv
+
+    is_csv = ".csv" in args.log.suffixes
+    source = load_updates_csv(args.log) if is_csv else load_updates(args.log)
+
+    async def run() -> int:
+        client = SiteClient(
+            site_id=args.site_id,
+            spec=_spec_from_args(args),
+            host=args.host,
+            port=args.port,
+        )
+        count = rounds = 0
+        for update in source:
+            client.observe(update)
+            count += 1
+            if count % args.every == 0:
+                await client.ship()
+                rounds += 1
+        await client.ship()
+        rounds += 1
+        await client.close()
+        print(
+            f"site {args.site_id}: shipped {count:,} updates in {rounds} "
+            f"export rounds ({client.stats.bytes_sent:,} bytes, "
+            f"{client.stats.retries} retries, "
+            f"{client.stats.reconnects} reconnects)"
+        )
+        return count
+
+    asyncio.run(run())
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import main as run_all_main
 
@@ -313,6 +480,8 @@ _COMMANDS = {
     "simplify": _command_simplify,
     "exact": _command_exact,
     "experiment": _command_experiment,
+    "serve": _command_serve,
+    "ship": _command_ship,
 }
 
 

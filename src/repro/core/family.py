@@ -489,6 +489,31 @@ class SketchFamily:
         self._check_compatible(other)
         return SketchFamily(self.spec, self.counters + other.counters)
 
+    def diff_from(self, baseline: "SketchFamily") -> "SketchFamily":
+        """Family whose counters are ``self - baseline`` (a delta synopsis).
+
+        By linearity this is exactly the sketch of the updates applied
+        *after* ``baseline`` was snapshotted: adding the delta back into
+        the baseline (``merge_in_place``) reproduces ``self`` bit for
+        bit.  This is the export primitive of the distributed delta
+        protocol (:mod:`repro.streams.distributed`): sites ship counter
+        diffs since their last acknowledged export instead of cumulative
+        counters, which makes re-collection idempotent.  Delta counters
+        may be negative; that is fine — every combining operation is
+        plain int64 addition.
+        """
+        self._check_compatible(baseline)
+        return SketchFamily(self.spec, self.counters - baseline.counters)
+
+    def is_zero(self) -> bool:
+        """True iff every counter is exactly zero (an empty delta).
+
+        Stricter than :meth:`is_empty`, which checks the *net* item
+        count and can be zero for a non-trivial delta (e.g. one
+        insertion and one deletion of different elements).
+        """
+        return not self.counters.any()
+
     def merge_in_place(self, other: "SketchFamily") -> None:
         """Fold another family's counters into this one (coordinator combine).
 

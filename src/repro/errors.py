@@ -17,6 +17,8 @@ __all__ = [
     "EstimationError",
     "ExpressionError",
     "UnknownStreamError",
+    "UnknownQueryError",
+    "DeltaSequenceError",
 ]
 
 
@@ -62,3 +64,19 @@ class ExpressionError(ReproError, ValueError):
 
 class UnknownStreamError(ReproError, KeyError):
     """An expression referenced a stream id with no registered synopsis."""
+
+
+class UnknownQueryError(ReproError, KeyError):
+    """A standing-query name with no registration was referenced."""
+
+
+class DeltaSequenceError(ReproError, ValueError):
+    """A delta export arrived out of order (a sequence gap).
+
+    The distributed delta protocol numbers each site's exports with a
+    monotone sequence; the coordinator applies them in order so that a
+    lost export can never be silently skipped.  Duplicates (sequence at
+    or below the last applied one) are dropped idempotently — only a
+    *gap* raises, because applying the later delta without the missing
+    one would leave the merged synopsis short of updates.
+    """

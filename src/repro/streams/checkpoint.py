@@ -45,6 +45,7 @@ __all__ = [
     "restore_engine",
     "checkpoint_sharded_engine",
     "restore_sharded_engine",
+    "read_checkpoint_extra",
     "CheckpointError",
 ]
 
@@ -87,9 +88,22 @@ def _write_stream_payloads(streams_dir, named_payloads) -> dict[str, str]:
     return files
 
 
-def checkpoint_engine(engine: StreamEngine, directory: str | pathlib.Path) -> None:
+def checkpoint_engine(
+    engine: StreamEngine,
+    directory: str | pathlib.Path,
+    extra: dict | None = None,
+) -> None:
     """Write the engine's flushed state into ``directory`` (created if
-    needed; existing checkpoint files are overwritten)."""
+    needed; existing checkpoint files are overwritten).
+
+    ``extra`` is an optional JSON-serialisable mapping stored verbatim in
+    the manifest and returned by :func:`read_checkpoint_extra` — layers
+    above the engine (e.g. the network coordinator's per-site delta
+    sequence map, :mod:`repro.streams.net`) ride their fail-over metadata
+    along in the same atomic-enough unit as the counters they describe.
+    Restore functions ignore it, so checkpoints with extra metadata stay
+    readable by every existing consumer.
+    """
     directory = pathlib.Path(directory)
     streams_dir = directory / "streams"
     streams_dir.mkdir(parents=True, exist_ok=True)
@@ -108,7 +122,18 @@ def checkpoint_engine(engine: StreamEngine, directory: str | pathlib.Path) -> No
         "stream_files": files,
         "updates_processed": engine.updates_processed,
     }
+    if extra:
+        manifest["extra"] = dict(extra)
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+
+
+def read_checkpoint_extra(directory: str | pathlib.Path) -> dict:
+    """The ``extra`` metadata stored with a checkpoint (``{}`` if none)."""
+    manifest = _load_manifest(pathlib.Path(directory))
+    extra = manifest.get("extra", {})
+    if not isinstance(extra, dict):
+        raise CheckpointError("manifest 'extra' is not a mapping")
+    return extra
 
 
 def _load_manifest(directory: pathlib.Path) -> dict:

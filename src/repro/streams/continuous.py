@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.results import WitnessEstimate
-from repro.errors import ReproError
+from repro.errors import ReproError, UnknownQueryError
 from repro.expr.ast import SetExpression
 from repro.expr.parser import parse
 from repro.streams.engine import StreamEngine
@@ -156,7 +156,17 @@ class ContinuousQueryProcessor:
         return query
 
     def unregister(self, name: str) -> None:
-        """Remove a standing query (its history is discarded)."""
+        """Remove a standing query (its history is discarded).
+
+        Raises :class:`~repro.errors.ReproError` (also a ``KeyError``,
+        for callers that catch the builtin) naming the known queries
+        when ``name`` was never registered.
+        """
+        if name not in self._queries:
+            known = ", ".join(self.query_names()) or "<none>"
+            raise UnknownQueryError(
+                f"no standing query named {name!r}; registered queries: {known}"
+            )
         del self._queries[name]
 
     def query_names(self) -> list[str]:

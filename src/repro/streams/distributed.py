@@ -1,4 +1,4 @@
-"""The distributed-streams model with stored coins.
+"""The distributed-streams model with stored coins, on a delta protocol.
 
 The paper notes (Sections 1 and 4) that its estimators extend naturally to
 the distributed model of Gibbons and Tirthapura: each stream (or part of a
@@ -15,37 +15,113 @@ Two properties of the 2-level hash sketch make this work:
   *adding* the sites' counter arrays, because the sketch of a multiset sum
   is the entrywise sum of sketches.
 
+Earlier versions shipped each site's **cumulative** counters, which made
+collecting from the same site twice double-count every update seen before
+the first export.  Linearity offers the structural fix: a site now ships
+:class:`DeltaExport` objects — the counter *diff* since its previous
+export (:meth:`~repro.core.family.SketchFamily.diff_from`), tagged with
+the site id and a monotone sequence number.  The coordinator applies each
+``(site, sequence)`` at most once, in order, so
+
+* re-collecting (a retransmit, a retried RPC) is **idempotent** — the
+  duplicate is dropped, the merged synopsis is unchanged;
+* a **gap** (a lost export) is detected instead of silently skipped
+  (:class:`~repro.errors.DeltaSequenceError`);
+* sites **retain** un-acknowledged exports, so a coordinator that
+  restarted from a checkpoint can be re-synced from each site's last
+  acknowledged sequence (:meth:`StreamSite.exports_after`).
+
 :class:`StreamSite` plays the per-party observer; :class:`Coordinator`
-collects serialised synopses and answers set-expression queries.
+collects delta exports and answers set-expression queries.  Both are
+synchronous and in-process; :mod:`repro.streams.net` wraps the same
+protocol objects in an asyncio TCP transport.
 """
 
 from __future__ import annotations
 
+import uuid
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 from repro.core.expression import estimate_expression
 from repro.core.family import SketchFamily, SketchSpec
 from repro.core.results import UnionEstimate, WitnessEstimate
 from repro.core.union import estimate_union
+from repro.errors import DeltaSequenceError, UnknownStreamError
 from repro.expr.ast import SetExpression
+from repro.expr.parser import parse
 from repro.streams.engine import StreamEngine
 from repro.streams.updates import Update
 
-__all__ = ["StreamSite", "Coordinator"]
+__all__ = ["DeltaExport", "StreamSite", "Coordinator"]
+
+
+@dataclass(frozen=True)
+class DeltaExport:
+    """One site's shippable unit: counter deltas since its previous export.
+
+    ``payloads`` maps stream name to the serialised *delta* counters
+    (:meth:`~repro.core.family.SketchFamily.to_bytes` of the diff family);
+    streams whose counters did not change since the previous export are
+    omitted.  ``sequence`` starts at 1 and increases by exactly one per
+    :meth:`StreamSite.export` call, which is what makes retransmits
+    detectable (and droppable) at the coordinator.  ``incarnation``
+    scopes the numbering to one lifetime of the exporting site process:
+    a restarted site starts a fresh incarnation (and fresh counters), so
+    its sequence 1 can never be confused with — or dropped as a
+    duplicate of — a previous life's.
+    """
+
+    site_id: str
+    sequence: int
+    payloads: Mapping[str, bytes] = field(default_factory=dict)
+    incarnation: str = ""
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the export carries no counter changes."""
+        return not self.payloads
+
+    def payload_bytes(self) -> int:
+        """Total serialised counter bytes in this export."""
+        return sum(len(payload) for payload in self.payloads.values())
 
 
 class StreamSite:
     """One observing party: summarises its local share of the streams.
 
     A thin wrapper over :class:`StreamEngine` that adds the ship-to-
-    coordinator step: :meth:`export` serialises every locally maintained
-    synopsis (counters only — the coins are shared via the spec).
+    coordinator step.  :meth:`export` serialises the counter *delta* of
+    every locally maintained synopsis since the previous export (the
+    coins are shared via the spec, so only counters travel) and retains
+    the export until :meth:`acknowledge` confirms the coordinator has it
+    durably — a restarted coordinator re-syncs from the retained tail.
     """
 
-    def __init__(self, site_id: str, spec: SketchSpec) -> None:
+    def __init__(
+        self,
+        site_id: str,
+        spec: SketchSpec,
+        *,
+        incarnation: str | None = None,
+    ) -> None:
         self.site_id = site_id
         self.spec = spec
+        # One lifetime of this site process.  Sequence numbers are scoped
+        # to it: a restarted site (fresh counters, sequence back at 0)
+        # gets a fresh incarnation, so the coordinator can tell its new
+        # exports from a previous life's numbering instead of silently
+        # dropping them as duplicates.
+        self.incarnation = incarnation or uuid.uuid4().hex
         self._engine = StreamEngine(spec)
+        self._sequence = 0
+        # Counter snapshots as of the last export, per stream; the next
+        # export diffs against these, so consecutive exports never overlap.
+        self._shipped: dict[str, SketchFamily] = {}
+        # sequence -> export, kept until acknowledged (fail-over replay).
+        self._retained: dict[int, DeltaExport] = {}
+
+    # -- observing ---------------------------------------------------------
 
     def observe(self, update: Update) -> None:
         """Observe one local update tuple."""
@@ -55,61 +131,230 @@ class StreamSite:
         """Observe a sequence of local updates."""
         self._engine.process_many(updates)
 
-    def export(self) -> dict[str, bytes]:
-        """Serialised synopses, one payload per locally seen stream."""
-        self._engine.flush()
-        return {
-            name: self._engine.family(name).to_bytes()
-            for name in self._engine.stream_names()
-        }
+    @property
+    def updates_observed(self) -> int:
+        return self._engine.updates_processed
+
+    # -- delta export ------------------------------------------------------
+
+    @property
+    def sequence(self) -> int:
+        """Sequence number of the most recent export (0 before any)."""
+        return self._sequence
+
+    def export(self) -> DeltaExport:
+        """Ship-ready delta: counter diffs since the previous export.
+
+        Always advances the sequence, even when no counters changed (an
+        empty export) — the coordinator's in-order check relies on the
+        numbering having no holes.  The export is retained until
+        :meth:`acknowledge`.
+        """
+        payloads: dict[str, bytes] = {}
+        for name, family in self._engine.families().items():
+            baseline = self._shipped.get(name)
+            delta = family if baseline is None else family.diff_from(baseline)
+            if delta.is_zero():
+                continue
+            payloads[name] = delta.to_bytes()
+            self._shipped[name] = family.copy()
+        self._sequence += 1
+        export = DeltaExport(
+            self.site_id, self._sequence, payloads, self.incarnation
+        )
+        self._retained[export.sequence] = export
+        return export
+
+    def acknowledge(self, sequence: int) -> None:
+        """Drop retained exports up to and including ``sequence``.
+
+        Call with the sequence the coordinator has *durably* applied
+        (folded and checkpointed, for the network transport; simply
+        applied, for in-process use).  Exports above ``sequence`` stay
+        available for :meth:`exports_after` re-sync.
+        """
+        for retained in [seq for seq in self._retained if seq <= sequence]:
+            del self._retained[retained]
+
+    def exports_after(self, sequence: int) -> list[DeltaExport]:
+        """Retained exports with a sequence above ``sequence``, in order.
+
+        The re-sync path: a coordinator that greets the site with its
+        last applied sequence gets every retained export it has not
+        seen, oldest first.
+        """
+        return [
+            self._retained[seq]
+            for seq in sorted(self._retained)
+            if seq > sequence
+        ]
+
+    @property
+    def retained_exports(self) -> int:
+        """How many exports are held for potential re-delivery."""
+        return len(self._retained)
 
 
 class Coordinator:
-    """Central site: merges site synopses and answers cardinality queries."""
+    """Central site: merges delta exports and answers cardinality queries."""
 
     def __init__(self, spec: SketchSpec) -> None:
         self.spec = spec
         self._families: dict[str, SketchFamily] = {}
-        self._sites_collected = 0
+        # site id -> incarnation -> last applied sequence.  Sequences are
+        # scoped to one lifetime of a site process; keeping the history
+        # per incarnation means a site id that restarts (or even
+        # alternates between two lives) can never have an export dropped
+        # as another life's duplicate, nor replayed twice.
+        self._applied: dict[str, dict[str, int]] = {}
+        # site id -> incarnation that most recently applied an export.
+        self._current: dict[str, str] = {}
+        self._collects_applied = 0
+        self._duplicates_dropped = 0
 
-    def collect(self, payloads: Mapping[str, bytes]) -> None:
-        """Fold one site's exported synopses into the global ones.
+    # -- collection --------------------------------------------------------
+
+    def collect(self, export: DeltaExport) -> bool:
+        """Fold one site's delta export into the global synopses.
+
+        Returns ``True`` when the export was applied, ``False`` when it
+        was a duplicate (sequence at or below the site's last applied
+        one) and therefore dropped — collecting the same export any
+        number of times leaves the merged state identical.  A sequence
+        *gap* raises :class:`~repro.errors.DeltaSequenceError`: applying
+        it would silently lose the missing exports' updates.
 
         A stream observed at several sites ends up with the sum of the
-        sites' sketches — by linearity, exactly the sketch of the full
+        sites' deltas — by linearity, exactly the sketch of the full
         stream.
         """
-        for stream, payload in payloads.items():
+        last = self.applied_sequence(export.site_id, export.incarnation)
+        if export.sequence <= last:
+            self._duplicates_dropped += 1
+            return False
+        if export.sequence != last + 1:
+            raise DeltaSequenceError(
+                f"site {export.site_id!r} shipped export sequence "
+                f"{export.sequence} but the last applied one is {last}; "
+                f"exports {last + 1}..{export.sequence - 1} are missing "
+                f"(re-sync the site before collecting further)"
+            )
+        for stream, payload in export.payloads.items():
             incoming = SketchFamily.from_bytes(payload, self.spec)
             if stream in self._families:
                 self._families[stream].merge_in_place(incoming)
             else:
                 self._families[stream] = incoming
-        self._sites_collected += 1
+        site_history = self._applied.setdefault(export.site_id, {})
+        site_history[export.incarnation] = export.sequence
+        self._current[export.site_id] = export.incarnation
+        self._collects_applied += 1
+        return True
 
     def collect_from(self, site: StreamSite) -> None:
-        """Convenience: export from a site object and collect."""
+        """Convenience: export from a site object, collect, acknowledge."""
         self.collect(site.export())
+        site.acknowledge(
+            self.applied_sequence(site.site_id, site.incarnation)
+        )
+
+    def applied_sequence(
+        self, site_id: str, incarnation: str | None = None
+    ) -> int:
+        """The last applied export sequence for ``site_id`` (0 if none).
+
+        Sequences are per incarnation (one lifetime of the site
+        process); ``incarnation=None`` reads the one that most recently
+        applied an export.
+        """
+        history = self._applied.get(site_id, {})
+        if incarnation is None:
+            incarnation = self._current.get(site_id, "")
+        return history.get(incarnation, 0)
+
+    def site_sequences(self) -> dict[str, dict[str, int]]:
+        """``site id -> incarnation -> last applied sequence``.
+
+        The full per-incarnation history — this is what rides in
+        checkpoint metadata, so a restored coordinator can answer any
+        returning incarnation with the right resume point.
+        """
+        return {site: dict(history) for site, history in self._applied.items()}
 
     @property
     def sites_collected(self) -> int:
-        return self._sites_collected
+        """How many delta exports have been applied (duplicates excluded)."""
+        return self._collects_applied
+
+    @property
+    def duplicates_dropped(self) -> int:
+        """How many duplicate exports were dropped idempotently."""
+        return self._duplicates_dropped
+
+    # -- restore (fail-over) ----------------------------------------------
+
+    def adopt_family(self, stream: str, family: SketchFamily) -> None:
+        """Install a pre-merged synopsis for ``stream`` (restore path)."""
+        if family.spec != self.spec:
+            from repro.errors import IncompatibleSketchesError
+
+            raise IncompatibleSketchesError(
+                "adopted family does not follow the coordinator's SketchSpec"
+            )
+        self._families[stream] = family
+
+    def set_applied_sequence(
+        self, site_id: str, incarnation: str, sequence: int
+    ) -> None:
+        """Restore one incarnation's last applied sequence (fail-over)."""
+        if sequence < 0:
+            raise ValueError("sequence must be non-negative")
+        self._applied.setdefault(site_id, {})[incarnation] = sequence
+        current = self.applied_sequence(site_id)
+        if sequence >= current:
+            self._current[site_id] = incarnation
+
+    # -- queries -----------------------------------------------------------
 
     def stream_names(self) -> list[str]:
         """Streams with a merged synopsis at the coordinator."""
         return sorted(self._families)
 
+    def _require_streams(self, names: Iterable[str]) -> None:
+        missing = sorted(set(names) - set(self._families))
+        if missing:
+            known = ", ".join(self.stream_names()) or "<none>"
+            raise UnknownStreamError(
+                f"no synopsis collected for stream(s) "
+                f"{', '.join(repr(name) for name in missing)}; "
+                f"known streams: {known}"
+            )
+
     def query(
         self, expression: SetExpression | str, epsilon: float = 0.1
     ) -> WitnessEstimate:
-        """Estimate ``|E|`` over the merged global synopses."""
+        """Estimate ``|E|`` over the merged global synopses.
+
+        Raises :class:`~repro.errors.UnknownStreamError` (naming the
+        missing stream and listing the known ones) when the expression
+        references a stream no site has shipped yet.
+        """
+        if isinstance(expression, str):
+            expression = parse(expression)
+        self._require_streams(expression.streams())
         return estimate_expression(expression, self._families, epsilon)
 
     def query_union(
         self, stream_names: Iterable[str], epsilon: float = 0.1
     ) -> UnionEstimate:
-        """Estimate the distinct-element count of a union of streams."""
-        families = [self._families[name] for name in stream_names]
+        """Estimate the distinct-element count of a union of streams.
+
+        Raises :class:`~repro.errors.UnknownStreamError` for stream
+        names without a collected synopsis.
+        """
+        names = list(stream_names)
+        self._require_streams(names)
+        families = [self._families[name] for name in names]
         return estimate_union(families, epsilon)
 
     def to_engine(self, batch_size: int = 4096) -> StreamEngine:

@@ -304,6 +304,18 @@ class StreamEngine:
         self._flush_stream(stream)
         return self._family(stream)
 
+    def families(self) -> dict[str, SketchFamily]:
+        """Flushed ``stream -> synopsis`` mapping (live objects).
+
+        The returned families share storage with the engine — they are
+        the maintained synopses themselves, not copies.  This is the
+        hand-off surface for checkpointing, delta export
+        (:class:`~repro.streams.distributed.StreamSite`), and
+        coordinator restore.
+        """
+        self.flush()
+        return {name: self._family(name) for name in self.stream_names()}
+
     def synopsis_bytes(self) -> int:
         """Total size of all maintained counter arrays, in bytes."""
         return sum(family.counters.nbytes for family in self._families.values())

@@ -1,0 +1,39 @@
+"""Asyncio network transport for the distributed delta protocol.
+
+The distributed stored-coins model (:mod:`repro.streams.distributed`)
+moved sites onto delta exports — counter diffs since the last export,
+tagged with a site id and a monotone sequence.  This package puts those
+exports on the wire:
+
+* :mod:`~repro.streams.net.protocol` — length-framed messages (a JSON
+  header plus raw counter blobs) and the asyncio read/write helpers;
+* :mod:`~repro.streams.net.coordinator` —
+  :class:`~repro.streams.net.coordinator.CoordinatorServer`, an asyncio
+  TCP server that folds incoming deltas into a live
+  :class:`~repro.streams.distributed.Coordinator` by sketch linearity,
+  periodically checkpoints (counters plus the per-site sequence map)
+  through :mod:`repro.streams.checkpoint`, and re-syncs reconnecting
+  sites from their last applied sequence;
+* :mod:`~repro.streams.net.site` —
+  :class:`~repro.streams.net.site.SiteClient`, the shipping side:
+  connect/send timeouts, bounded exponential backoff with jitter,
+  reconnection, and retained-export replay.
+
+Because exports are idempotent (sequence-tagged deltas), every failure
+mode — duplicate delivery, dropped connection mid-frame, coordinator
+restart from a checkpoint — converges to the same merged synopses an
+unfailed run produces, bit for bit.  This container's single core means
+the design goal is *concurrency* (many sites overlapping I/O on one
+event loop), not parallel speedup.
+"""
+
+from repro.streams.net.coordinator import CoordinatorServer
+from repro.streams.net.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.streams.net.site import SiteClient
+
+__all__ = [
+    "CoordinatorServer",
+    "SiteClient",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+]

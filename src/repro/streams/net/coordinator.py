@@ -1,0 +1,353 @@
+"""Asyncio coordinator server: folds shipped deltas, checkpoints, re-syncs.
+
+:class:`CoordinatorServer` is the network face of
+:class:`~repro.streams.distributed.Coordinator`.  Each connected site
+speaks the framed protocol of :mod:`repro.streams.net.protocol`:
+
+1. The site says ``hello``; the server answers ``welcome`` carrying the
+   site's last *applied* sequence and last *durable* (checkpoint-covered)
+   sequence.  The site re-ships everything newer — so a server restarted
+   from a checkpoint is transparently re-synced by its sites.
+2. Each ``delta`` frame is folded into the coordinator by sketch
+   linearity.  Duplicates (retransmits after a lost ack) are dropped
+   idempotently; a sequence gap is answered with the current applied
+   sequence so the site rewinds.  Either way the server acks with the
+   applied/durable pair.
+3. Every ``checkpoint_every`` applied deltas the merged synopses plus
+   the per-site sequence map are written through
+   :func:`~repro.streams.checkpoint.checkpoint_engine`; acks then carry
+   the new durable sequences, letting sites prune their retained tails.
+
+The server runs every site on one event loop — concurrency, not
+parallelism — and all state mutation happens between ``await`` points of
+a single-threaded loop, so no locks are needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+
+from repro.core.family import SketchSpec
+from repro.streams.checkpoint import (
+    checkpoint_engine,
+    read_checkpoint_extra,
+    restore_engine,
+)
+from repro.streams.distributed import Coordinator, DeltaExport
+from repro.streams.net import protocol
+from repro.streams.stats import TransportStats
+
+__all__ = ["CoordinatorServer"]
+
+_SITE_SEQUENCES_KEY = "site_sequences"
+
+
+class CoordinatorServer:
+    """TCP server feeding a :class:`~repro.streams.distributed.Coordinator`.
+
+    Parameters
+    ----------
+    spec:
+        Sketch recipe shared with every site ("stored coins").  Ignored
+        when ``coordinator`` is given.
+    coordinator:
+        An existing coordinator to serve (the restore path); by default
+        a fresh one is built from ``spec``.
+    host, port:
+        Bind address.  ``port=0`` picks a free port — read it back from
+        :attr:`port` after :meth:`start`.
+    checkpoint_dir:
+        Directory for periodic checkpoints (fail-over state).  ``None``
+        disables checkpointing; acks then report every applied delta as
+        durable, since there is no restart to replay for.
+    checkpoint_every:
+        Write a checkpoint after this many applied deltas (0 = only
+        explicit :meth:`checkpoint` calls).
+    """
+
+    def __init__(
+        self,
+        spec: SketchSpec | None = None,
+        *,
+        coordinator: Coordinator | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_dir: str | pathlib.Path | None = None,
+        checkpoint_every: int = 0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        if coordinator is None:
+            if spec is None:
+                raise ValueError("need a SketchSpec or a Coordinator")
+            coordinator = Coordinator(spec)
+        self.coordinator = coordinator
+        self._host = host
+        self._port = port
+        self._checkpoint_dir = (
+            pathlib.Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        self._checkpoint_every = checkpoint_every
+        self._max_frame_bytes = max_frame_bytes
+        self._server: asyncio.AbstractServer | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._stats: dict[str, TransportStats] = {}
+        # site id -> incarnation -> last sequence covered by a written
+        # checkpoint.
+        self._durable: dict[str, dict[str, int]] = {}
+        self._applied_since_checkpoint = 0
+        self._checkpoints_written = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_dir: str | pathlib.Path,
+        **kwargs,
+    ) -> "CoordinatorServer":
+        """Rebuild a server from a checkpoint written by a previous run.
+
+        The merged synopses come back through
+        :func:`~repro.streams.checkpoint.restore_engine`; the per-site
+        applied sequences come from the checkpoint's extra metadata, so
+        reconnecting sites are greeted with exactly the sequence the
+        restored state covers and re-ship everything newer.
+        """
+        engine = restore_engine(checkpoint_dir)
+        coordinator = Coordinator(engine.spec)
+        for name, family in engine.families().items():
+            coordinator.adopt_family(name, family)
+        sequences = read_checkpoint_extra(checkpoint_dir).get(
+            _SITE_SEQUENCES_KEY, {}
+        )
+        for site_id, history in sequences.items():
+            for incarnation, sequence in history.items():
+                coordinator.set_applied_sequence(
+                    str(site_id), str(incarnation), int(sequence)
+                )
+        server = cls(
+            coordinator=coordinator, checkpoint_dir=checkpoint_dir, **kwargs
+        )
+        server._durable = {
+            str(site_id): {
+                str(incarnation): int(sequence)
+                for incarnation, sequence in history.items()
+            }
+            for site_id, history in sequences.items()
+        }
+        return server
+
+    async def start(self) -> None:
+        """Bind and start accepting site connections."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting, drop live connections, and close the server."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._handlers.clear()
+
+    async def __aenter__(self) -> "CoordinatorServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when ``port=0``)."""
+        return self._port
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, TransportStats]:
+        """Per-site transport counters (point-in-time copies)."""
+        return {
+            site_id: stats.snapshot() for site_id, stats in self._stats.items()
+        }
+
+    @property
+    def total_deltas_applied(self) -> int:
+        return self.coordinator.sites_collected
+
+    @property
+    def checkpoints_written(self) -> int:
+        return self._checkpoints_written
+
+    # -- queries (pass-through) -------------------------------------------
+
+    def query(self, expression, epsilon: float = 0.1):
+        return self.coordinator.query(expression, epsilon)
+
+    def query_union(self, stream_names, epsilon: float = 0.1):
+        return self.coordinator.query_union(stream_names, epsilon)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write the merged state plus the per-site sequence map now."""
+        if self._checkpoint_dir is None:
+            raise ValueError("no checkpoint_dir configured")
+        sequences = self.coordinator.site_sequences()
+        checkpoint_engine(
+            self.coordinator.to_engine(),
+            self._checkpoint_dir,
+            extra={_SITE_SEQUENCES_KEY: sequences},
+        )
+        self._durable = {
+            site: dict(history) for site, history in sequences.items()
+        }
+        self._applied_since_checkpoint = 0
+        self._checkpoints_written += 1
+        for stats in self._stats.values():
+            stats.checkpoints_written += 1
+
+    def _durable_for(self, site_id: str, incarnation: str) -> int:
+        if self._checkpoint_dir is None:
+            # Nothing to restart from, so applied == durable: sites may
+            # prune immediately instead of retaining forever.
+            return self.coordinator.applied_sequence(site_id, incarnation)
+        return self._durable.get(site_id, {}).get(incarnation, 0)
+
+    def _maybe_checkpoint(self) -> None:
+        if self._checkpoint_dir is None or self._checkpoint_every == 0:
+            return
+        if self._applied_since_checkpoint >= self._checkpoint_every:
+            self.checkpoint()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            await self._serve_site(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            asyncio.CancelledError,
+        ):
+            # Dropped connection (possibly mid-frame): nothing was
+            # applied for the partial message — frames are decoded in
+            # full before any state changes — so the site simply
+            # reconnects and re-syncs.
+            pass
+        except protocol.ProtocolError as exc:
+            await self._send_error(writer, str(exc))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_site(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        header, _, nbytes = await protocol.read_message(
+            reader, self._max_frame_bytes
+        )
+        if header.get("type") != "hello":
+            raise protocol.ProtocolError(
+                f"expected hello, got {header.get('type')!r}"
+            )
+        if header.get("version") != protocol.PROTOCOL_VERSION:
+            raise protocol.ProtocolError(
+                f"protocol version {header.get('version')!r} not supported "
+                f"(this server speaks {protocol.PROTOCOL_VERSION})"
+            )
+        site_id = header.get("site_id")
+        if not isinstance(site_id, str) or not site_id:
+            raise protocol.ProtocolError("hello carries no usable site_id")
+        incarnation = header.get("incarnation")
+        if not isinstance(incarnation, str) or not incarnation:
+            raise protocol.ProtocolError("hello carries no usable incarnation")
+        stats = self._stats.setdefault(site_id, TransportStats(site_id=site_id))
+        stats.frames_received += 1
+        stats.bytes_received += nbytes
+        applied = self.coordinator.applied_sequence(site_id, incarnation)
+        stats.bytes_sent += await protocol.write_message(
+            writer,
+            protocol.welcome_message(
+                applied, self._durable_for(site_id, incarnation)
+            ),
+        )
+        stats.frames_sent += 1
+        stats.resyncs += 1
+
+        while True:
+            header, blobs, nbytes = await protocol.read_message(
+                reader, self._max_frame_bytes
+            )
+            stats.frames_received += 1
+            stats.bytes_received += nbytes
+            if header.get("type") != "delta":
+                raise protocol.ProtocolError(
+                    f"expected delta, got {header.get('type')!r}"
+                )
+            export = protocol.export_from_message(header, blobs)
+            if export.site_id != site_id or export.incarnation != incarnation:
+                raise protocol.ProtocolError(
+                    f"delta for site {export.site_id!r} "
+                    f"(incarnation {export.incarnation!r}) on a connection "
+                    f"that said hello as {site_id!r} ({incarnation!r})"
+                )
+            self._apply(export, stats)
+            stats.bytes_sent += await protocol.write_message(
+                writer,
+                protocol.ack_message(
+                    self.coordinator.applied_sequence(site_id, incarnation),
+                    self._durable_for(site_id, incarnation),
+                ),
+            )
+            stats.frames_sent += 1
+
+    def _apply(self, export: DeltaExport, stats: TransportStats) -> None:
+        from repro.errors import DeltaSequenceError
+
+        try:
+            applied = self.coordinator.collect(export)
+        except DeltaSequenceError:
+            # A gap: the ack below carries the coordinator's actual
+            # applied sequence and the site rewinds from there.
+            return
+        if applied:
+            stats.deltas_applied += 1
+            self._applied_since_checkpoint += 1
+            self._maybe_checkpoint()
+        else:
+            stats.duplicates_dropped += 1
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, message: str
+    ) -> None:
+        try:
+            await protocol.write_message(
+                writer, protocol.error_message(message)
+            )
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,215 @@
+"""Length-framed wire protocol for shipping delta exports over TCP.
+
+Every message travels as one frame::
+
+    u32 frame_length | frame
+
+    frame := u32 header_length | header (UTF-8 JSON) | blob*
+
+The header is a small JSON object with a ``type`` field; binary counter
+payloads ride as raw blobs after the header, their lengths listed in the
+header's ``blobs`` array (in order).  Keeping counters out of the JSON
+avoids base64 inflation — a delta export's payload bytes go on the wire
+exactly as :meth:`~repro.core.family.SketchFamily.to_bytes` produced
+them.
+
+Message types
+-------------
+
+``hello``   (site → coordinator): ``site_id``, ``version``.  First frame
+            on every connection.
+``welcome`` (coordinator → site): ``sequence`` (last applied for the
+            site), ``durable`` (last checkpoint-covered).  The site
+            prunes retained exports ≤ ``durable`` and re-ships every
+            retained export > ``sequence`` — the re-sync that makes
+            coordinator fail-over transparent.
+``delta``   (site → coordinator): ``site_id``, ``sequence``,
+            ``streams`` (names, in blob order); blobs are the delta
+            counter payloads.
+``ack``     (coordinator → site): ``sequence`` (the site's last applied
+            sequence *after* handling the frame), ``durable``.  An ack
+            whose ``sequence`` is below the just-shipped export signals
+            a gap; the site rewinds and re-ships from ``sequence``.
+``error``   (either direction): ``message``; the connection closes.
+
+All integers are big-endian.  Frames above ``max_bytes`` (default
+64 MiB) are rejected before allocation — a garbage length prefix cannot
+make either endpoint swallow gigabytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.streams.distributed import DeltaExport
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_message",
+    "decode_message",
+    "read_message",
+    "write_message",
+    "hello_message",
+    "welcome_message",
+    "delta_message",
+    "ack_message",
+    "error_message",
+    "export_from_message",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Default refusal threshold for a single frame.  Far above any sane
+#: delta (a 512-sketch, 16-column synopsis is ~4 MiB per stream) but
+#: small enough that a corrupt length prefix fails fast.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(ReproError, ValueError):
+    """A frame or message violated the wire protocol."""
+
+
+# -- message encoding ---------------------------------------------------------
+
+
+def encode_message(header: dict, blobs: Sequence[bytes] = ()) -> bytes:
+    """Serialise ``header`` plus binary ``blobs`` into one frame payload."""
+    head = dict(header)
+    head["blobs"] = [len(blob) for blob in blobs]
+    header_bytes = json.dumps(head, separators=(",", ":")).encode("utf-8")
+    return b"".join(
+        [_LENGTH.pack(len(header_bytes)), header_bytes, *blobs]
+    )
+
+
+def decode_message(payload: bytes) -> tuple[dict, list[bytes]]:
+    """Inverse of :func:`encode_message`; validates structure strictly."""
+    if len(payload) < _LENGTH.size:
+        raise ProtocolError("frame too short for a header length")
+    (header_length,) = _LENGTH.unpack_from(payload)
+    offset = _LENGTH.size
+    if offset + header_length > len(payload):
+        raise ProtocolError("frame shorter than its declared header")
+    try:
+        header = json.loads(payload[offset : offset + header_length])
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable message header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError("message header must be an object with 'type'")
+    offset += header_length
+    blobs: list[bytes] = []
+    for length in header.pop("blobs", []):
+        if not isinstance(length, int) or length < 0:
+            raise ProtocolError("blob lengths must be non-negative integers")
+        if offset + length > len(payload):
+            raise ProtocolError("frame shorter than its declared blobs")
+        blobs.append(payload[offset : offset + length])
+        offset += length
+    if offset != len(payload):
+        raise ProtocolError("frame has trailing bytes beyond declared blobs")
+    return header, blobs
+
+
+# -- asyncio framing ----------------------------------------------------------
+
+
+async def write_message(
+    writer: asyncio.StreamWriter, header: dict, blobs: Sequence[bytes] = ()
+) -> int:
+    """Frame and send one message; returns the bytes written."""
+    payload = encode_message(header, blobs)
+    writer.write(_LENGTH.pack(len(payload)) + payload)
+    await writer.drain()
+    return _LENGTH.size + len(payload)
+
+
+async def read_message(
+    reader: asyncio.StreamReader, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[dict, list[bytes], int]:
+    """Read one framed message; returns ``(header, blobs, bytes_read)``.
+
+    Raises :class:`asyncio.IncompleteReadError` when the peer closes
+    mid-frame (the caller treats that as a dropped connection, never as
+    a partially applied message) and :class:`ProtocolError` on malformed
+    or oversized frames.
+    """
+    prefix = await reader.readexactly(_LENGTH.size)
+    (length,) = _LENGTH.unpack(prefix)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_bytes}-byte limit"
+        )
+    payload = await reader.readexactly(length)
+    header, blobs = decode_message(payload)
+    return header, blobs, _LENGTH.size + length
+
+
+# -- message constructors -----------------------------------------------------
+
+
+def hello_message(site_id: str, incarnation: str) -> dict:
+    return {
+        "type": "hello",
+        "site_id": site_id,
+        "incarnation": incarnation,
+        "version": PROTOCOL_VERSION,
+    }
+
+
+def welcome_message(sequence: int, durable: int) -> dict:
+    return {"type": "welcome", "sequence": sequence, "durable": durable}
+
+
+def delta_message(export: DeltaExport) -> tuple[dict, list[bytes]]:
+    """Header and blobs for one delta export (blobs in ``streams`` order)."""
+    streams = sorted(export.payloads)
+    header = {
+        "type": "delta",
+        "site_id": export.site_id,
+        "incarnation": export.incarnation,
+        "sequence": export.sequence,
+        "streams": streams,
+    }
+    return header, [export.payloads[name] for name in streams]
+
+
+def ack_message(sequence: int, durable: int) -> dict:
+    return {"type": "ack", "sequence": sequence, "durable": durable}
+
+
+def error_message(message: str) -> dict:
+    return {"type": "error", "message": message}
+
+
+def export_from_message(header: dict, blobs: Sequence[bytes]) -> DeltaExport:
+    """Rebuild a :class:`DeltaExport` from a decoded ``delta`` message."""
+    if header.get("type") != "delta":
+        raise ProtocolError(f"expected a delta message, got {header.get('type')!r}")
+    streams = header.get("streams")
+    site_id = header.get("site_id")
+    sequence = header.get("sequence")
+    incarnation = header.get("incarnation")
+    if not isinstance(site_id, str) or not isinstance(sequence, int):
+        raise ProtocolError("delta message needs a site_id and an int sequence")
+    if not isinstance(incarnation, str) or not incarnation:
+        raise ProtocolError("delta message needs a non-empty incarnation")
+    if sequence < 1:
+        raise ProtocolError("delta sequence numbers start at 1")
+    if not isinstance(streams, list) or len(streams) != len(blobs):
+        raise ProtocolError("delta stream names must align with payload blobs")
+    if len(set(streams)) != len(streams):
+        raise ProtocolError("delta stream names must be unique")
+    return DeltaExport(
+        site_id=site_id,
+        sequence=sequence,
+        payloads=dict(zip(streams, blobs)),
+        incarnation=incarnation,
+    )

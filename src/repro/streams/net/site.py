@@ -1,0 +1,270 @@
+"""Asyncio site client: observes locally, ships delta exports, survives
+coordinator failures.
+
+:class:`SiteClient` wraps a :class:`~repro.streams.distributed.StreamSite`
+with the network shipping loop:
+
+* **connect/send timeouts** — every socket operation runs under
+  :func:`asyncio.wait_for`, so a hung coordinator can never block the
+  site's event loop indefinitely;
+* **bounded exponential backoff with jitter** — failed attempts sleep
+  ``min(cap, base * 2**attempt)`` scaled by a random factor in
+  ``[0.5, 1.0]`` (jitter avoids reconnect stampedes when many sites lose
+  the same coordinator), and give up with
+  :class:`SiteConnectionError` after ``max_retries`` attempts;
+* **reconnection with re-sync** — every (re)connect performs the
+  hello/welcome handshake and re-ships whatever retained exports the
+  coordinator has not applied, which makes delivery exactly-once in
+  effect: the coordinator drops duplicates by sequence, the site replays
+  anything unacknowledged.
+
+Because the site's :meth:`~repro.streams.distributed.StreamSite.export`
+is a counter *delta* retained until durably acknowledged, no failure
+mode loses or double-counts updates — the invariants live in the data
+model, not in transport luck.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.core.family import SketchSpec
+from repro.errors import ReproError
+from repro.streams.distributed import DeltaExport, StreamSite
+from repro.streams.net import protocol
+from repro.streams.stats import TransportStats
+from repro.streams.updates import Update
+
+__all__ = ["SiteClient", "SiteConnectionError"]
+
+#: Errors that mean "the transport failed" (retry), as opposed to
+#: protocol violations (fatal).  ``asyncio.TimeoutError`` is listed
+#: separately because on Python 3.10 it is not an ``OSError``.
+_NETWORK_ERRORS = (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError)
+
+
+class SiteConnectionError(ReproError, ConnectionError):
+    """The coordinator stayed unreachable past the retry budget."""
+
+
+class SiteClient:
+    """Ships one site's delta exports to a coordinator over TCP.
+
+    Parameters
+    ----------
+    site:
+        The local observer to ship for; alternatively pass ``site_id``
+        and ``spec`` and one is created.
+    host, port:
+        The coordinator's address.
+    connect_timeout, io_timeout:
+        Seconds allowed for a connection attempt, and for any single
+        send/receive, respectively.
+    max_retries:
+        Retry budget per delivery (and per :meth:`connect` call).
+    backoff_base, backoff_cap:
+        Exponential backoff parameters, in seconds.
+    rng:
+        Source of backoff jitter (a :class:`random.Random`; seedable for
+        deterministic tests).
+    """
+
+    def __init__(
+        self,
+        site: StreamSite | None = None,
+        *,
+        site_id: str | None = None,
+        spec: SketchSpec | None = None,
+        host: str = "127.0.0.1",
+        port: int,
+        connect_timeout: float = 5.0,
+        io_timeout: float = 5.0,
+        max_retries: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: random.Random | None = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        if site is None:
+            if site_id is None or spec is None:
+                raise ValueError("need a StreamSite, or site_id plus spec")
+            site = StreamSite(site_id, spec)
+        self.site = site
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
+        self._max_frame_bytes = max_frame_bytes
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._ever_connected = False
+        # The coordinator's last applied sequence for this site, as
+        # learned from the most recent welcome/ack.
+        self._applied = 0
+        self.stats = TransportStats(site_id=site.site_id)
+
+    # -- observing (pass-through) -----------------------------------------
+
+    def observe(self, update: Update) -> None:
+        self.site.observe(update)
+
+    def observe_many(self, updates) -> None:
+        self.site.observe_many(updates)
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    @property
+    def coordinator_applied_sequence(self) -> int:
+        """Last sequence the coordinator reported as applied."""
+        return self._applied
+
+    # -- shipping ----------------------------------------------------------
+
+    async def connect(self) -> None:
+        """Connect (with retries), handshake, and re-sync retained exports."""
+        attempt = 0
+        while True:
+            try:
+                await self._connect_once()
+                await self._ship_retained()
+                return
+            except _NETWORK_ERRORS as exc:
+                attempt += 1
+                await self._note_failure(attempt, exc)
+
+    async def ship(self) -> DeltaExport:
+        """Export the current delta and deliver it (retrying as needed).
+
+        Returns the export that was delivered.  Raises
+        :class:`SiteConnectionError` when the coordinator stays
+        unreachable for the whole retry budget — the export remains
+        retained and a later :meth:`ship`/:meth:`connect` re-syncs it.
+        """
+        export = self.site.export()
+        await self.deliver(export)
+        return export
+
+    async def deliver(self, export: DeltaExport) -> None:
+        """Deliver one export (and everything retained before it)."""
+        attempt = 0
+        while True:
+            try:
+                if self._writer is None:
+                    await self._connect_once()
+                await self._ship_retained()
+                # Done when no retained export is still unapplied.
+                if not self.site.exports_after(self._applied):
+                    return
+            except _NETWORK_ERRORS as exc:
+                attempt += 1
+                await self._note_failure(attempt, exc)
+
+    async def close(self) -> None:
+        """Close the connection (retained exports stay for re-sync)."""
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # -- internals ---------------------------------------------------------
+
+    def _drop_connection(self) -> None:
+        writer = self._writer
+        self._reader = self._writer = None
+        if writer is not None:
+            writer.close()
+
+    async def _note_failure(self, attempt: int, exc: Exception) -> None:
+        self._drop_connection()
+        self.stats.retries += 1
+        if attempt > self.max_retries:
+            raise SiteConnectionError(
+                f"site {self.site.site_id!r} could not reach the coordinator "
+                f"at {self.host}:{self.port} after {attempt} attempts "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+        await asyncio.sleep(self._backoff_delay(attempt))
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Bounded exponential backoff with multiplicative jitter."""
+        raw = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        return raw * (0.5 + 0.5 * self._rng.random())
+
+    async def _connect_once(self) -> None:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.connect_timeout
+        )
+        self._reader, self._writer = reader, writer
+        if self._ever_connected:
+            self.stats.reconnects += 1
+        self._ever_connected = True
+        await self._send(
+            protocol.hello_message(self.site.site_id, self.site.incarnation)
+        )
+        header = await self._receive("welcome")
+        # The welcome's numbers are scoped to this site's incarnation
+        # (the hello named it), so a coordinator that only ever saw a
+        # previous life of this site id answers 0/0 — never numbers that
+        # could prune or shadow this life's exports.
+        self._applied = int(header.get("sequence", 0))
+        self.site.acknowledge(int(header.get("durable", 0)))
+        self.stats.resyncs += 1
+
+    async def _ship_retained(self) -> None:
+        """Send every retained export the coordinator has not applied."""
+        while True:
+            pending = [
+                export
+                for export in self.site.exports_after(self._applied)
+                if export.sequence > self._applied
+            ]
+            if not pending:
+                return
+            for export in pending:
+                await self._send_export(export)
+
+    async def _send_export(self, export: DeltaExport) -> None:
+        header, blobs = protocol.delta_message(export)
+        await self._send(header, blobs)
+        self.stats.deltas_shipped += 1
+        ack = await self._receive("ack")
+        self.stats.acks_received += 1
+        self._applied = int(ack.get("sequence", 0))
+        self.site.acknowledge(int(ack.get("durable", 0)))
+
+    async def _send(self, header: dict, blobs=()) -> None:
+        assert self._writer is not None
+        self.stats.bytes_sent += await asyncio.wait_for(
+            protocol.write_message(self._writer, header, blobs),
+            self.io_timeout,
+        )
+        self.stats.frames_sent += 1
+
+    async def _receive(self, expected_type: str) -> dict:
+        assert self._reader is not None
+        header, _, nbytes = await asyncio.wait_for(
+            protocol.read_message(self._reader, self._max_frame_bytes),
+            self.io_timeout,
+        )
+        self.stats.frames_received += 1
+        self.stats.bytes_received += nbytes
+        if header.get("type") == "error":
+            raise protocol.ProtocolError(
+                f"coordinator rejected the session: {header.get('message')}"
+            )
+        if header.get("type") != expected_type:
+            raise protocol.ProtocolError(
+                f"expected {expected_type}, got {header.get('type')!r}"
+            )
+        return header

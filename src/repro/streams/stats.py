@@ -17,11 +17,17 @@ hash-vs-scatter time breakdown — via ``IngestStats.plan`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.plan import HashPlanStats
 
-__all__ = ["ShardStats", "IngestStats", "HashPlanStats", "QueryStats"]
+__all__ = [
+    "ShardStats",
+    "IngestStats",
+    "HashPlanStats",
+    "QueryStats",
+    "TransportStats",
+]
 
 
 @dataclass
@@ -72,6 +78,55 @@ class QueryStats:
         if self.queries == 0:
             return 0.0
         return self.served_from_cache / self.queries
+
+
+@dataclass
+class TransportStats:
+    """Per-peer counters of the delta-shipping transport
+    (:mod:`repro.streams.net`).
+
+    One instance describes one site's traffic as seen from one endpoint:
+    the :class:`~repro.streams.net.site.SiteClient` keeps a single
+    instance for itself; the
+    :class:`~repro.streams.net.coordinator.CoordinatorServer` keeps one
+    per connected site id.  Counters that only one side can observe stay
+    at zero on the other (e.g. ``retries`` is client-side,
+    ``deltas_applied`` coordinator-side).
+
+    Mutable by design — the transport counts in place and hands out
+    copies via ``snapshot()``.
+    """
+
+    site_id: str = ""
+    frames_sent: int = 0
+    frames_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    deltas_shipped: int = 0
+    deltas_applied: int = 0
+    duplicates_dropped: int = 0
+    resyncs: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    acks_received: int = 0
+    checkpoints_written: int = 0
+
+    def snapshot(self) -> "TransportStats":
+        """A point-in-time copy (the original keeps counting)."""
+        return replace(self)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """``deltas_applied / (deltas_applied + duplicates_dropped)``.
+
+        1.0 means no redundant shipping reached this endpoint; lower
+        values quantify retransmission overhead (never correctness —
+        duplicates are dropped idempotently).
+        """
+        seen = self.deltas_applied + self.duplicates_dropped
+        if seen == 0:
+            return 1.0
+        return self.deltas_applied / seen
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ from repro.streams.checkpoint import (
     CheckpointError,
     checkpoint_engine,
     checkpoint_sharded_engine,
+    read_checkpoint_extra,
     restore_engine,
     restore_sharded_engine,
 )
@@ -78,6 +79,29 @@ class TestRoundTrip:
         checkpoint_engine(engine, tmp_path / "ckpt")
         restored = restore_engine(tmp_path / "ckpt")
         assert restored.family("A") == engine.family("A")
+
+
+class TestExtraMetadata:
+    def test_extra_round_trips(self, tmp_path):
+        engine = loaded_engine()
+        extra = {"site_sequences": {"edge-1": 4, "edge-2": 7}}
+        checkpoint_engine(engine, tmp_path, extra=extra)
+        assert read_checkpoint_extra(tmp_path) == extra
+        # The checkpoint stays restorable by consumers that ignore extra.
+        restored = restore_engine(tmp_path)
+        assert restored.stream_names() == engine.stream_names()
+
+    def test_no_extra_reads_empty(self, tmp_path):
+        checkpoint_engine(loaded_engine(), tmp_path)
+        assert read_checkpoint_extra(tmp_path) == {}
+
+    def test_malformed_extra_rejected(self, tmp_path):
+        checkpoint_engine(loaded_engine(), tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["extra"] = ["not", "a", "mapping"]
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError):
+            read_checkpoint_extra(tmp_path)
 
 
 class TestFailureModes:

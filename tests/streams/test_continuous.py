@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.family import SketchSpec
 from repro.core.sketch import SketchShape
-from repro.errors import ReproError
+from repro.errors import ReproError, UnknownQueryError
 from repro.streams.continuous import ContinuousQueryProcessor
 from repro.streams.engine import StreamEngine
 from repro.streams.updates import Update
@@ -44,6 +44,19 @@ class TestRegistration:
         processor.register("q", "A", every=10)
         processor.unregister("q")
         assert processor.query_names() == []
+
+    def test_unregister_unknown_name_raises_clear_error(self):
+        processor = make_processor()
+        processor.register("cpu", "A", every=10)
+        with pytest.raises(UnknownQueryError, match="'nope'"):
+            processor.unregister("nope")
+        # The error names the registered queries to aid debugging ...
+        with pytest.raises(ReproError, match="cpu"):
+            processor.unregister("nope")
+        # ... and stays catchable as the builtin KeyError.
+        with pytest.raises(KeyError):
+            processor.unregister("nope")
+        assert processor.query_names() == ["cpu"]
 
     def test_validation(self):
         processor = make_processor()

@@ -1,4 +1,4 @@
-"""Unit tests for the distributed-streams model."""
+"""Unit tests for the distributed-streams model (delta protocol)."""
 
 from __future__ import annotations
 
@@ -7,7 +7,9 @@ import pytest
 
 from repro.core.family import SketchSpec
 from repro.core.sketch import SketchShape
-from repro.streams.distributed import Coordinator, StreamSite
+from repro.errors import DeltaSequenceError, UnknownStreamError
+from repro.streams.distributed import Coordinator, DeltaExport, StreamSite
+from repro.streams.engine import StreamEngine
 from repro.streams.updates import Update, insertions
 
 SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
@@ -19,12 +21,95 @@ class TestSite:
         site = StreamSite("site-1", SPEC)
         site.observe(Update("A", 1, 1))
         site.observe(Update("B", 2, 1))
-        payloads = site.export()
-        assert sorted(payloads) == ["A", "B"]
-        assert all(isinstance(payload, bytes) for payload in payloads.values())
+        export = site.export()
+        assert export.site_id == "site-1"
+        assert export.sequence == 1
+        assert sorted(export.payloads) == ["A", "B"]
+        assert all(isinstance(p, bytes) for p in export.payloads.values())
 
     def test_export_empty_site(self):
-        assert StreamSite("idle", SPEC).export() == {}
+        export = StreamSite("idle", SPEC).export()
+        assert export.is_empty
+        assert export.sequence == 1
+
+    def test_sequences_are_monotone_and_deltas_disjoint(self):
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        first = site.export()
+        second = site.export()  # no new updates since
+        site.observe(Update("A", 2, 1))
+        third = site.export()
+        assert [first.sequence, second.sequence, third.sequence] == [1, 2, 3]
+        assert not first.is_empty
+        assert second.is_empty  # nothing changed between exports
+        assert not third.is_empty
+
+    def test_retention_and_acknowledge(self):
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        site.export()
+        site.observe(Update("A", 2, 1))
+        site.export()
+        assert site.retained_exports == 2
+        assert [e.sequence for e in site.exports_after(0)] == [1, 2]
+        site.acknowledge(1)
+        assert site.retained_exports == 1
+        assert [e.sequence for e in site.exports_after(1)] == [2]
+
+    def test_restarted_site_gets_a_fresh_incarnation(self):
+        """Each StreamSite lifetime has its own incarnation, so a
+        restarted process's sequence 1 is distinguishable from — and
+        never dropped as a duplicate of — its previous life's."""
+        old_life = StreamSite("edge", SPEC)
+        new_life = StreamSite("edge", SPEC)
+        assert old_life.incarnation != new_life.incarnation
+        assert old_life.export().incarnation == old_life.incarnation
+
+    def test_site_restart_exports_apply_despite_sequence_overlap(self):
+        """The regression the incarnation exists for: old life ships one
+        export, the restarted life's first export also carries sequence
+        1 — it must be applied as new data, not dropped."""
+        coordinator = Coordinator(SPEC)
+        old_life = StreamSite("edge", SPEC)
+        old_life.observe_many(insertions("A", range(50)))
+        coordinator.collect_from(old_life)
+        assert coordinator.applied_sequence("edge") == 1
+
+        new_life = StreamSite("edge", SPEC)  # process restart
+        new_life.observe_many(insertions("A", range(50, 80)))
+        export = new_life.export()
+        assert export.sequence == 1  # numbering collides with old life
+        assert coordinator.collect(export)  # applied, not dropped
+        assert coordinator.applied_sequence("edge") == 1
+        assert coordinator.applied_sequence("edge", old_life.incarnation) == 1
+        assert coordinator.applied_sequence("edge", new_life.incarnation) == 1
+
+        truth = StreamEngine(SPEC)
+        truth.process_many(insertions("A", range(80)))
+        truth.flush()
+        assert coordinator._families["A"] == truth.family("A")
+
+    def test_alternating_incarnations_never_double_count(self):
+        """Two lives of one site id interleaving collects: each life's
+        history is tracked separately, so duplicates within either life
+        are still dropped and neither shadows the other."""
+        coordinator = Coordinator(SPEC)
+        life_a = StreamSite("edge", SPEC, incarnation="life-a")
+        life_b = StreamSite("edge", SPEC, incarnation="life-b")
+        life_a.observe_many(insertions("A", range(30)))
+        export_a = life_a.export()
+        life_b.observe_many(insertions("A", range(30, 60)))
+        export_b = life_b.export()
+
+        assert coordinator.collect(export_a)
+        assert coordinator.collect(export_b)
+        assert not coordinator.collect(export_a)  # duplicate of life-a's
+        assert not coordinator.collect(export_b)  # duplicate of life-b's
+
+        truth = StreamEngine(SPEC)
+        truth.process_many(insertions("A", range(60)))
+        truth.flush()
+        assert coordinator._families["A"] == truth.family("A")
 
 
 class TestCoordinator:
@@ -44,6 +129,61 @@ class TestCoordinator:
         centralised = SPEC.build()
         centralised.update_batch(elements)
         assert coordinator._families["A"] == centralised
+
+    def test_repeated_collection_no_longer_double_counts(self):
+        """Regression: observe -> export/collect -> observe ->
+        export/collect must equal single-engine ground truth (cumulative
+        exports used to double-count the first batch)."""
+        rng = np.random.default_rng(11)
+        first = rng.integers(0, 2**20, size=300, dtype=np.uint64)
+        second = rng.integers(0, 2**20, size=300, dtype=np.uint64)
+
+        site = StreamSite("s", SPEC)
+        coordinator = Coordinator(SPEC)
+        site.observe_many(insertions("A", (int(e) for e in first)))
+        coordinator.collect_from(site)
+        site.observe_many(insertions("A", (int(e) for e in second)))
+        coordinator.collect_from(site)
+
+        ground_truth = SPEC.build()
+        ground_truth.update_batch(np.concatenate([first, second]))
+        assert coordinator._families["A"] == ground_truth
+
+    def test_duplicate_export_is_dropped_idempotently(self):
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        export = site.export()
+        coordinator = Coordinator(SPEC)
+        assert coordinator.collect(export) is True
+        before = coordinator._families["A"].counters.copy()
+        assert coordinator.collect(export) is False  # retransmit
+        assert np.array_equal(coordinator._families["A"].counters, before)
+        assert coordinator.duplicates_dropped == 1
+
+    def test_sequence_gap_raises(self):
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        site.export()  # sequence 1, never collected
+        site.observe(Update("A", 2, 1))
+        second = site.export()
+        coordinator = Coordinator(SPEC)
+        with pytest.raises(DeltaSequenceError, match="missing"):
+            coordinator.collect(second)
+
+    def test_resync_after_gap_via_exports_after(self):
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        site.export()
+        site.observe(Update("A", 2, 1))
+        site.export()
+        coordinator = Coordinator(SPEC)
+        for export in site.exports_after(coordinator.applied_sequence("s")):
+            coordinator.collect(export)
+        assert coordinator.applied_sequence("s") == 2
+
+        ground_truth = SPEC.build()
+        ground_truth.update_batch(np.array([1, 2], dtype=np.uint64))
+        assert coordinator._families["A"] == ground_truth
 
     def test_sites_collected_counter(self):
         coordinator = Coordinator(SPEC)
@@ -75,6 +215,26 @@ class TestCoordinator:
         union = coordinator.query_union(["A", "B"], 0.2)
         assert abs(union.value - 3000) / 3000 < 0.3
 
+    def test_query_unknown_stream_raises_named_error(self):
+        coordinator = Coordinator(SPEC)
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        coordinator.collect_from(site)
+        with pytest.raises(UnknownStreamError, match="'Z'"):
+            coordinator.query("A & Z")
+        # The error also lists what *is* known.
+        with pytest.raises(UnknownStreamError, match="known streams: A"):
+            coordinator.query("A - Z")
+
+    def test_query_union_unknown_stream_raises_named_error(self):
+        coordinator = Coordinator(SPEC)
+        with pytest.raises(UnknownStreamError, match="'A'"):
+            coordinator.query_union(["A"])
+        # UnknownStreamError is a KeyError, so pre-existing callers that
+        # caught the builtin keep working.
+        with pytest.raises(KeyError):
+            coordinator.query_union(["A"])
+
     def test_deletions_at_a_different_site(self):
         """Insertions at one site, deletions at another — linear merge
         cancels them exactly."""
@@ -100,6 +260,24 @@ class TestCoordinator:
         coordinator.collect_from(site)
         assert coordinator.stream_names() == ["A", "B"]
 
+    def test_restore_roundtrip(self):
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        coordinator = Coordinator(SPEC)
+        coordinator.collect_from(site)
+
+        restored = Coordinator(SPEC)
+        for name in coordinator.stream_names():
+            restored.adopt_family(name, coordinator._families[name].copy())
+        for site_id, history in coordinator.site_sequences().items():
+            for incarnation, sequence in history.items():
+                restored.set_applied_sequence(site_id, incarnation, sequence)
+        assert restored.applied_sequence("s") == 1
+        assert restored.applied_sequence("s", site.incarnation) == 1
+        # A duplicate of the already-applied export is dropped.
+        duplicate = DeltaExport("s", 1, {}, site.incarnation)
+        assert restored.collect(duplicate) is False
+
 
 class TestCoordinatorToEngine:
     def test_handoff_preserves_state_and_accepts_updates(self):
@@ -119,3 +297,34 @@ class TestCoordinatorToEngine:
         reference = SPEC.build()
         reference.update_batch(np.concatenate([elements, [7]]))
         assert engine.family("A") == reference
+
+
+class TestFamilyDelta:
+    def test_diff_from_roundtrips_by_linearity(self):
+        rng = np.random.default_rng(5)
+        base = SPEC.build()
+        base.update_batch(rng.integers(0, 2**20, size=100, dtype=np.uint64))
+        snapshot = base.copy()
+        base.update_batch(rng.integers(0, 2**20, size=100, dtype=np.uint64))
+        delta = base.diff_from(snapshot)
+        snapshot.merge_in_place(delta)
+        assert snapshot == base
+
+    def test_is_zero_vs_is_empty(self):
+        family = SPEC.build()
+        assert family.is_zero() and family.is_empty()
+        family.update_batch(np.array([1], dtype=np.uint64))
+        inserted = family.copy()
+        family.update_batch(np.array([2], dtype=np.uint64), np.array([-1]))
+        # Net item count is zero, but the counters are not all-zero.
+        delta = family.diff_from(SPEC.build())
+        assert delta.is_empty() and not delta.is_zero()
+        assert not inserted.is_zero()
+
+    def test_engine_families_accessor(self):
+        engine = StreamEngine(SPEC)
+        engine.process(Update("A", 1, 1))
+        engine.process(Update("B", 2, 1))
+        families = engine.families()
+        assert sorted(families) == ["A", "B"]
+        assert families["A"] is engine.family("A")

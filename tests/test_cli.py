@@ -31,6 +31,98 @@ class TestParser:
         assert args.expression == ["A & B", "A - B"]
 
 
+class TestServeShipParser:
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "1234", "--max-deltas", "5",
+             "--checkpoint", "ckpt", "--checkpoint-every", "7"]
+        )
+        assert args.command == "serve"
+        assert args.port == 1234
+        assert args.max_deltas == 5
+        assert args.checkpoint_every == 7
+
+    def test_ship_flags(self):
+        args = build_parser().parse_args(
+            ["ship", "--log", "x.log", "--site-id", "edge-1", "--every", "128"]
+        )
+        assert args.command == "ship"
+        assert args.site_id == "edge-1"
+        assert args.every == 128
+
+
+class TestServeShipPipeline:
+    def test_serve_ship_query_round_trip(self, tmp_path, capsys):
+        """A coordinator served by the CLI, fed by a CLI site, leaves a
+        checkpoint the query command can answer from."""
+        import socket
+        import threading
+
+        # Pre-import the net package: the serve thread and the shipping
+        # main thread would otherwise race to initialise it concurrently.
+        import repro.streams.net.coordinator  # noqa: F401
+        import repro.streams.net.site  # noqa: F401
+        from repro.streams.sources import save_updates
+        from repro.streams.updates import deletions, insertions
+
+        log = tmp_path / "edge.log"
+        save_updates(
+            log, insertions("A", range(64)) + deletions("A", range(8))
+        )
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        checkpoint = tmp_path / "ckpt"
+        spec_args = [
+            "--sketches", "32", "--second-level", "8",
+            "--independence", "4", "--domain-bits", "16",
+        ]
+
+        serve_result: dict[str, int] = {}
+
+        def serve() -> None:
+            serve_result["code"] = main(
+                [
+                    "serve",
+                    "--port", str(port),
+                    "--checkpoint", str(checkpoint),
+                    "--checkpoint-every", "1",
+                    "--max-deltas", "1",
+                    *spec_args,
+                ]
+            )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            assert main(
+                [
+                    "ship",
+                    "--log", str(log),
+                    "--port", str(port),
+                    "--site-id", "edge",
+                    *spec_args,
+                ]
+            ) == 0
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert serve_result["code"] == 0
+        output = capsys.readouterr().out
+        assert "shipped 72 updates" in output
+        assert "deltas applied" in output
+
+        assert main(
+            [
+                "query",
+                "--checkpoint", str(checkpoint),
+                "--expression", "A",
+                "--epsilon", "0.3",
+            ]
+        ) == 0
+        assert "|A|" in capsys.readouterr().out
+
+
 class TestPlanCommand:
     def test_plan_prints_recommendation(self, capsys):
         assert main(["plan", "--epsilon", "0.3", "--delta", "0.2"]) == 0
