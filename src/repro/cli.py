@@ -158,6 +158,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-deltas", type=int, default=None,
         help="exit after N applied deltas (default: run until interrupted)",
     )
+    serve.add_argument(
+        "--shards", type=int, default=1,
+        help="fold deltas into a ShardedEngine with N shards (1 = flat)",
+    )
+    serve.add_argument(
+        "--parent", default=None, metavar="HOST:PORT",
+        help="re-export aggregated deltas to a parent coordinator "
+        "(makes this server a leaf of a federation tree)",
+    )
+    serve.add_argument(
+        "--uplink-id", default=None,
+        help="site id announced to the parent (default: leaf-<port>)",
+    )
+    serve.add_argument(
+        "--uplink-every", type=int, default=100,
+        help="auto-ship upstream every N applied deltas (0 = only at "
+        "shutdown)",
+    )
 
     ship = subparsers.add_parser(
         "ship", help="replay an update log through a delta-shipping site"
@@ -361,11 +379,35 @@ def _command_serve(args: argparse.Namespace) -> int:
     import signal
 
     from repro.streams.net.coordinator import CoordinatorServer
+    from repro.streams.net.site import SiteConnectionError
+
+    engine_factory = None
+    if args.shards > 1:
+        from repro.streams.sharded import ShardedEngine
+
+        # Serial executor: the fold runs on the asyncio loop's thread and
+        # this container is single-core anyway — sharding buys the
+        # partitioned layout (and checkpoint format), not parallelism.
+        def engine_factory(spec):
+            return ShardedEngine(
+                spec, num_shards=args.shards, executor="serial"
+            )
+
+    uplink_kwargs: dict = {}
+    if args.parent is not None:
+        parent_host, _, parent_port = args.parent.rpartition(":")
+        uplink_kwargs = {
+            "parent_host": parent_host or "127.0.0.1",
+            "parent_port": int(parent_port),
+            "uplink_id": args.uplink_id or f"leaf-{args.port}",
+            "uplink_every": args.uplink_every,
+        }
 
     async def run() -> None:
         # SIGINT/SIGTERM request a clean shutdown: final checkpoint,
-        # connections closed, stats printed.  (A backgrounded process
-        # may have SIGINT ignored by the shell; SIGTERM still works.)
+        # unacked uplink exports flushed upstream, connections closed,
+        # stats printed.  (A backgrounded process may have SIGINT
+        # ignored by the shell; SIGTERM still works.)
         stop_requested = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -381,6 +423,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                 host=args.host,
                 port=args.port,
                 checkpoint_every=args.checkpoint_every,
+                engine_factory=engine_factory,
+                **uplink_kwargs,
             )
             print(f"restored coordinator state from {args.checkpoint}")
         else:
@@ -390,6 +434,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 checkpoint_dir=args.checkpoint,
                 checkpoint_every=args.checkpoint_every,
+                engine_factory=engine_factory,
+                **uplink_kwargs,
             )
         await server.start()
         print(f"coordinator listening on {server.host}:{server.port}")
@@ -403,20 +449,48 @@ def _command_serve(args: argparse.Namespace) -> int:
                 ):
                     await asyncio.sleep(0.02)
         finally:
+            if server.uplink is not None:
+                # Final upstream flush: cuts a last export (through the
+                # checkpoint when one is configured, persisting the
+                # retained tail) and pushes everything the parent has
+                # not applied.  Best-effort — an unreachable parent
+                # must not block shutdown; with a checkpoint the
+                # retained exports survive for the next life's re-sync.
+                try:
+                    await server.ship_upstream()
+                except (SiteConnectionError, ConnectionError, OSError):
+                    if args.checkpoint is None:
+                        print("warning: parent unreachable; unshipped "
+                              "uplink deltas lost (no checkpoint)")
+                    else:
+                        print("warning: parent unreachable; unshipped "
+                              "uplink deltas retained in the checkpoint")
             if args.checkpoint is not None:
                 server.checkpoint()
             await server.stop()
             for site_id, stats in sorted(server.stats().items()):
                 print(
-                    f"site {site_id}: {stats.deltas_applied} deltas applied, "
+                    f"{stats.role} {site_id}: "
+                    f"{stats.deltas_applied} deltas applied, "
                     f"{stats.duplicates_dropped} duplicates dropped, "
                     f"{stats.bytes_received:,} bytes in"
                 )
+            rollup = server.transport_rollup()
+            print(
+                f"transport total: {rollup.frames_received} frames / "
+                f"{rollup.bytes_received:,} bytes in, "
+                f"{rollup.frames_sent} frames / "
+                f"{rollup.bytes_sent:,} bytes out, "
+                f"{rollup.deltas_shipped} deltas shipped upstream"
+            )
             streams = ", ".join(server.coordinator.stream_names()) or "<none>"
             print(
                 f"served {server.total_deltas_applied} deltas over streams "
                 f"{streams}; {server.checkpoints_written} checkpoints"
             )
+            fold = server.coordinator.fold_engine
+            if fold is not None and hasattr(fold, "close"):
+                fold.close()
 
     try:
         asyncio.run(run())

@@ -46,6 +46,7 @@ __all__ = [
     "checkpoint_sharded_engine",
     "restore_sharded_engine",
     "read_checkpoint_extra",
+    "read_checkpoint_spec",
     "CheckpointError",
 ]
 
@@ -136,6 +137,22 @@ def read_checkpoint_extra(directory: str | pathlib.Path) -> dict:
     return extra
 
 
+def read_checkpoint_spec(directory: str | pathlib.Path) -> SketchSpec:
+    """The :class:`~repro.core.family.SketchSpec` a checkpoint was written
+    under, without restoring any counters.
+
+    Lets a consumer build its own fold target first — e.g. a
+    coordinator restoring into a factory-built
+    :class:`~repro.streams.sharded.ShardedEngine` — and then adopt the
+    restored families into it.
+    """
+    manifest = _load_manifest(pathlib.Path(directory))
+    try:
+        return SketchSpec.from_json_dict(manifest["spec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"manifest spec is unusable: {exc}") from exc
+
+
 def _load_manifest(directory: pathlib.Path) -> dict:
     manifest_path = directory / "manifest.json"
     if not manifest_path.is_file():
@@ -223,13 +240,20 @@ def _slice_keys(manifest: dict, stream: str) -> list[str]:
     ]
 
 
-def checkpoint_sharded_engine(engine, directory: str | pathlib.Path) -> None:
+def checkpoint_sharded_engine(
+    engine,
+    directory: str | pathlib.Path,
+    extra: dict | None = None,
+) -> None:
     """Write a :class:`~repro.streams.sharded.ShardedEngine`'s state.
 
     One payload per non-empty *(shard, stream)* slice, keyed
     ``shard<i>/<stream>`` in the manifest's ``stream_files`` mapping (the
     key goes through the same escaping as any stream name, so the ``/``
-    never reaches the filesystem).
+    never reaches the filesystem).  ``extra`` rides in the manifest
+    exactly as for :func:`checkpoint_engine` — a coordinator leaf folding
+    into a sharded engine stores its per-site sequence map and uplink
+    state through the same field whichever fold target it runs.
     """
     directory = pathlib.Path(directory)
     streams_dir = directory / "streams"
@@ -253,6 +277,8 @@ def checkpoint_sharded_engine(engine, directory: str | pathlib.Path) -> None:
         "updates_processed": engine.updates_processed,
         "shards": engine.num_shards,
     }
+    if extra:
+        manifest["extra"] = dict(extra)
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
 
 

@@ -39,6 +39,7 @@ protocol objects in an asyncio TCP transport.
 
 from __future__ import annotations
 
+import base64
 import uuid
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
@@ -96,6 +97,16 @@ class StreamSite:
     coins are shared via the spec, so only counters travel) and retains
     the export until :meth:`acknowledge` confirms the coordinator has it
     durably — a restarted coordinator re-syncs from the retained tail.
+
+    ``engine`` makes the summarised state pluggable: any object exposing
+    ``families() -> {stream: SketchFamily}`` can back a site — a
+    :class:`StreamEngine` (the default), a
+    :class:`~repro.streams.sharded.ShardedEngine` (parallel local
+    ingest), or a :class:`Coordinator` (a mid-tree coordinator
+    re-exporting its *aggregated* state to a parent — the uplink of a
+    federation tree).  Exports always diff against the per-stream
+    baseline of the previous export, so whatever the backing engine is,
+    consecutive exports never overlap and sum to the full state.
     """
 
     def __init__(
@@ -104,6 +115,7 @@ class StreamSite:
         spec: SketchSpec,
         *,
         incarnation: str | None = None,
+        engine=None,
     ) -> None:
         self.site_id = site_id
         self.spec = spec
@@ -113,7 +125,7 @@ class StreamSite:
         # exports from a previous life's numbering instead of silently
         # dropping them as duplicates.
         self.incarnation = incarnation or uuid.uuid4().hex
-        self._engine = StreamEngine(spec)
+        self._engine = engine if engine is not None else StreamEngine(spec)
         self._sequence = 0
         # Counter snapshots as of the last export, per stream; the next
         # export diffs against these, so consecutive exports never overlap.
@@ -133,7 +145,9 @@ class StreamSite:
 
     @property
     def updates_observed(self) -> int:
-        return self._engine.updates_processed
+        # Not every backing engine counts updates (a Coordinator fold
+        # target, for instance, only ever sees deltas).
+        return getattr(self._engine, "updates_processed", 0)
 
     # -- delta export ------------------------------------------------------
 
@@ -194,12 +208,100 @@ class StreamSite:
         """How many exports are held for potential re-delivery."""
         return len(self._retained)
 
+    # -- fail-over state ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serialisable export machinery state (checkpoint payload).
+
+        Captures everything needed to resume this site's delta numbering
+        after a process restart *without* starting a new incarnation: the
+        incarnation id, the sequence counter, the per-stream shipped
+        baselines, and the retained (not yet durably acknowledged)
+        exports.  Counter payloads are base64-encoded so the whole state
+        rides inside a checkpoint manifest's ``extra`` mapping.  The
+        backing engine's counters are *not* included — they are
+        checkpointed separately; restoring both from the same checkpoint
+        keeps baselines and counters consistent.
+        """
+        encode = lambda blob: base64.b64encode(blob).decode("ascii")  # noqa: E731
+        return {
+            "site_id": self.site_id,
+            "incarnation": self.incarnation,
+            "sequence": self._sequence,
+            "baselines": {
+                name: encode(family.to_bytes())
+                for name, family in self._shipped.items()
+            },
+            "retained": [
+                {
+                    "sequence": export.sequence,
+                    "payloads": {
+                        name: encode(payload)
+                        for name, payload in export.payloads.items()
+                    },
+                }
+                for export in (
+                    self._retained[seq] for seq in sorted(self._retained)
+                )
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Mapping, spec: SketchSpec, *, engine=None
+    ) -> "StreamSite":
+        """Rebuild a site from :meth:`to_state` output (checkpoint restore).
+
+        The restored site keeps its previous **incarnation** — that is
+        the point: a coordinator's uplink restored from a checkpoint must
+        continue the very numbering its parent already tracks, so the
+        parent sees neither a gap nor a duplicate-shadowing fresh life.
+        """
+        site = cls(
+            str(state["site_id"]),
+            spec,
+            incarnation=str(state["incarnation"]),
+            engine=engine,
+        )
+        site._sequence = int(state["sequence"])
+        site._shipped = {
+            str(name): SketchFamily.from_bytes(
+                base64.b64decode(payload), spec
+            )
+            for name, payload in dict(state.get("baselines", {})).items()
+        }
+        for entry in state.get("retained", ()):
+            sequence = int(entry["sequence"])
+            site._retained[sequence] = DeltaExport(
+                site.site_id,
+                sequence,
+                {
+                    str(name): base64.b64decode(payload)
+                    for name, payload in dict(entry["payloads"]).items()
+                },
+                site.incarnation,
+            )
+        return site
+
 
 class Coordinator:
-    """Central site: merges delta exports and answers cardinality queries."""
+    """Central site: merges delta exports and answers cardinality queries.
 
-    def __init__(self, spec: SketchSpec) -> None:
+    The fold target is pluggable: by default the coordinator keeps a
+    plain per-stream :class:`~repro.core.family.SketchFamily` map, but
+    ``engine`` accepts any engine exposing ``merge_delta`` /
+    ``families`` / ``stream_names`` / ``adopt_family`` / ``query`` /
+    ``query_union`` — in particular a
+    :class:`~repro.streams.sharded.ShardedEngine`, so a leaf
+    coordinator of a federation tree folds incoming network deltas
+    across parallel shards while queries still merge exactly by
+    linearity.  Sequence/incarnation bookkeeping is identical either
+    way; only where the counters land differs.
+    """
+
+    def __init__(self, spec: SketchSpec, *, engine=None) -> None:
         self.spec = spec
+        self._engine = engine
         self._families: dict[str, SketchFamily] = {}
         # site id -> incarnation -> last applied sequence.  Sequences are
         # scoped to one lifetime of a site process; keeping the history
@@ -241,7 +343,9 @@ class Coordinator:
             )
         for stream, payload in export.payloads.items():
             incoming = SketchFamily.from_bytes(payload, self.spec)
-            if stream in self._families:
+            if self._engine is not None:
+                self._engine.merge_delta(stream, incoming)
+            elif stream in self._families:
                 self._families[stream].merge_in_place(incoming)
             else:
                 self._families[stream] = incoming
@@ -301,7 +405,10 @@ class Coordinator:
             raise IncompatibleSketchesError(
                 "adopted family does not follow the coordinator's SketchSpec"
             )
-        self._families[stream] = family
+        if self._engine is not None:
+            self._engine.adopt_family(stream, family)
+        else:
+            self._families[stream] = family
 
     def set_applied_sequence(
         self, site_id: str, incarnation: str, sequence: int
@@ -316,12 +423,31 @@ class Coordinator:
 
     # -- queries -----------------------------------------------------------
 
+    @property
+    def fold_engine(self):
+        """The pluggable fold target (``None`` for the plain family map)."""
+        return self._engine
+
+    def families(self) -> dict[str, SketchFamily]:
+        """``stream -> merged synopsis`` (live objects, not copies).
+
+        The delta-export surface: an uplink
+        :class:`StreamSite` backed by this coordinator diffs these
+        families to re-export the *aggregated* state up a federation
+        tree.
+        """
+        if self._engine is not None:
+            return self._engine.families()
+        return dict(self._families)
+
     def stream_names(self) -> list[str]:
         """Streams with a merged synopsis at the coordinator."""
+        if self._engine is not None:
+            return self._engine.stream_names()
         return sorted(self._families)
 
     def _require_streams(self, names: Iterable[str]) -> None:
-        missing = sorted(set(names) - set(self._families))
+        missing = sorted(set(names) - set(self.stream_names()))
         if missing:
             known = ", ".join(self.stream_names()) or "<none>"
             raise UnknownStreamError(
@@ -342,6 +468,8 @@ class Coordinator:
         if isinstance(expression, str):
             expression = parse(expression)
         self._require_streams(expression.streams())
+        if self._engine is not None:
+            return self._engine.query(expression, epsilon)
         return estimate_expression(expression, self._families, epsilon)
 
     def query_union(
@@ -354,6 +482,8 @@ class Coordinator:
         """
         names = list(stream_names)
         self._require_streams(names)
+        if self._engine is not None:
+            return self._engine.query_union(names, epsilon)
         families = [self._families[name] for name in names]
         return estimate_union(families, epsilon)
 
@@ -362,8 +492,15 @@ class Coordinator:
 
         The engine adopts each merged family (shared storage) and can then
         keep ingesting updates — e.g. a coordinator that also tails a
-        local stream after the periodic collection round.
+        local stream after the periodic collection round.  With a
+        pluggable fold engine the merged view is handed off instead: a
+        :class:`StreamEngine` fold target is returned as-is, a sharded
+        one through its ``merged_engine()`` (independent counter copies).
         """
+        if self._engine is not None:
+            if isinstance(self._engine, StreamEngine):
+                return self._engine
+            return self._engine.merged_engine(batch_size=batch_size)
         engine = StreamEngine(self.spec, batch_size=batch_size)
         for name, family in self._families.items():
             engine.adopt_family(name, family)

@@ -366,6 +366,31 @@ class StreamEngine:
         self._query_cache.clear()
         self._union_cache.clear()
 
+    def merge_delta(self, stream: str, delta: SketchFamily) -> None:
+        """Fold a delta synopsis into ``stream`` by linearity.
+
+        The network-fold primitive: a
+        :class:`~repro.streams.distributed.Coordinator` backed by this
+        engine lands each incoming
+        :class:`~repro.streams.distributed.DeltaExport` payload here.
+        When the stream has no synopsis yet the delta is adopted
+        directly (ownership transfers to the engine); otherwise the
+        counters are added in place, which marks the family dirty so
+        cached queries revalidate.
+        """
+        if delta.spec != self.spec:
+            from repro.errors import IncompatibleSketchesError
+
+            raise IncompatibleSketchesError(
+                "delta family does not follow the engine's SketchSpec"
+            )
+        self._flush_stream(stream)
+        family = self._families.get(stream)
+        if family is None:
+            self.adopt_family(stream, delta)
+        else:
+            family.merge_in_place(delta)
+
     def mark_replayed(self, num_updates: int) -> None:
         """Record updates that were applied before this engine existed
         (restored state); keeps ``updates_processed`` meaningful."""

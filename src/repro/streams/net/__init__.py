@@ -25,15 +25,25 @@ restart from a checkpoint — converges to the same merged synopses an
 unfailed run produces, bit for bit.  This container's single core means
 the design goal is *concurrency* (many sites overlapping I/O on one
 event loop), not parallel speedup.
+
+Coordinators compose into **federation trees**: a
+:class:`~repro.streams.net.coordinator.CoordinatorServer` can fold into
+a :class:`~repro.streams.sharded.ShardedEngine` (``engine_factory=``)
+and re-export its aggregated deltas to a parent coordinator through an
+uplink :class:`~repro.streams.net.site.SiteClient` (``parent_port=``) —
+the same sequence/retention/re-sync machinery at every hop, so the
+whole tree inherits the per-hop exactly-once-in-effect guarantees.
 """
 
 from repro.streams.net.coordinator import CoordinatorServer
-from repro.streams.net.protocol import PROTOCOL_VERSION, ProtocolError
-from repro.streams.net.site import SiteClient
+from repro.streams.net.protocol import PROTOCOL_VERSION, ROLES, ProtocolError
+from repro.streams.net.site import SiteClient, SiteConnectionError
 
 __all__ = [
     "CoordinatorServer",
     "SiteClient",
+    "SiteConnectionError",
     "ProtocolError",
     "PROTOCOL_VERSION",
+    "ROLES",
 ]

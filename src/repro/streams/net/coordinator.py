@@ -21,26 +21,51 @@ speaks the framed protocol of :mod:`repro.streams.net.protocol`:
 The server runs every site on one event loop — concurrency, not
 parallelism — and all state mutation happens between ``await`` points of
 a single-threaded loop, so no locks are needed.
+
+Two extensions make servers composable into **federation trees**
+(millions of sites cannot all terminate on one coordinator):
+
+* ``engine_factory=`` makes the fold target pluggable — a leaf
+  coordinator can fold network deltas into a
+  :class:`~repro.streams.sharded.ShardedEngine` (parallel merge across
+  shards) instead of a flat family map; queries still merge exactly by
+  linearity.
+* ``parent_host``/``parent_port`` give the server an **uplink**: a
+  :class:`~repro.streams.distributed.StreamSite` backed by the
+  coordinator's own aggregated state, shipped to a parent coordinator
+  through a :class:`~repro.streams.net.site.SiteClient` exactly like
+  any leaf site — same incarnation-scoped sequences, same
+  retention-until-durable-ack, same re-sync.  When checkpointing is
+  enabled, uplink exports are cut *only inside* :meth:`checkpoint`, so
+  every sequence the parent can ever see is persisted (with the
+  baselines that produced it) before it goes on the wire; a leaf
+  restored from its checkpoint therefore re-ships bit-identical
+  payloads instead of diverging, and a mid-tree crash loses nothing and
+  double-applies nothing.
 """
 
 from __future__ import annotations
 
 import asyncio
 import pathlib
+import uuid
 
 from repro.core.family import SketchSpec
 from repro.streams.checkpoint import (
     checkpoint_engine,
+    checkpoint_sharded_engine,
     read_checkpoint_extra,
     restore_engine,
 )
-from repro.streams.distributed import Coordinator, DeltaExport
+from repro.streams.distributed import Coordinator, DeltaExport, StreamSite
 from repro.streams.net import protocol
-from repro.streams.stats import TransportStats
+from repro.streams.net.site import SiteClient, SiteConnectionError
+from repro.streams.stats import TransportStats, rollup_transport_stats
 
 __all__ = ["CoordinatorServer"]
 
 _SITE_SEQUENCES_KEY = "site_sequences"
+_UPLINK_KEY = "uplink"
 
 
 class CoordinatorServer:
@@ -64,6 +89,34 @@ class CoordinatorServer:
     checkpoint_every:
         Write a checkpoint after this many applied deltas (0 = only
         explicit :meth:`checkpoint` calls).
+    engine_factory:
+        ``spec -> engine`` callable building the coordinator's fold
+        target (e.g. ``lambda spec: ShardedEngine(spec, num_shards=4)``).
+        ``None`` keeps the flat family-map fold.  Ignored when
+        ``coordinator`` is given (the restore path wires the engine
+        itself).  The server never closes a factory-built engine — the
+        caller owns its lifecycle, so queries stay possible after
+        :meth:`stop`.
+    parent_host, parent_port:
+        Address of a parent coordinator.  When ``parent_port`` is set
+        the server becomes a leaf in a federation tree: it runs an
+        uplink :class:`~repro.streams.net.site.SiteClient` whose
+        :class:`~repro.streams.distributed.StreamSite` is backed by this
+        coordinator's aggregated state.
+    uplink_id:
+        Site id announced to the parent.  Defaults to a random
+        ``leaf-<hex>``; give tree nodes stable ids in production so a
+        restarted-without-checkpoint leaf is recognisably the same peer.
+    uplink_every:
+        Auto-ship aggregated deltas upstream after this many applied
+        child deltas (0 = only explicit :meth:`ship_upstream` calls).
+    uplink_site:
+        A pre-built uplink site (the restore path); overrides
+        ``uplink_id``.
+    uplink_options:
+        Extra keyword arguments forwarded to the uplink
+        :class:`~repro.streams.net.site.SiteClient` (timeouts, retry
+        budget, ``rng`` for deterministic backoff in tests).
     """
 
     def __init__(
@@ -75,12 +128,20 @@ class CoordinatorServer:
         port: int = 0,
         checkpoint_dir: str | pathlib.Path | None = None,
         checkpoint_every: int = 0,
+        engine_factory=None,
+        parent_host: str = "127.0.0.1",
+        parent_port: int | None = None,
+        uplink_id: str | None = None,
+        uplink_every: int = 0,
+        uplink_site: StreamSite | None = None,
+        uplink_options: dict | None = None,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
     ) -> None:
         if coordinator is None:
             if spec is None:
                 raise ValueError("need a SketchSpec or a Coordinator")
-            coordinator = Coordinator(spec)
+            engine = engine_factory(spec) if engine_factory is not None else None
+            coordinator = Coordinator(spec, engine=engine)
         self.coordinator = coordinator
         self._host = host
         self._port = port
@@ -99,6 +160,32 @@ class CoordinatorServer:
         self._durable: dict[str, dict[str, int]] = {}
         self._applied_since_checkpoint = 0
         self._checkpoints_written = 0
+        # -- uplink (federation trees) --
+        if uplink_every < 0:
+            raise ValueError("uplink_every must be non-negative")
+        self._uplink: SiteClient | None = None
+        self._uplink_every = uplink_every
+        self._applied_since_uplink = 0
+        self._uplink_lock = asyncio.Lock()
+        self._uplink_tasks: set[asyncio.Task] = set()
+        if parent_port is not None:
+            site = uplink_site
+            if site is None:
+                site = StreamSite(
+                    uplink_id or f"leaf-{uuid.uuid4().hex[:8]}",
+                    self.coordinator.spec,
+                    engine=self.coordinator,
+                )
+            self._uplink = SiteClient(
+                site=site,
+                host=parent_host,
+                port=parent_port,
+                role="uplink",
+                max_frame_bytes=max_frame_bytes,
+                **(uplink_options or {}),
+            )
+        elif uplink_site is not None or uplink_id is not None:
+            raise ValueError("uplink_id/uplink_site need a parent_port")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -106,6 +193,8 @@ class CoordinatorServer:
     def restore(
         cls,
         checkpoint_dir: str | pathlib.Path,
+        *,
+        engine_factory=None,
         **kwargs,
     ) -> "CoordinatorServer":
         """Rebuild a server from a checkpoint written by a previous run.
@@ -115,19 +204,39 @@ class CoordinatorServer:
         applied sequences come from the checkpoint's extra metadata, so
         reconnecting sites are greeted with exactly the sequence the
         restored state covers and re-ship everything newer.
+
+        ``engine_factory`` rebuilds the fold target (a sharded or flat
+        checkpoint restores into either — linearity makes the merged
+        families placement-free).  When the checkpoint carries uplink
+        state, the restored server keeps the same uplink incarnation,
+        sequence counter, baselines, and retained exports, so the parent
+        coordinator sees an unbroken peer: retained exports re-ship
+        bit-identically and nothing is lost or double-applied.  Pass the
+        same ``parent_port`` (and friends) as the original run.
         """
-        engine = restore_engine(checkpoint_dir)
-        coordinator = Coordinator(engine.spec)
-        for name, family in engine.families().items():
+        replay = restore_engine(checkpoint_dir)
+        if engine_factory is None:
+            coordinator = Coordinator(replay.spec)
+        else:
+            fold = engine_factory(replay.spec)
+            fold.mark_replayed(replay.updates_processed)
+            coordinator = Coordinator(replay.spec, engine=fold)
+        for name, family in replay.families().items():
             coordinator.adopt_family(name, family)
-        sequences = read_checkpoint_extra(checkpoint_dir).get(
-            _SITE_SEQUENCES_KEY, {}
-        )
+        extra = read_checkpoint_extra(checkpoint_dir)
+        sequences = extra.get(_SITE_SEQUENCES_KEY, {})
         for site_id, history in sequences.items():
             for incarnation, sequence in history.items():
                 coordinator.set_applied_sequence(
                     str(site_id), str(incarnation), int(sequence)
                 )
+        uplink_state = extra.get(_UPLINK_KEY)
+        if uplink_state and kwargs.get("parent_port") is not None:
+            kwargs = dict(kwargs)
+            kwargs["uplink_site"] = StreamSite.from_state(
+                uplink_state, coordinator.spec, engine=coordinator
+            )
+            kwargs.pop("uplink_id", None)
         server = cls(
             coordinator=coordinator, checkpoint_dir=checkpoint_dir, **kwargs
         )
@@ -150,17 +259,28 @@ class CoordinatorServer:
         self._port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop accepting, drop live connections, and close the server."""
-        if self._server is None:
-            return
-        self._server.close()
-        await self._server.wait_closed()
-        self._server = None
-        for task in list(self._handlers):
+        """Stop accepting, drop live connections, and close the server.
+
+        The uplink connection is closed too; its retained (unacked)
+        exports stay on the site object — and, with checkpointing, in
+        the checkpoint — for the next life to re-sync.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+            for task in list(self._handlers):
+                task.cancel()
+            if self._handlers:
+                await asyncio.gather(*self._handlers, return_exceptions=True)
+            self._handlers.clear()
+        for task in list(self._uplink_tasks):
             task.cancel()
-        if self._handlers:
-            await asyncio.gather(*self._handlers, return_exceptions=True)
-        self._handlers.clear()
+        if self._uplink_tasks:
+            await asyncio.gather(*self._uplink_tasks, return_exceptions=True)
+        self._uplink_tasks.clear()
+        if self._uplink is not None:
+            await self._uplink.close()
 
     async def __aenter__(self) -> "CoordinatorServer":
         await self.start()
@@ -187,6 +307,26 @@ class CoordinatorServer:
         }
 
     @property
+    def uplink(self) -> SiteClient | None:
+        """The uplink client to the parent coordinator (``None`` at the
+        tree root)."""
+        return self._uplink
+
+    def uplink_stats(self) -> TransportStats | None:
+        """Transport counters of the uplink hop (``None`` at the root)."""
+        if self._uplink is None:
+            return None
+        return self._uplink.stats.snapshot()
+
+    def transport_rollup(self) -> TransportStats:
+        """One summed row over every connected child plus the uplink hop
+        (for shutdown summaries and tree-wide dashboards)."""
+        rows = list(self._stats.values())
+        if self._uplink is not None:
+            rows.append(self._uplink.stats)
+        return rollup_transport_stats(rows)
+
+    @property
     def total_deltas_applied(self) -> int:
         return self.coordinator.sites_collected
 
@@ -205,22 +345,84 @@ class CoordinatorServer:
     # -- checkpointing -----------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Write the merged state plus the per-site sequence map now."""
+        """Write the fold state plus the per-site sequence map now.
+
+        With an uplink configured, a fresh uplink export is cut *first*
+        and the uplink's full state (incarnation, sequence counter,
+        baselines, retained exports) is persisted in the same manifest.
+        That ordering is the tree-consistency invariant: the parent can
+        only ever receive exports that this checkpoint (or an earlier
+        one) can reproduce bit-identically, so a restored leaf never
+        diverges from what its parent already folded.
+        """
         if self._checkpoint_dir is None:
             raise ValueError("no checkpoint_dir configured")
-        sequences = self.coordinator.site_sequences()
-        checkpoint_engine(
-            self.coordinator.to_engine(),
-            self._checkpoint_dir,
-            extra={_SITE_SEQUENCES_KEY: sequences},
-        )
+        extra: dict = {_SITE_SEQUENCES_KEY: self.coordinator.site_sequences()}
+        if self._uplink is not None:
+            self._uplink.site.export()
+            extra[_UPLINK_KEY] = self._uplink.site.to_state()
+        engine = self.coordinator.fold_engine
+        if engine is not None and hasattr(engine, "num_shards"):
+            checkpoint_sharded_engine(engine, self._checkpoint_dir, extra=extra)
+        else:
+            checkpoint_engine(
+                self.coordinator.to_engine(), self._checkpoint_dir, extra=extra
+            )
         self._durable = {
-            site: dict(history) for site, history in sequences.items()
+            site: dict(history)
+            for site, history in extra[_SITE_SEQUENCES_KEY].items()
         }
         self._applied_since_checkpoint = 0
         self._checkpoints_written += 1
         for stats in self._stats.values():
             stats.checkpoints_written += 1
+        if self._uplink is not None:
+            self._uplink.stats.checkpoints_written += 1
+
+    # -- uplink (federation trees) ----------------------------------------
+
+    async def ship_upstream(self) -> None:
+        """Cut an aggregated export and push the retained backlog to the
+        parent coordinator.
+
+        With checkpointing enabled the cut happens inside
+        :meth:`checkpoint` (see its invariant); without it the export is
+        cut directly — a restart then starts a fresh incarnation, which
+        keeps parent bookkeeping consistent without any durable state.
+        Raises :class:`~repro.streams.net.site.SiteConnectionError` when
+        the parent stays unreachable; the exports stay retained for the
+        next attempt.
+        """
+        if self._uplink is None:
+            raise ValueError("no parent coordinator configured")
+        async with self._uplink_lock:
+            if self._checkpoint_dir is not None:
+                self.checkpoint()
+            else:
+                self._uplink.site.export()
+            await self._uplink.flush_retained()
+
+    def _maybe_ship_upstream(self) -> None:
+        if self._uplink is None or self._uplink_every == 0:
+            return
+        if self._applied_since_uplink < self._uplink_every:
+            return
+        self._applied_since_uplink = 0
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:  # applied outside the event loop (tests)
+            return
+        task = loop.create_task(self._ship_upstream_quietly())
+        self._uplink_tasks.add(task)
+        task.add_done_callback(self._uplink_tasks.discard)
+
+    async def _ship_upstream_quietly(self) -> None:
+        try:
+            await self.ship_upstream()
+        except (SiteConnectionError, protocol.ProtocolError, OSError):
+            # The parent is down or misbehaving; retained exports
+            # re-ship on the next scheduled or explicit attempt.
+            pass
 
     def _durable_for(self, site_id: str, incarnation: str) -> int:
         if self._checkpoint_dir is None:
@@ -286,7 +488,15 @@ class CoordinatorServer:
         incarnation = header.get("incarnation")
         if not isinstance(incarnation, str) or not incarnation:
             raise protocol.ProtocolError("hello carries no usable incarnation")
-        stats = self._stats.setdefault(site_id, TransportStats(site_id=site_id))
+        role = header.get("role", "site")
+        if role not in protocol.ROLES:
+            raise protocol.ProtocolError(
+                f"hello role {role!r} not one of {protocol.ROLES}"
+            )
+        stats = self._stats.setdefault(
+            site_id, TransportStats(site_id=site_id, role=role)
+        )
+        stats.role = role
         stats.frames_received += 1
         stats.bytes_received += nbytes
         applied = self.coordinator.applied_sequence(site_id, incarnation)
@@ -338,7 +548,9 @@ class CoordinatorServer:
         if applied:
             stats.deltas_applied += 1
             self._applied_since_checkpoint += 1
+            self._applied_since_uplink += 1
             self._maybe_checkpoint()
+            self._maybe_ship_upstream()
         else:
             stats.duplicates_dropped += 1
 

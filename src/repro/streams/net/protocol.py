@@ -16,8 +16,11 @@ them.
 Message types
 -------------
 
-``hello``   (site → coordinator): ``site_id``, ``version``.  First frame
-            on every connection.
+``hello``   (site → coordinator): ``site_id``, ``incarnation``,
+            ``version``, and a ``role`` — ``"site"`` for a leaf
+            observer, ``"uplink"`` for a child coordinator re-exporting
+            aggregated deltas up a federation tree.  First frame on
+            every connection.
 ``welcome`` (coordinator → site): ``sequence`` (last applied for the
             site), ``durable`` (last checkpoint-covered).  The site
             prunes retained exports ≤ ``durable`` and re-ships every
@@ -50,6 +53,7 @@ from repro.streams.distributed import DeltaExport
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "ROLES",
     "ProtocolError",
     "encode_message",
     "decode_message",
@@ -155,11 +159,24 @@ async def read_message(
 # -- message constructors -----------------------------------------------------
 
 
-def hello_message(site_id: str, incarnation: str) -> dict:
+#: Valid values for the hello ``role`` field.  ``"site"`` is a leaf
+#: observer; ``"uplink"`` is a child *coordinator* re-exporting its
+#: aggregated deltas up a federation tree.  The fold path is identical
+#: either way (deltas are deltas); the role only feeds transport stats
+#: and diagnostics, so version 1 peers that omit it stay compatible.
+ROLES = ("site", "uplink")
+
+
+def hello_message(
+    site_id: str, incarnation: str, role: str = "site"
+) -> dict:
+    if role not in ROLES:
+        raise ValueError(f"role must be one of {ROLES}, got {role!r}")
     return {
         "type": "hello",
         "site_id": site_id,
         "incarnation": incarnation,
+        "role": role,
         "version": PROTOCOL_VERSION,
     }
 

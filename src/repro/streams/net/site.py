@@ -68,6 +68,11 @@ class SiteClient:
     rng:
         Source of backoff jitter (a :class:`random.Random`; seedable for
         deterministic tests).
+    role:
+        The role announced in the hello handshake: ``"site"`` (default,
+        a leaf observer) or ``"uplink"`` (a child coordinator
+        re-exporting aggregated deltas to its parent in a federation
+        tree).
     """
 
     def __init__(
@@ -84,13 +89,19 @@ class SiteClient:
         backoff_base: float = 0.05,
         backoff_cap: float = 2.0,
         rng: random.Random | None = None,
+        role: str = "site",
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
     ) -> None:
         if site is None:
             if site_id is None or spec is None:
                 raise ValueError("need a StreamSite, or site_id plus spec")
             site = StreamSite(site_id, spec)
+        if role not in protocol.ROLES:
+            raise ValueError(
+                f"role must be one of {protocol.ROLES}, got {role!r}"
+            )
         self.site = site
+        self.role = role
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
@@ -106,7 +117,7 @@ class SiteClient:
         # The coordinator's last applied sequence for this site, as
         # learned from the most recent welcome/ack.
         self._applied = 0
-        self.stats = TransportStats(site_id=site.site_id)
+        self.stats = TransportStats(site_id=site.site_id, role=role)
 
     # -- observing (pass-through) -----------------------------------------
 
@@ -153,6 +164,17 @@ class SiteClient:
 
     async def deliver(self, export: DeltaExport) -> None:
         """Deliver one export (and everything retained before it)."""
+        await self.flush_retained()
+
+    async def flush_retained(self) -> None:
+        """Deliver every retained export, without cutting a new one.
+
+        The uplink drain: a coordinator leaf cuts exports at checkpoint
+        time and calls this to push whatever its parent has not applied
+        yet.  Retries with backoff like :meth:`deliver`; raises
+        :class:`SiteConnectionError` past the retry budget (the exports
+        stay retained).
+        """
         attempt = 0
         while True:
             try:
@@ -210,7 +232,9 @@ class SiteClient:
             self.stats.reconnects += 1
         self._ever_connected = True
         await self._send(
-            protocol.hello_message(self.site.site_id, self.site.incarnation)
+            protocol.hello_message(
+                self.site.site_id, self.site.incarnation, self.role
+            )
         )
         header = await self._receive("welcome")
         # The welcome's numbers are scoped to this site's incarnation

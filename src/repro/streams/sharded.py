@@ -194,6 +194,12 @@ def _shard_worker(shard_id, spec_payload, use_plan, inbox, outbox):
                 stats.batches_flushed += 1
                 stats.updates_routed += elements.size
                 stats.updates_applied += applied
+            elif kind == "merge":
+                _, stream, payload = message
+                if failure is not None:
+                    continue  # poisoned: drain without applying
+                incoming = SketchFamily.from_bytes(payload, spec)
+                families[stream].merge_in_place(incoming)
             elif kind == "sync":
                 plan_payload = (
                     plan_for(spec).stats().to_json_dict() if use_plan else None
@@ -288,6 +294,8 @@ class ShardedEngine:
         self._updates_processed = 0
         self._version = 0  # bumped on any state change; keys merge caches
         self._stats = [_MutableShardStats(shard) for shard in range(num_shards)]
+        self._merge_cursor = 0  # round-robin shard for delta merges
+        self._deltas_merged = 0
         self._merges = 0
         self._merge_seconds = 0.0
         self._merged: tuple[int, StreamEngine] | None = None
@@ -447,6 +455,57 @@ class ShardedEngine:
             self._dispatch(shard, stream)
         self._barrier()
 
+    def merge_delta(self, stream: str, delta: SketchFamily) -> None:
+        """Fold a delta synopsis into ``stream`` by linearity.
+
+        The network-fold primitive for a coordinator leaf running on a
+        sharded engine: incoming
+        :class:`~repro.streams.distributed.DeltaExport` payloads are
+        counter arrays, not elements, so they cannot be routed by the
+        ``(stream, element)`` partitioner — instead each delta lands
+        whole on one shard, chosen round-robin so the merge work spreads
+        across workers.  Any placement sums to the same merged synopsis
+        (linearity), and the per-shard executors serialise the merge
+        against in-flight ingest batches for the same shard.  Ownership
+        of ``delta`` transfers to the engine.
+        """
+        if delta.spec != self.spec:
+            from repro.errors import IncompatibleSketchesError
+
+            raise IncompatibleSketchesError(
+                "delta family does not follow the engine's SketchSpec"
+            )
+        shard = self._merge_cursor % self.num_shards
+        self._merge_cursor += 1
+        self._known_streams.add(stream)
+        if self.executor == "serial":
+            self._merge_apply(shard, stream, delta)
+        elif self.executor == "threads":
+            pending = self._pending[shard]
+            if len(pending) > 32:
+                self._pending[shard] = pending = [
+                    future for future in pending if not future.done()
+                ]
+            pending.append(
+                self._executors[shard].submit(
+                    self._merge_apply, shard, stream, delta
+                )
+            )
+        else:
+            self._ensure_segment(shard, stream)
+            self._inboxes[shard].put(("merge", stream, delta.to_bytes()))
+        self._deltas_merged += 1
+        self._version += 1
+
+    def _merge_apply(self, shard: int, stream: str, delta: SketchFamily) -> None:
+        """Merge body for the serial/threads backends."""
+        families = self._families[shard]
+        family = families.get(stream)
+        if family is None:
+            families[stream] = delta
+        else:
+            family.merge_in_place(delta)
+
     # -- dispatch internals ------------------------------------------------
 
     def _dispatch(self, shard: int, stream: str) -> None:
@@ -591,6 +650,11 @@ class ShardedEngine:
         buffered = {stream for _, stream in self._buffers}
         return sorted(self._known_streams | buffered)
 
+    @property
+    def deltas_merged(self) -> int:
+        """How many delta synopses :meth:`merge_delta` has folded in."""
+        return self._deltas_merged
+
     def family(self, stream: str) -> SketchFamily:
         """The merged synopsis for ``stream`` (flushed and summed).
 
@@ -598,6 +662,19 @@ class ShardedEngine:
         tracking the engine once further updates arrive.
         """
         return self._merged_engine().family(stream)
+
+    def families(self) -> dict[str, SketchFamily]:
+        """Flushed ``stream -> merged synopsis`` mapping.
+
+        Same hand-off surface as
+        :meth:`~repro.streams.engine.StreamEngine.families` — delta
+        export (an uplink :class:`~repro.streams.distributed.StreamSite`
+        over this engine) and checkpointing read the merged view here.
+        The families reuse the engine's merge buffers: they reflect the
+        state as of this call and are overwritten by the next merge, so
+        callers needing a stable snapshot must ``copy()``.
+        """
+        return self._merged_engine().families()
 
     def query_stats(self):
         """Query-cache counters of the current merged query engine.

@@ -27,6 +27,7 @@ __all__ = [
     "HashPlanStats",
     "QueryStats",
     "TransportStats",
+    "rollup_transport_stats",
 ]
 
 
@@ -98,6 +99,7 @@ class TransportStats:
     """
 
     site_id: str = ""
+    role: str = "site"
     frames_sent: int = 0
     frames_received: int = 0
     bytes_sent: int = 0
@@ -115,6 +117,28 @@ class TransportStats:
         """A point-in-time copy (the original keeps counting)."""
         return replace(self)
 
+    def merged_with(self, other: "TransportStats") -> "TransportStats":
+        """Counter-wise sum of two snapshots (per-hop roll-up step).
+
+        ``site_id``/``role`` keep this instance's values when they
+        agree with ``other``'s and turn into ``"*"`` when they differ —
+        a summed row spanning several peers no longer describes one.
+        """
+        merged = {
+            name: getattr(self, name) + getattr(other, name)
+            for name in (
+                "frames_sent", "frames_received", "bytes_sent",
+                "bytes_received", "deltas_shipped", "deltas_applied",
+                "duplicates_dropped", "resyncs", "retries", "reconnects",
+                "acks_received", "checkpoints_written",
+            )
+        }
+        return TransportStats(
+            site_id=self.site_id if self.site_id == other.site_id else "*",
+            role=self.role if self.role == other.role else "*",
+            **merged,
+        )
+
     @property
     def delivery_ratio(self) -> float:
         """``deltas_applied / (deltas_applied + duplicates_dropped)``.
@@ -127,6 +151,22 @@ class TransportStats:
         if seen == 0:
             return 1.0
         return self.deltas_applied / seen
+
+
+def rollup_transport_stats(stats, site_id: str = "total") -> TransportStats:
+    """Sum an iterable of :class:`TransportStats` into one roll-up row.
+
+    A coordinator in a federation tree sees one stats instance per
+    connected child plus one for its own uplink hop; this collapses them
+    into a single per-hop total (e.g. for the ``repro serve`` shutdown
+    summary).  An empty iterable yields an all-zero row.
+    """
+    total: TransportStats | None = None
+    for entry in stats:
+        total = entry.snapshot() if total is None else total.merged_with(entry)
+    if total is None:
+        return TransportStats(site_id=site_id, role="*")
+    return replace(total, site_id=site_id)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,223 @@
+"""A reusable fault-injecting TCP proxy for transport tests.
+
+:class:`FaultyTransport` sits between a :class:`~repro.streams.net.site.
+SiteClient` (or an uplink hop of a federation tree) and a
+:class:`~repro.streams.net.coordinator.CoordinatorServer`, parses the
+length-framed protocol, and — driven by a seeded ``random.Random`` —
+drops, duplicates, delays, or cuts (half a frame, then a hard close)
+individual client→server frames.  The server→client direction is
+forwarded verbatim; a cut kills both directions, which is exactly what a
+mid-frame TCP reset looks like to each endpoint.
+
+Two rules keep the faults meaningful rather than merely fatal:
+
+* the **first frame of every connection is spared** — it is the hello
+  handshake, and faulting it only tests the connect/retry loop, which
+  dedicated tests already cover;
+* an optional **max_faults budget** guarantees liveness: once spent, the
+  proxy forwards cleanly, so a bounded retry budget on the client side
+  always suffices to converge.
+
+The per-kind counters (``dropped``/``duplicated``/``cut``/``delayed``)
+let a test assert that faults actually fired — a fault test that
+silently faulted nothing proves nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import struct
+
+__all__ = ["FaultyTransport"]
+
+_LENGTH = struct.Struct(">I")
+
+
+class FaultyTransport:
+    """Seeded fault-injecting proxy in front of ``target_port``.
+
+    Parameters
+    ----------
+    target_port:
+        Where the real coordinator listens.
+    rng:
+        Seeded randomness source; all fault decisions draw from it, so a
+        failing schedule is reproducible from its seed alone.
+    drop, duplicate, cut, delay:
+        Per-frame probabilities of each fault (evaluated in that order
+        on one uniform draw, so their sum must stay ≤ 1).
+    delay_seconds:
+        Upper bound of the uniform delay applied by a ``delay`` fault.
+    max_faults:
+        Total fault budget (``None`` = unlimited).  After it is spent
+        every frame forwards cleanly.
+    """
+
+    def __init__(
+        self,
+        target_port: int,
+        rng: random.Random,
+        *,
+        target_host: str = "127.0.0.1",
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        cut: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: float = 0.05,
+        max_faults: int | None = None,
+    ) -> None:
+        if drop + duplicate + cut + delay > 1.0:
+            raise ValueError("fault probabilities must sum to at most 1")
+        self.target_host = target_host
+        self.target_port = target_port
+        self._rng = rng
+        self._drop = drop
+        self._duplicate = duplicate
+        self._cut = cut
+        self._delay = delay
+        self._delay_seconds = delay_seconds
+        self._max_faults = max_faults
+        self._server: asyncio.AbstractServer | None = None
+        self._port = 0
+        self._pumps: set[asyncio.Task] = set()
+        self.dropped = 0
+        self.duplicated = 0
+        self.cut_connections = 0
+        self.delayed = 0
+
+    @property
+    def port(self) -> int:
+        """The proxy's listening port (after :meth:`start`)."""
+        return self._port
+
+    @property
+    def faults_injected(self) -> int:
+        return self.dropped + self.duplicated + self.cut_connections + self.delayed
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._pumps):
+            task.cancel()
+        if self._pumps:
+            await asyncio.gather(*self._pumps, return_exceptions=True)
+        self._pumps.clear()
+
+    async def __aenter__(self) -> "FaultyTransport":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- internals ---------------------------------------------------------
+
+    def _budget_left(self) -> bool:
+        return (
+            self._max_faults is None
+            or self.faults_injected < self._max_faults
+        )
+
+    async def _handle(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.target_host, self.target_port
+            )
+        except OSError:
+            client_writer.close()
+            return
+        loop = asyncio.get_running_loop()
+        up = loop.create_task(
+            self._pump_frames(client_reader, server_writer, client_writer)
+        )
+        down = loop.create_task(
+            self._pump_raw(server_reader, client_writer, server_writer)
+        )
+        for task in (up, down):
+            self._pumps.add(task)
+            task.add_done_callback(self._pumps.discard)
+
+    async def _pump_frames(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        back: asyncio.StreamWriter,
+    ) -> None:
+        """Client→server: parse frames, inject faults (hello spared)."""
+        first = True
+        try:
+            while True:
+                prefix = await reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(prefix)
+                frame = prefix + await reader.readexactly(length)
+                if first or not self._budget_left():
+                    first = False
+                    writer.write(frame)
+                    await writer.drain()
+                    continue
+                roll = self._rng.random()
+                if roll < self._drop:
+                    self.dropped += 1
+                    continue
+                roll -= self._drop
+                if roll < self._duplicate:
+                    self.duplicated += 1
+                    writer.write(frame + frame)
+                    await writer.drain()
+                    continue
+                roll -= self._duplicate
+                if roll < self._cut:
+                    self.cut_connections += 1
+                    writer.write(frame[: max(1, len(frame) // 2)])
+                    await writer.drain()
+                    writer.close()
+                    back.close()
+                    return
+                roll -= self._cut
+                if roll < self._delay:
+                    self.delayed += 1
+                    await asyncio.sleep(
+                        self._rng.uniform(0, self._delay_seconds)
+                    )
+                writer.write(frame)
+                await writer.drain()
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            writer.close()
+
+    async def _pump_raw(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        back: asyncio.StreamWriter,
+    ) -> None:
+        """Server→client: verbatim passthrough."""
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                writer.write(chunk)
+                await writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            back.close()

@@ -1,0 +1,208 @@
+"""Randomized multi-life schedules through the fault-injecting proxy.
+
+Each seed drives one complete schedule: several sites observe random
+update batches and ship them through a :class:`~tests.streams.net.faults.
+FaultyTransport` that drops, duplicates, delays, and cuts frames, while
+the coordinator is killed and restored from its checkpoint mid-run and
+one site is restarted under a reused id.  Whatever the schedule did, the
+surviving coordinator must be **bit-identical** to one flat
+:class:`~repro.streams.engine.StreamEngine` fed the same updates — the
+delta protocol's invariants (idempotent duplicates, gap detection,
+retention until durable ack, incarnation-scoped numbering) leave no
+failure mode that merely degrades accuracy.
+
+A failing seed reproduces deterministically; the assertion message
+carries it so CI logs are actionable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.engine import StreamEngine
+from repro.streams.net.coordinator import CoordinatorServer
+from repro.streams.net.site import SiteClient
+from repro.streams.updates import Update
+
+from tests.streams.net.faults import FaultyTransport
+
+SHAPE = SketchShape(domain_bits=14, num_second_level=8, independence=4)
+SPEC = SketchSpec(num_sketches=16, shape=SHAPE, seed=77)
+
+TIMEOUT = 60.0
+STREAMS = "ABC"
+SITE_IDS = ("alpha", "beta", "gamma")
+
+FAST_SEEDS = range(3)
+SLOW_SEEDS = range(3, 15)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+def make_client(site_id: str, port: int, seed: int) -> SiteClient:
+    return SiteClient(
+        site_id=site_id,
+        spec=SPEC,
+        port=port,
+        connect_timeout=1.0,
+        io_timeout=0.3,
+        max_retries=80,
+        backoff_base=0.005,
+        backoff_cap=0.03,
+        rng=random.Random(seed),
+    )
+
+
+def random_batch(rng: random.Random, size: int) -> list[Update]:
+    return [
+        Update(
+            stream=rng.choice(STREAMS),
+            element=rng.randrange(1, 8000),
+            delta=rng.choice([1, 1, 1, -1]),
+        )
+        for _ in range(size)
+    ]
+
+
+async def run_schedule(seed: int, tmp_path):
+    """One full randomized life: returns (server, truth, proxy, clients)."""
+    rng = random.Random(seed)
+    truth = StreamEngine(SPEC)
+    server = CoordinatorServer(
+        SPEC,
+        port=0,
+        checkpoint_dir=tmp_path,
+        checkpoint_every=rng.choice([1, 2, 3]),
+    )
+    await server.start()
+    port = server.port
+    proxy = FaultyTransport(
+        port,
+        random.Random(seed + 10_000),
+        drop=0.08,
+        duplicate=0.12,
+        cut=0.08,
+        delay=0.05,
+        delay_seconds=0.02,
+        max_faults=18,
+    )
+    await proxy.start()
+    clients = {
+        site_id: make_client(site_id, proxy.port, seed + i)
+        for i, site_id in enumerate(SITE_IDS)
+    }
+
+    restarted_coordinator = False
+    restarted_site = False
+    rounds = rng.randrange(6, 10)
+    for round_no in range(rounds):
+        for site_id, client in clients.items():
+            batch = random_batch(rng, rng.randrange(10, 30))
+            client.observe_many(batch)
+            truth.process_many(batch)
+            if rng.random() < 0.7:
+                await client.ship()
+        if not restarted_coordinator and round_no == rounds // 2:
+            # Coordinator life 2: killed, restored from the checkpoint,
+            # back on the same port.  Applied-but-not-durable exports
+            # are re-shipped from the sites' retained tails.
+            await server.stop()
+            server = CoordinatorServer.restore(
+                tmp_path, port=port, checkpoint_every=rng.choice([1, 2])
+            )
+            await server.start()
+            restarted_coordinator = True
+        if not restarted_site and round_no == (2 * rounds) // 3:
+            # Site life 2 under the same id: ship everything, make it
+            # durable, then replace the process — the fresh incarnation
+            # restarts numbering at 1 without shadowing the old life.
+            victim = rng.choice(SITE_IDS)
+            await clients[victim].ship()
+            server.checkpoint()
+            await clients[victim].close()
+            clients[victim] = make_client(victim, proxy.port, seed + 99)
+            restarted_site = True
+
+    for client in clients.values():
+        await client.ship()
+    return server, truth, proxy, clients
+
+
+def assert_schedule_converged(seed, server, truth, proxy, clients):
+    context = (
+        f"fault-harness seed={seed} faults="
+        f"drop:{proxy.dropped} dup:{proxy.duplicated} "
+        f"cut:{proxy.cut_connections} delay:{proxy.delayed}"
+    )
+    truth.flush()
+    coordinator = server.coordinator
+    assert coordinator.stream_names() == truth.stream_names(), context
+    for name, family in truth.families().items():
+        assert coordinator.families()[name] == family, f"{context} stream={name}"
+    assert (
+        coordinator.query_union(list(STREAMS), 0.25).value
+        == truth.query_union(list(STREAMS), 0.25).value
+    ), context
+    assert (
+        coordinator.query("(A - B) | C", 0.25).value
+        == truth.query("(A - B) | C", 0.25).value
+    ), context
+
+
+def check_seed(seed: int, tmp_path) -> None:
+    async def scenario():
+        server, truth, proxy, clients = await run_schedule(seed, tmp_path)
+        try:
+            assert_schedule_converged(seed, server, truth, proxy, clients)
+        finally:
+            for client in clients.values():
+                await client.close()
+            await proxy.stop()
+            await server.stop()
+
+    run(scenario())
+
+
+@pytest.mark.parametrize("seed", FAST_SEEDS)
+def test_randomized_schedule_bit_identical(seed, tmp_path):
+    check_seed(seed, tmp_path)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", SLOW_SEEDS)
+def test_randomized_schedule_bit_identical_slow(seed, tmp_path):
+    check_seed(seed, tmp_path)
+
+
+def test_duplicate_faults_fire_and_are_dropped():
+    """Deterministic check that the proxy's faults are real: with
+    ``duplicate=1.0`` every post-hello frame goes through twice, and the
+    coordinator drops the copies idempotently."""
+
+    async def scenario():
+        server = CoordinatorServer(SPEC, port=0)
+        await server.start()
+        proxy = FaultyTransport(
+            server.port, random.Random(1), duplicate=1.0, max_faults=4
+        )
+        await proxy.start()
+        client = make_client("dup-site", proxy.port, seed=1)
+        rng = random.Random(2)
+        for _ in range(3):
+            client.observe_many(random_batch(rng, 10))
+            await client.ship()
+        assert proxy.duplicated >= 1
+        assert server.coordinator.duplicates_dropped >= 1
+        assert server.coordinator.applied_sequence("dup-site") == 3
+        await client.close()
+        await proxy.stop()
+        await server.stop()
+
+    run(scenario())

@@ -1,0 +1,228 @@
+"""Checkpoint manifest migration and extra-metadata round-trips.
+
+A version-1 checkpoint (raw stream-name files, no ``stream_files``
+mapping, no ``extra``) must restore into every modern consumer — a flat
+engine, a :class:`~repro.streams.net.coordinator.CoordinatorServer`,
+and a factory-built :class:`~repro.streams.sharded.ShardedEngine` fold
+target — and re-checkpointing then *migrates* it to the current format.
+The ``extra`` mapping (per-site sequence map, uplink state) must ride
+unchanged through :func:`~repro.streams.checkpoint.
+checkpoint_sharded_engine`, i.e. through a ShardedEngine leaf of a
+federation tree, not just the flat writer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.checkpoint import (
+    CheckpointError,
+    checkpoint_sharded_engine,
+    read_checkpoint_extra,
+    read_checkpoint_spec,
+    restore_engine,
+    restore_sharded_engine,
+)
+from repro.streams.distributed import StreamSite
+from repro.streams.engine import StreamEngine
+from repro.streams.net.coordinator import CoordinatorServer
+from repro.streams.sharded import ShardedEngine
+from repro.streams.updates import Update, insertions
+
+SHAPE = SketchShape(domain_bits=16, num_second_level=8, independence=4)
+SPEC = SketchSpec(num_sketches=32, shape=SHAPE, seed=9)
+
+
+def loaded_engine() -> StreamEngine:
+    engine = StreamEngine(SPEC)
+    rng = np.random.default_rng(123)
+    for stream in ("A", "B"):
+        for element in rng.integers(0, 2**16, size=300):
+            engine.process(Update(stream, int(element), 1))
+    engine.flush()
+    return engine
+
+
+def write_v1_checkpoint(directory, engine: StreamEngine) -> None:
+    """A checkpoint exactly as format version 1 wrote it."""
+    (directory / "streams").mkdir(parents=True)
+    for name in engine.stream_names():
+        (directory / "streams" / f"{name}.sketch").write_bytes(
+            engine.family(name).to_bytes()
+        )
+    (directory / "manifest.json").write_text(
+        json.dumps(
+            {
+                "format_version": 1,
+                "spec": SPEC.to_json_dict(),
+                "streams": engine.stream_names(),
+                "updates_processed": engine.updates_processed,
+            }
+        )
+    )
+
+
+class TestV1Migration:
+    def test_v1_restores_into_sharded_fold_target(self, tmp_path):
+        """v1 checkpoint → CoordinatorServer.restore with an
+        engine_factory: the migration path a leaf upgraded in place
+        takes."""
+        engine = loaded_engine()
+        write_v1_checkpoint(tmp_path, engine)
+        server = CoordinatorServer.restore(
+            tmp_path,
+            engine_factory=lambda spec: ShardedEngine(
+                spec, num_shards=2, executor="serial"
+            ),
+        )
+        fold = server.coordinator.fold_engine
+        assert isinstance(fold, ShardedEngine)
+        assert fold.updates_processed == engine.updates_processed
+        for name in engine.stream_names():
+            assert server.coordinator.families()[name] == engine.family(name)
+        assert (
+            server.query_union(["A", "B"], 0.25).value
+            == engine.query_union(["A", "B"], 0.25).value
+        )
+        fold.close()
+
+    def test_recheckpoint_migrates_v1_to_current_format(self, tmp_path):
+        """Restoring a v1 checkpoint and checkpointing again writes the
+        current manifest format (stream_files mapping, shard layout)."""
+        engine = loaded_engine()
+        v1 = tmp_path / "v1"
+        write_v1_checkpoint(v1, engine)
+        server = CoordinatorServer.restore(
+            v1,
+            engine_factory=lambda spec: ShardedEngine(
+                spec, num_shards=2, executor="serial"
+            ),
+        )
+        server._checkpoint_dir = tmp_path / "v2"
+        server.checkpoint()
+        manifest = json.loads((tmp_path / "v2" / "manifest.json").read_text())
+        assert manifest["format_version"] == 2
+        assert manifest["shards"] == 2
+        # Slices are keyed per shard in the v2 mapping.
+        assert all(key.startswith("shard") for key in manifest["stream_files"])
+        assert manifest["stream_files"]
+        restored = restore_engine(tmp_path / "v2")
+        for name in engine.stream_names():
+            assert restored.family(name) == engine.family(name)
+        server.coordinator.fold_engine.close()
+
+    def test_v1_has_no_extra_and_no_spec_surprises(self, tmp_path):
+        engine = loaded_engine()
+        write_v1_checkpoint(tmp_path, engine)
+        assert read_checkpoint_extra(tmp_path) == {}
+        assert read_checkpoint_spec(tmp_path) == SPEC
+
+
+class TestReadCheckpointSpec:
+    def test_reads_spec_without_restoring(self, tmp_path):
+        with ShardedEngine(SPEC, num_shards=2, executor="serial") as engine:
+            engine.process_many(insertions("S", range(50)))
+            checkpoint_sharded_engine(engine, tmp_path)
+        assert read_checkpoint_spec(tmp_path) == SPEC
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_checkpoint_spec(tmp_path / "nope")
+
+    def test_unusable_spec_raises(self, tmp_path):
+        engine = loaded_engine()
+        write_v1_checkpoint(tmp_path, engine)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        manifest["spec"] = {"not": "a spec"}
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError):
+            read_checkpoint_spec(tmp_path)
+
+
+class TestExtraThroughShardedLeaf:
+    def test_extra_round_trips_through_sharded_writer(self, tmp_path):
+        """The extra mapping rides a sharded checkpoint verbatim and the
+        counters still restore both sharded and flat."""
+        extra = {
+            "site_sequences": {"s1": {"inc-a": 3, "inc-b": 1}},
+            "uplink": {"site_id": "leaf", "sequence": 2},
+        }
+        with ShardedEngine(SPEC, num_shards=3, executor="serial") as engine:
+            engine.process_many(insertions("A", range(200)))
+            engine.process_many(insertions("B", range(100, 260)))
+            checkpoint_sharded_engine(engine, tmp_path, extra=extra)
+            merged = engine.families()
+        assert read_checkpoint_extra(tmp_path) == extra
+        flat = restore_engine(tmp_path)
+        for name, family in merged.items():
+            assert flat.family(name) == family
+        with restore_sharded_engine(tmp_path, executor="serial") as again:
+            for name, family in merged.items():
+                assert again.family(name) == family
+
+    def test_sharded_leaf_checkpoint_restores_uplink_state(self, tmp_path):
+        """Full loop through a ShardedEngine-leaf CoordinatorServer:
+        checkpoint persists site sequences + uplink state in extra, and
+        restore rebuilds both over a fresh sharded fold."""
+
+        async def scenario():
+            leaf = CoordinatorServer(
+                SPEC,
+                port=0,
+                checkpoint_dir=tmp_path,
+                engine_factory=lambda spec: ShardedEngine(
+                    spec, num_shards=2, executor="serial"
+                ),
+                parent_port=65_000,  # never dialled in this test
+                uplink_id="leaf",
+            )
+            site = StreamSite("s1", SPEC)
+            site.observe_many(insertions("A", range(150)))
+            leaf.coordinator.collect(site.export())
+            leaf.checkpoint()
+
+            extra = read_checkpoint_extra(tmp_path)
+            assert extra["site_sequences"] == {
+                "s1": {site.incarnation: 1}
+            }
+            assert extra["uplink"]["site_id"] == "leaf"
+            assert extra["uplink"]["sequence"] == 1  # cut by checkpoint()
+            assert extra["uplink"]["retained"], "export retained until ack"
+
+            restored = CoordinatorServer.restore(
+                tmp_path,
+                engine_factory=lambda spec: ShardedEngine(
+                    spec, num_shards=2, executor="serial"
+                ),
+                parent_port=65_000,
+                uplink_options=dict(max_retries=0),
+            )
+            assert isinstance(
+                restored.coordinator.fold_engine, ShardedEngine
+            )
+            assert (
+                restored.uplink.site.incarnation
+                == leaf.uplink.site.incarnation
+            )
+            assert restored.uplink.site.sequence == 1
+            assert restored.uplink.site.retained_exports == 1
+            # The retained export is byte-identical to the pre-crash cut.
+            original = leaf.uplink.site.exports_after(0)[0]
+            replayed = restored.uplink.site.exports_after(0)[0]
+            assert replayed.payloads == dict(original.payloads)
+            assert (
+                restored.coordinator.applied_sequence(
+                    "s1", site.incarnation
+                )
+                == 1
+            )
+            leaf.coordinator.fold_engine.close()
+            restored.coordinator.fold_engine.close()
+
+        asyncio.run(asyncio.wait_for(scenario(), 30))

@@ -122,6 +122,95 @@ class TestServeShipPipeline:
         ) == 0
         assert "|A|" in capsys.readouterr().out
 
+    def test_serve_two_level_tree(self, tmp_path, capsys):
+        """A 2-level federation tree, all CLI: two leaf coordinators
+        (one folding into a 2-shard engine) re-export to a root, whose
+        checkpoint answers a cross-leaf expression.  Single-core: every
+        server runs its own event loop in a thread, no parallel
+        executors."""
+        import socket
+        import threading
+
+        import repro.streams.net.coordinator  # noqa: F401
+        import repro.streams.net.site  # noqa: F401
+        from repro.streams.sources import save_updates
+        from repro.streams.updates import insertions
+
+        log_a = tmp_path / "edge-a.log"
+        log_b = tmp_path / "edge-b.log"
+        save_updates(log_a, insertions("A", range(64)))
+        save_updates(log_b, insertions("B", range(32, 96)))
+        ports = []
+        for _ in range(3):
+            with socket.socket() as probe:
+                probe.bind(("127.0.0.1", 0))
+                ports.append(probe.getsockname()[1])
+        root_port, leaf1_port, leaf2_port = ports
+        root_ckpt = tmp_path / "root-ckpt"
+        leaf2_ckpt = tmp_path / "leaf2-ckpt"
+        spec_args = [
+            "--sketches", "32", "--second-level", "8",
+            "--independence", "4", "--domain-bits", "16",
+        ]
+
+        codes: dict[str, int] = {}
+
+        def run_serve(name: str, argv: list[str]) -> threading.Thread:
+            def target() -> None:
+                codes[name] = main(["serve", *argv, *spec_args])
+
+            thread = threading.Thread(target=target, daemon=True)
+            thread.start()
+            return thread
+
+        # Root exits after both leaves' shutdown flushes arrive.
+        root = run_serve("root", [
+            "--port", str(root_port),
+            "--checkpoint", str(root_ckpt), "--checkpoint-every", "1",
+            "--max-deltas", "2",
+        ])
+        # Leaf 1: sharded fold, no checkpoint (direct uplink cut).
+        leaf1 = run_serve("leaf1", [
+            "--port", str(leaf1_port), "--shards", "2",
+            "--parent", f"127.0.0.1:{root_port}",
+            "--uplink-id", "leaf-a", "--uplink-every", "0",
+            "--max-deltas", "1",
+        ])
+        # Leaf 2: flat fold with a checkpoint (cut-inside-checkpoint).
+        leaf2 = run_serve("leaf2", [
+            "--port", str(leaf2_port),
+            "--parent", f"127.0.0.1:{root_port}",
+            "--uplink-id", "leaf-b", "--uplink-every", "0",
+            "--checkpoint", str(leaf2_ckpt), "--checkpoint-every", "1",
+            "--max-deltas", "1",
+        ])
+        try:
+            for log, port, site in (
+                (log_a, leaf1_port, "edge-a"),
+                (log_b, leaf2_port, "edge-b"),
+            ):
+                assert main([
+                    "ship", "--log", str(log), "--port", str(port),
+                    "--site-id", site, *spec_args,
+                ]) == 0
+        finally:
+            for thread in (leaf1, leaf2, root):
+                thread.join(timeout=15)
+        assert not any(t.is_alive() for t in (leaf1, leaf2, root))
+        assert codes == {"root": 0, "leaf1": 0, "leaf2": 0}
+        output = capsys.readouterr().out
+        assert "uplink leaf-a" in output
+        assert "uplink leaf-b" in output
+        assert "deltas shipped upstream" in output
+
+        # The root folded both leaves: a cross-leaf expression answers
+        # from its checkpoint.
+        assert main([
+            "query", "--checkpoint", str(root_ckpt),
+            "--expression", "A & B", "--epsilon", "0.3",
+        ]) == 0
+        assert "|A & B|" in capsys.readouterr().out
+
 
 class TestPlanCommand:
     def test_plan_prints_recommendation(self, capsys):
