@@ -9,13 +9,19 @@ vectorised batch path, across family sizes.
 Run directly (``python benchmarks/bench_throughput.py --shards 4``) it
 becomes an end-to-end ingest benchmark: a realistic skewed
 insert/delete workload is driven through a single-threaded
-:class:`~repro.streams.engine.StreamEngine` — once on the legacy
-per-sketch path and once through the shared
-:class:`~repro.core.plan.HashPlan` — and through a
-:class:`~repro.streams.sharded.ShardedEngine`.  All results are
-verified bit-identical, the plan's hash-vs-scatter time breakdown and
-element-row cache hit rate are captured, and the measurements land in
-``BENCH_throughput.json``.
+:class:`~repro.streams.engine.StreamEngine` — on the legacy per-sketch
+path, through the shared :class:`~repro.core.plan.HashPlan`, and with a
+dense precomputed-scatter table over the hot domain prefix
+(``dense_domain``, see :class:`~repro.core.plan.DenseScatterTable`) —
+and through a :class:`~repro.streams.sharded.ShardedEngine`.  All
+results are verified bit-identical, the plan's hash-vs-scatter time
+breakdown, element-row cache hit rate, and dense gather share are
+captured, and the measurements land in ``BENCH_throughput.json``.
+
+``--smoke`` runs a scaled-down version as a CI gate: it exits non-zero
+if any pass diverges bit-wise, if the dense path is slower than the LRU
+plan on the smoke workload, or if the sharded plan stats report more
+busy hash time than the run's elapsed time.
 """
 
 from __future__ import annotations
@@ -116,41 +122,62 @@ def run_ingest_benchmark(
     shards: int = 4,
     executor: str = "threads",
     seed: int = 7,
+    dense_domain: int = 1 << 18,
+    dense_batch_size: int = 65536,
+    reps: int = 3,
     out: str | pathlib.Path = "BENCH_throughput.json",
 ) -> dict:
-    """Legacy vs plan-based vs sharded ingest on one workload.
+    """Legacy vs plan-based vs dense vs sharded ingest on one workload.
 
-    Three passes over the same updates: a single engine on the legacy
+    Four passes over the same updates: a single engine on the legacy
     per-sketch path (``use_plan=False``), a single engine through the
-    shared :class:`~repro.core.plan.HashPlan` (the default), and the
-    sharded engine (plan-based).  Returns (and writes to ``out``) a JSON
-    report with all three throughputs, the plan speedup and cache/time
-    breakdown, per-shard stats, and bit-identical equivalence checks of
-    the counters.
+    shared :class:`~repro.core.plan.HashPlan` (the default), a single
+    engine with a dense precomputed-scatter table over the first
+    ``dense_domain`` elements (Zipf traffic concentrates there; the
+    table build runs once, outside the timed window, and is reported
+    separately), and the sharded engine (plan-based).  Each pass runs
+    ``reps`` times on a fresh engine (cold caches, zeroed stats every
+    rep) and records the best wall-clock — the standard noise shield on
+    shared machines; reported plan stats describe one rep exactly.
+    Returns (and writes to ``out``) a JSON report with all four
+    throughputs, the speedups, cache/time/dense breakdowns, per-shard
+    stats, and bit-identical equivalence checks of the counters.
     """
     from repro.core.plan import plan_for
     from repro.streams.engine import StreamEngine
     from repro.streams.sharded import ShardedEngine
 
+    if reps < 1:
+        raise ValueError("reps must be positive")
     spec = SketchSpec(num_sketches=num_sketches, shape=SHAPE, seed=seed)
     updates = _skewed_workload(num_updates, num_streams, seed)
-
-    legacy = StreamEngine(spec, use_plan=False)
-    started = time.perf_counter()
-    legacy.process_many(updates)
-    legacy.flush()
-    legacy_seconds = time.perf_counter() - started
-
-    # Cold plan: measure from an empty element-row cache and zeroed stats
-    # so the hit rate / time breakdown describe exactly this run.
     shared_plan = plan_for(spec)
-    shared_plan.clear_cache()
-    shared_plan.reset_stats()
-    baseline = StreamEngine(spec)
-    started = time.perf_counter()
-    baseline.process_many(updates)
-    baseline.flush()
-    baseline_seconds = time.perf_counter() - started
+
+    def timed_pass(make_engine):
+        """Best-of-``reps`` cold runs; returns (last_engine, best_s)."""
+        best = None
+        engine = None
+        for _ in range(reps):
+            if engine is not None and hasattr(engine, "close"):
+                engine.close()
+            shared_plan.clear_cache()
+            shared_plan.reset_stats()
+            engine = make_engine()
+            started = time.perf_counter()
+            engine.process_many(updates)
+            engine.flush()
+            seconds = time.perf_counter() - started
+            best = seconds if best is None else min(best, seconds)
+        return engine, best
+
+    legacy, legacy_seconds = timed_pass(
+        lambda: StreamEngine(spec, use_plan=False)
+    )
+
+    # Cold plan: every rep starts from an empty element-row cache and
+    # zeroed stats, so the hit rate / time breakdown describe exactly
+    # one cold run over the workload.
+    baseline, baseline_seconds = timed_pass(lambda: StreamEngine(spec))
     plan_stats = baseline.plan_stats()
     plan_identical = all(
         np.array_equal(
@@ -159,12 +186,41 @@ def run_ingest_benchmark(
         for name in legacy.stream_names()
     )
 
-    shared_plan.reset_stats()  # sharded pass reports its own counters
-    with ShardedEngine(spec, num_shards=shards, executor=executor) as sharded:
-        started = time.perf_counter()
-        sharded.process_many(updates)
-        sharded.flush()
-        sharded_seconds = time.perf_counter() - started
+    # Dense pass: precompute scatter rows for the hot domain prefix, then
+    # serve covered batches by pure gather.  The table build is a one-time
+    # setup cost paid before the timed window opens.
+    dense_table = shared_plan.ensure_dense_domain(dense_domain)
+    dense_engine, dense_seconds = timed_pass(
+        lambda: StreamEngine(
+            spec, batch_size=dense_batch_size, dense_domain=dense_domain
+        )
+    )
+    dense_stats = dense_engine.plan_stats()
+    dense_identical = all(
+        np.array_equal(
+            dense_engine.family(name).counters, legacy.family(name).counters
+        )
+        for name in legacy.stream_names()
+    )
+    dense_report = {
+        "seconds": dense_seconds,
+        "updates_per_second": num_updates / dense_seconds,
+        "dense_domain": dense_domain,
+        "batch_size": dense_batch_size,
+        "table_build_seconds": dense_table.build_seconds,
+        "table_bytes": dense_table.nbytes,
+        "dense_rate": dense_stats.dense_rate,
+        "plan": dense_stats.to_json_dict(),
+    }
+    # Detach before the sharded pass: its per-shard sibling plans inherit
+    # the canonical plan's dense table, and this benchmark wants the
+    # sharded numbers to describe the plain LRU path.
+    shared_plan.detach_dense()
+
+    sharded, sharded_seconds = timed_pass(
+        lambda: ShardedEngine(spec, num_shards=shards, executor=executor)
+    )
+    with sharded:
         identical = all(
             np.array_equal(
                 sharded.family(name).counters, baseline.family(name).counters
@@ -193,6 +249,9 @@ def run_ingest_benchmark(
             "plan_hit_rate": plan_stats.hit_rate,
         },
         "plan_speedup": legacy_seconds / baseline_seconds,
+        "single_engine_dense": dense_report,
+        "dense_speedup_vs_plan": baseline_seconds / dense_seconds,
+        "dense_speedup_vs_legacy": legacy_seconds / dense_seconds,
         "sharded_engine": {
             "shards": shards,
             "executor": executor,
@@ -211,7 +270,10 @@ def run_ingest_benchmark(
             ],
         },
         "speedup": baseline_seconds / sharded_seconds,
-        "counters_bit_identical": identical and plan_identical,
+        "counters_bit_identical": identical and plan_identical and dense_identical,
+        "sharded_stats_within_wallclock": (
+            stats.plan is None or stats.plan.hash_seconds <= sharded_seconds
+        ),
     }
     pathlib.Path(out).write_text(json.dumps(report, indent=2))
     return report
@@ -231,9 +293,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
+        "--reps", type=int, default=3,
+        help="cold repetitions per pass; the best wall-clock is recorded "
+        "(shields the numbers from background-load noise)",
+    )
+    parser.add_argument(
+        "--dense-domain", type=int, default=1 << 18,
+        help="domain prefix covered by the precomputed scatter table",
+    )
+    parser.add_argument(
+        "--dense-batch-size", type=int, default=262144,
+        help="engine batch size for the dense pass (bigger batches keep "
+        "the tail hashing on the fast per-sketch path)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="scaled-down CI gate: small workload, exit non-zero if any "
+        "pass diverges bit-wise, the dense path is slower than the LRU "
+        "plan, or sharded plan stats exceed elapsed wall time",
+    )
+    parser.add_argument(
         "--out", type=pathlib.Path, default=pathlib.Path("BENCH_throughput.json")
     )
     args = parser.parse_args(argv)
+    if args.smoke:
+        args.updates = min(args.updates, 20_000)
+        args.dense_domain = min(args.dense_domain, 1 << 13)
+        args.dense_batch_size = min(args.dense_batch_size, 8192)
+        args.executor = "serial"
+        args.shards = min(args.shards, 2)
+        args.reps = min(args.reps, 1)
     report = run_ingest_benchmark(
         num_updates=args.updates,
         num_streams=args.streams,
@@ -241,12 +330,17 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
         executor=args.executor,
         seed=args.seed,
+        dense_domain=args.dense_domain,
+        dense_batch_size=args.dense_batch_size,
+        reps=args.reps,
         out=args.out,
     )
     legacy = report["single_engine_legacy"]["updates_per_second"]
     single = report["single_engine"]["updates_per_second"]
+    dense = report["single_engine_dense"]["updates_per_second"]
     sharded = report["sharded_engine"]["updates_per_second"]
     plan = report["single_engine"]["plan"]
+    dense_info = report["single_engine_dense"]
     print(f"single engine (legacy) : {legacy:>12,.0f} updates/s")
     print(
         f"single engine (plan)   : {single:>12,.0f} updates/s   "
@@ -259,6 +353,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{plan['bypasses']} bypasses"
     )
     print(
+        f"single engine (dense)  : {dense:>12,.0f} updates/s   "
+        f"({report['dense_speedup_vs_plan']:.2f}x vs plan, "
+        f"{report['dense_speedup_vs_legacy']:.2f}x vs legacy)"
+    )
+    print(
+        f"  dense: {dense_info['dense_rate']:.0%} table gathers over "
+        f"domain [0, {dense_info['dense_domain']:,}), "
+        f"{dense_info['table_bytes'] / 2**20:,.0f} MiB built in "
+        f"{dense_info['table_build_seconds']:.2f}s (untimed)"
+    )
+    print(
         f"sharded ({report['sharded_engine']['shards']}x{args.executor:>9}): "
         f"{sharded:>12,.0f} updates/s"
     )
@@ -268,7 +373,15 @@ def main(argv: list[str] | None = None) -> int:
         f"counters identical: {report['counters_bit_identical']})"
     )
     print(f"report written to {args.out}")
-    return 0 if report["counters_bit_identical"] else 1
+    ok = report["counters_bit_identical"]
+    if args.smoke:
+        if report["dense_speedup_vs_plan"] < 1.0:
+            print("SMOKE FAIL: dense path slower than the LRU plan")
+            ok = False
+        if not report["sharded_stats_within_wallclock"]:
+            print("SMOKE FAIL: sharded plan hash_seconds exceeds elapsed")
+            ok = False
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

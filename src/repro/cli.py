@@ -89,6 +89,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition ingest across N parallel shards (1 = single engine)",
     )
     ingest.add_argument(
+        "--dense-domain", type=int, default=None, metavar="N",
+        help="precompute dense scatter rows for elements in [0, N) "
+        "(4 KiB per element at the default shape); the tail falls back "
+        "to the plan's row cache",
+    )
+    ingest.add_argument(
+        "--hot-keys", type=int, default=0, metavar="K",
+        help="learn the K hottest elements from the stream and precompute "
+        "their scatter rows instead of assuming a bounded prefix "
+        "(mutually exclusive with --dense-domain)",
+    )
+    ingest.add_argument(
         "--executor", choices=("serial", "threads", "processes"),
         default="threads",
         help="shard backend when --shards > 1",
@@ -264,14 +276,23 @@ def _command_ingest(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print("--shards must be positive", file=sys.stderr)
         return 2
+    if args.dense_domain is not None and args.hot_keys:
+        print("pass --dense-domain or --hot-keys, not both", file=sys.stderr)
+        return 2
     progress = lambda n: print(f"  {n:,} updates ingested ...")  # noqa: E731
     if args.shards == 1:
-        engine = StreamEngine(spec)
+        engine = StreamEngine(
+            spec, dense_domain=args.dense_domain, hot_keys=args.hot_keys
+        )
         count = replay_into(args.log, engine, progress=progress)
         checkpoint_engine(engine, args.checkpoint)
     else:
         with ShardedEngine(
-            spec, num_shards=args.shards, executor=args.executor
+            spec,
+            num_shards=args.shards,
+            executor=args.executor,
+            dense_domain=args.dense_domain,
+            hot_keys=args.hot_keys,
         ) as engine:
             count = replay_into(args.log, engine, progress=progress)
             engine.flush()

@@ -18,7 +18,6 @@ synopsis space by building one large family and evaluating estimators on
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Sequence
@@ -26,7 +25,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.plan import HashPlan, plan_for
-from repro.core.sketch import SketchHashes, SketchShape, TwoLevelHashSketch, scatter_add
+from repro.core.sketch import (
+    SketchHashes,
+    SketchShape,
+    TwoLevelHashSketch,
+    scatter_add,
+    segmented_add,
+)
 from repro.errors import DomainError, IncompatibleSketchesError
 
 __all__ = ["SketchSpec", "SketchFamily", "check_same_coins", "sum_families"]
@@ -282,16 +287,16 @@ class SketchFamily:
             raise DomainError("batch contains elements outside [0, M)")
         if counts is not None and counts.shape != elements.shape:
             raise ValueError("counts must align with elements")
-        rows = resolved.scatter_rows(elements)
-        if rows is None:
-            # Scan flood: the plan declined (see HashPlan.scatter_rows) —
+        parts = resolved.scatter_parts(elements)
+        if parts is None:
+            # Scan flood: the plan declined (see HashPlan.scatter_parts) —
             # classic per-sketch maintenance is faster than materialising
             # unreusable index rows.
             for index in range(self.spec.num_sketches):
                 self.sketch(index).update_batch(elements, counts)
             self._mark_all_dirty()
             return
-        self._scatter_rows(resolved, rows, counts)
+        self._scatter_parts(resolved, parts, counts)
 
     def ingest_batch(self, elements, counts=None, *, plan: HashPlan | str | None = "auto") -> int:
         """Maintenance over a batch, aggregated by linearity first.
@@ -305,10 +310,16 @@ class SketchFamily:
         throughput of :meth:`update_batch` on realistic (skewed, churning)
         update streams, and bit-identical to it in the final counters.
 
-        ``plan`` is forwarded to :meth:`update_batch` (the aggregated
-        groups are where the shared hash plan pays most: a skewed
-        stream's hot head is both collapsed by linearity *and* served
-        from the plan's row cache).
+        On the plan path the index rows for the *whole* unique set are
+        produced by one :meth:`~repro.core.plan.HashPlan.scatter_parts`
+        call before the groups split — one dense-table gather and one
+        (larger, therefore better-amortised) hash pass over the tail
+        instead of one per delta group — and each group scatters its
+        :meth:`~repro.core.plan.ScatterParts.subset`.  Rows are a pure
+        function of the element, so the result stays bit-identical to
+        routing each group through :meth:`update_batch`; when no plan is
+        active (or the plan declines a scan flood), the groups fall back
+        to exactly that.
 
         Returns the number of distinct elements actually maintained (the
         post-aggregation batch size, used by ingest metrics).
@@ -332,7 +343,7 @@ class SketchFamily:
                 ).astype(np.int64)
             else:
                 net = np.zeros(unique.size, dtype=np.int64)
-                np.add.at(net, inverse, counts)
+                segmented_add(net, inverse, counts)
             nonzero = net != 0
             unique, net = unique[nonzero], net[nonzero]
         if unique.size == 0:
@@ -341,6 +352,25 @@ class SketchFamily:
         # Split by delta so uniform groups (the bulk of real traffic: unit
         # insertions, unit deletions) hit the unweighted histogram path.
         ones = net == 1
+        parts = None
+        if resolved is not None:
+            # ``unique`` is sorted, so the domain check is O(1).
+            if int(unique[-1]) >= self.spec.shape.domain_size:
+                raise DomainError("batch contains elements outside [0, M)")
+            parts = resolved.scatter_parts(unique)
+        if parts is not None:
+            if ones.all():
+                self._scatter_parts(resolved, parts, None)
+                return int(unique.size)
+            minus = net == -1
+            mixed = ~(ones | minus)
+            if ones.any():
+                self._scatter_parts(resolved, parts.subset(ones), None)
+            if minus.any():
+                self._scatter_parts(resolved, parts.subset(minus), net[minus])
+            if mixed.any():
+                self._scatter_parts(resolved, parts.subset(mixed), net[mixed])
+            return int(unique.size)
         if ones.all():
             self.update_batch(unique, plan=resolved)
             return int(unique.size)
@@ -452,16 +482,17 @@ class SketchFamily:
         )
         self._level_versions[:] = self._version
 
-    def _note_rows(self, plan: HashPlan, rows: np.ndarray, counts) -> None:
+    def _note_keys(self, keys: np.ndarray, counts) -> None:
         """Fold one scattered batch into the incremental aggregates.
 
-        The plan's index rows name exactly the cells the batch touched;
-        the ``j = 0`` column per sketch is the cell whose counter pair
-        forms the bucket total, so the totals delta is one ``bincount``
-        over the ``(n, r)`` bucket keys — the same exact int64
-        accumulation the counters saw, an ``s``-th of the scatter work.
+        ``keys`` is the ``(n, r)`` bucket-key matrix (values
+        ``sketch·levels + level``) of the rows just scattered — from
+        :meth:`~repro.core.plan.HashPlan.bucket_keys` or its local-layout
+        twin; the ``j = 0`` column per sketch is the cell whose counter
+        pair forms the bucket total, so the totals delta is one
+        ``bincount`` over the keys — the same exact int64 accumulation
+        the counters saw, an ``s``-th of the scatter work.
         """
-        keys = plan.bucket_keys(rows)  # (n, r) values k·L + level
         num_levels = self.spec.shape.num_levels
         flat_totals = self._level_totals.reshape(-1)
         if counts is None:
@@ -472,7 +503,7 @@ class SketchFamily:
                 binned = np.bincount(keys.ravel(), minlength=flat_totals.size)
                 flat_totals += binned * first
             else:
-                np.add.at(
+                segmented_add(
                     flat_totals,
                     keys.ravel(),
                     np.repeat(counts, self.spec.num_sketches),
@@ -600,35 +631,64 @@ class SketchFamily:
             )
         return plan
 
-    def _scatter_rows(self, plan: HashPlan, rows: np.ndarray, counts) -> None:
-        """Scatter plan-produced index rows into the stacked counters.
+    def _scatter_parts(self, plan: HashPlan, parts, counts) -> None:
+        """Scatter a plan-produced dense/tail split into the counters.
 
-        Accumulation rules mirror
+        The dense part stays in the table's per-sketch-local layout all
+        the way into ``bincount`` (no globalising pass); the tail keeps
+        the global int32 layout.  Accumulation rules per part mirror
         :meth:`repro.core.sketch.TwoLevelHashSketch.update_batch` exactly
         (unweighted histogram for uniform deltas, the guarded
-        ``scatter_add`` otherwise), so the result is bit-identical to the
-        per-sketch path in every case.
+        ``scatter_add`` otherwise), and int64 addition commutes, so the
+        result is bit-identical to the per-sketch path in every case.
         """
-        started = time.perf_counter()
-        counters = self.counters
-        contiguous = counters.flags.c_contiguous
-        target = (
-            counters.reshape(-1)
-            if contiguous
-            else np.ascontiguousarray(counters).reshape(-1)
-        )
+        with plan.time_scatter():
+            counters = self.counters
+            contiguous = counters.flags.c_contiguous
+            target = (
+                counters.reshape(-1)
+                if contiguous
+                else np.ascontiguousarray(counters).reshape(-1)
+            )
+            covered = parts.covered
+            dense_counts = tail_counts = None
+            if counts is not None:
+                if covered is None:
+                    tail_counts = counts
+                else:
+                    dense_counts = counts[covered]
+                    tail_counts = counts[~covered]
+            dense_rows = parts.dense_rows
+            if dense_rows is not None and dense_rows.shape[0]:
+                self._accumulate(plan, target, dense_rows, dense_counts, True)
+                self._note_keys(plan.bucket_keys_local(dense_rows), dense_counts)
+            tail_rows = parts.tail_rows
+            if tail_rows is not None and tail_rows.shape[0]:
+                self._accumulate(plan, target, tail_rows, tail_counts, False)
+                self._note_keys(plan.bucket_keys(tail_rows), tail_counts)
+            if not contiguous:
+                np.copyto(counters, target.reshape(counters.shape))
+
+    @staticmethod
+    def _accumulate(
+        plan: HashPlan, target: np.ndarray, rows: np.ndarray, counts, local: bool
+    ) -> None:
+        """Add one part's rows into flat ``target`` (exact int64)."""
         if counts is None:
-            plan.scatter(target, rows)
+            scale = 1
         else:
             first = int(counts[0])
-            if bool((counts == first).all()):
-                plan.scatter(target, rows, scale=first)
-            else:
-                scatter_add(target, rows.reshape(-1), np.repeat(counts, plan.row_width))
-        if not contiguous:
-            np.copyto(counters, target.reshape(counters.shape))
-        self._note_rows(plan, rows, counts)
-        plan.note_scatter_seconds(time.perf_counter() - started)
+            if not bool((counts == first).all()):
+                flat = plan.globalize_rows(rows) if local else rows
+                scatter_add(
+                    target, flat.reshape(-1), np.repeat(counts, plan.row_width)
+                )
+                return
+            scale = first
+        if local:
+            plan.scatter_local(target, rows, scale=scale)
+        else:
+            plan.scatter(target, rows, scale=scale)
 
     def _check_compatible(self, other: "SketchFamily") -> None:
         if self.spec != other.spec:

@@ -35,10 +35,16 @@ from repro.hashing.families import (
 )
 from repro.hashing.lsb import NUM_LEVELS, lsb_array
 
-__all__ = ["SketchShape", "SketchHashes", "TwoLevelHashSketch", "scatter_add"]
+__all__ = [
+    "SketchShape",
+    "SketchHashes",
+    "TwoLevelHashSketch",
+    "scatter_add",
+    "segmented_add",
+]
 
 # Above this total weight, float64 bincount accumulation could round; the
-# exact (slower) np.add.at path is used instead.
+# exact (slower) sort-by-cell segmented-sum path is used instead.
 _EXACT_FLOAT_LIMIT = 1 << 52
 
 
@@ -101,12 +107,36 @@ class SketchHashes:
         )
 
 
+def segmented_add(target: np.ndarray, indices: np.ndarray, weights: np.ndarray) -> None:
+    """Exact int64 duplicate-safe scatter-add: sort by cell, sum segments.
+
+    Semantically ``np.add.at(target, indices, weights)`` — duplicate
+    indices accumulate — but built from vector primitives: a stable
+    argsort groups equal indices, ``np.add.reduceat`` sums each run in
+    int64 (no float rounding window to respect), and one non-duplicated
+    fancy-index add lands the per-cell sums.  Several times faster than
+    ``np.add.at``'s per-element inner loop on batch-sized inputs, and
+    bit-identical to it (integer addition is associative/commutative, so
+    reordering the adds cannot change the result).
+    """
+    if indices.size == 0:
+        return
+    order = np.argsort(indices, kind="stable")
+    sorted_indices = indices[order]
+    boundaries = np.empty(sorted_indices.size, dtype=bool)
+    boundaries[0] = True
+    np.not_equal(sorted_indices[1:], sorted_indices[:-1], out=boundaries[1:])
+    starts = np.flatnonzero(boundaries)
+    sums = np.add.reduceat(np.asarray(weights, dtype=np.int64)[order], starts)
+    target[sorted_indices[starts]] += sums
+
+
 def scatter_add(target: np.ndarray, indices: np.ndarray, weights: np.ndarray | None) -> None:
     """Add ``weights`` into ``target`` (flat, int64) at ``indices``.
 
     Uses ``np.bincount`` (fast, float64 accumulation) whenever the total
     absolute weight provably fits the float53 exact-integer window, and
-    falls back to the exact-but-slower ``np.add.at`` otherwise.
+    falls back to the exact :func:`segmented_add` otherwise.
     """
     if weights is None:
         target += np.bincount(indices, minlength=target.size)
@@ -115,7 +145,7 @@ def scatter_add(target: np.ndarray, indices: np.ndarray, weights: np.ndarray | N
         binned = np.bincount(indices, weights=weights.astype(np.float64), minlength=target.size)
         target += np.rint(binned).astype(np.int64)
     else:
-        np.add.at(target, indices, weights)
+        segmented_add(target, indices, weights)
 
 
 class TwoLevelHashSketch:

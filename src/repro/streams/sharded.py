@@ -42,11 +42,13 @@ from __future__ import annotations
 import time
 import zlib
 from concurrent.futures import Future, ThreadPoolExecutor, wait
+from dataclasses import replace as _replace_dataclass
 from typing import Iterable, Mapping
 
 import numpy as np
 
 from repro.core.family import SketchFamily, SketchSpec, sum_families
+from repro.core.plan import DenseScatterTable, HashPlan, plan_for
 from repro.core.results import UnionEstimate, WitnessEstimate
 from repro.expr.ast import SetExpression
 from repro.streams.engine import StreamEngine
@@ -152,8 +154,6 @@ def _shard_worker(shard_id, spec_payload, use_plan, inbox, outbox):
     """Run one shard: attach segments, apply batches, answer syncs."""
     from multiprocessing import shared_memory
 
-    from repro.core.plan import plan_for
-
     _disable_worker_shm_tracking()
 
     spec = SketchSpec.from_json_dict(spec_payload)
@@ -200,6 +200,26 @@ def _shard_worker(shard_id, spec_payload, use_plan, inbox, outbox):
                     continue  # poisoned: drain without applying
                 incoming = SketchFamily.from_bytes(payload, spec)
                 families[stream].merge_in_place(incoming)
+            elif kind == "dense":
+                # Dense scatter tables are immutable rows keyed to the
+                # coins, so per-worker sharing is one shm attach: the
+                # parent built (or learned) the table once and every
+                # worker maps the same pages read-only.
+                _, shm_name, rows_shape, dtype_str, keys_bytes = message
+                if use_plan:
+                    shm = shared_memory.SharedMemory(name=shm_name)
+                    segments[f"__dense__:{shm_name}"] = shm
+                    rows = np.ndarray(
+                        tuple(rows_shape), dtype=np.dtype(dtype_str), buffer=shm.buf
+                    )
+                    keys = (
+                        None
+                        if keys_bytes is None
+                        else np.frombuffer(keys_bytes, dtype=np.uint64)
+                    )
+                    plan_for(spec).attach_dense(
+                        DenseScatterTable(rows, keys=keys)
+                    )
             elif kind == "sync":
                 plan_payload = (
                     plan_for(spec).stats().to_json_dict() if use_plan else None
@@ -254,12 +274,28 @@ class ShardedEngine:
         ``"serial"``, ``"threads"`` (default), or ``"processes"`` — see
         the module docstring for the trade-offs.
     use_plan:
-        Route shard maintenance through the spec's shared
-        :class:`~repro.core.plan.HashPlan`.  The in-process backends
-        (``"serial"``, ``"threads"``) share one plan — and one element-row
-        cache — across *all* shards and streams (same coins ⇒ same
-        indices); each ``"processes"`` worker holds its own per-process
+        Route shard maintenance through :class:`~repro.core.plan.HashPlan`
+        machinery.  The in-process backends (``"serial"``, ``"threads"``)
+        give every shard its *own* plan over the spec's coins
+        (:meth:`~repro.core.plan.HashPlan.sibling` of the canonical plan):
+        shards own disjoint element slices, so private element-row caches
+        stop them evicting each other's rows, while a shared
+        :class:`~repro.core.plan.PlanTimers` keeps the reported
+        hash/scatter wall-clock de-overlapped across concurrent shard
+        threads.  Each ``"processes"`` worker holds its own per-process
         plan.  Counters stay bit-identical either way.
+    dense_domain:
+        Precompute a dense scatter table covering ``[0, dense_domain)``
+        and share it with every shard (in-process shards share the table
+        object; ``"processes"`` workers map the same rows through one
+        shared-memory segment).  Requires ``use_plan=True``.
+    hot_keys:
+        Learn a hot-key dictionary from the first ``hot_key_sample``
+        routed updates instead of assuming a bounded prefix, then share
+        the resulting table with every shard as above.  Mutually
+        exclusive with ``dense_domain``; requires ``use_plan=True``.
+    hot_key_sample:
+        How many updates to observe before freezing the hot-key set.
 
     The engine is a context manager; ``close()`` releases worker threads,
     worker processes, and shared-memory segments (idempotent, and
@@ -273,6 +309,9 @@ class ShardedEngine:
         batch_size: int = 16384,
         executor: str = "threads",
         use_plan: bool = True,
+        dense_domain: int | None = None,
+        hot_keys: int = 0,
+        hot_key_sample: int = 65536,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be positive")
@@ -282,6 +321,16 @@ class ShardedEngine:
             raise ValueError(
                 "executor must be 'serial', 'threads', or 'processes'"
             )
+        if dense_domain is not None and dense_domain < 1:
+            raise ValueError("dense_domain must be positive")
+        if hot_keys < 0:
+            raise ValueError("hot_keys must be non-negative")
+        if hot_key_sample < 1:
+            raise ValueError("hot_key_sample must be positive")
+        if dense_domain is not None and hot_keys:
+            raise ValueError("pass dense_domain or hot_keys, not both")
+        if (dense_domain is not None or hot_keys) and not use_plan:
+            raise ValueError("the dense fast path requires use_plan=True")
         self.spec = spec
         self.num_shards = num_shards
         self.executor = executor
@@ -302,11 +351,27 @@ class ShardedEngine:
         self._merged_storage: dict[str, SketchFamily] = {}
         self._closed = False
 
+        self._hot_keys = hot_keys
+        self._hot_key_sample = hot_key_sample
+        self._hot_samples: list[np.ndarray] | None = (
+            [] if (hot_keys and use_plan) else None
+        )
+        self._hot_sampled = 0
+        self._dense_segments: list[object] = []
+
         # serial / threads state: per-shard family maps (disjoint by
-        # construction, so the thread backend needs no locks).
+        # construction, so the thread backend needs no locks) and
+        # per-shard plans — private LRU caches over the shared coins,
+        # one shared PlanTimers account (see the use_plan parameter).
         self._families: list[dict[str, SketchFamily]] = [
             {} for _ in range(num_shards)
         ]
+        self._plans: list[HashPlan] | None = None
+        if use_plan and executor in ("serial", "threads"):
+            canonical = plan_for(spec)
+            if dense_domain is not None:
+                canonical.ensure_dense_domain(dense_domain)
+            self._plans = [canonical.sibling() for _ in range(num_shards)]
         self._executors: list[ThreadPoolExecutor] = []
         self._pending: list[list[Future]] = [[] for _ in range(num_shards)]
         if executor == "threads":
@@ -327,6 +392,9 @@ class ShardedEngine:
         self._synced_plan_stats = None
         if executor == "processes":
             self._start_workers()
+            if use_plan and dense_domain is not None:
+                table = plan_for(spec).ensure_dense_domain(dense_domain)
+                self._broadcast_dense(table)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -366,7 +434,7 @@ class ShardedEngine:
                 if worker.is_alive():  # pragma: no cover
                     worker.terminate()
             self._shard_views.clear()
-            for shm in self._segments.values():
+            for shm in list(self._segments.values()) + self._dense_segments:
                 try:
                     shm.close()
                 except BufferError:  # pragma: no cover - caller holds a view
@@ -376,6 +444,7 @@ class ShardedEngine:
                 except FileNotFoundError:  # pragma: no cover
                     pass
             self._segments.clear()
+            self._dense_segments.clear()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -515,6 +584,8 @@ class ShardedEngine:
         elements = np.asarray(buffered[0], dtype=np.uint64)
         deltas = np.asarray(buffered[1], dtype=np.int64)
         self._known_streams.add(stream)
+        if self._hot_samples is not None:
+            self._observe_hot(elements)
         if self.executor == "serial":
             self._apply(shard, stream, elements, deltas)
         elif self.executor == "threads":
@@ -541,8 +612,9 @@ class ShardedEngine:
         if family is None:
             family = families[stream] = self.spec.build()
         stats = self._stats[shard]
+        plan_arg = None if self._plans is None else self._plans[shard]
         started = time.perf_counter()
-        applied = family.ingest_batch(elements, deltas, plan=self._plan_arg)
+        applied = family.ingest_batch(elements, deltas, plan=plan_arg)
         stats.flush_seconds += time.perf_counter() - started
         stats.batches_flushed += 1
         stats.updates_routed += int(elements.size)
@@ -563,6 +635,66 @@ class ShardedEngine:
         self._shard_views[key] = view
         self._inboxes[shard].put(("register", stream, shm.name))
 
+    # -- dense fast path ---------------------------------------------------
+
+    def _observe_hot(self, elements: np.ndarray) -> None:
+        """Sample dispatched elements until the hot-key dictionary freezes.
+
+        Runs on the routing front end (one sampler, whatever the
+        backend); once the sample threshold is reached the top
+        ``hot_keys`` elements become a dense table, built once on the
+        canonical plan and shared with every shard.  Bit-identity is
+        untouched — the table only changes which mechanism produces an
+        element's index row.
+        """
+        self._hot_samples.append(elements)
+        self._hot_sampled += int(elements.size)
+        if self._hot_sampled < self._hot_key_sample:
+            return
+        sample = np.concatenate(self._hot_samples)
+        self._hot_samples = None  # freeze: one learned table per engine
+        unique, counts = np.unique(sample, return_counts=True)
+        if unique.size > self._hot_keys:
+            top = np.argpartition(counts, -self._hot_keys)[-self._hot_keys :]
+            unique = unique[top]
+        table = plan_for(self.spec).ensure_dense_keys(unique)
+        self._share_dense_table(table)
+
+    def _share_dense_table(self, table: DenseScatterTable) -> None:
+        """Hand one immutable table to every shard's plan."""
+        if self._plans is not None:
+            for plan in self._plans:
+                plan.attach_dense(table)
+        elif self.executor == "processes" and self._use_plan:
+            self._broadcast_dense(table)
+
+    def _broadcast_dense(self, table: DenseScatterTable) -> None:
+        """Share a dense table with worker processes via shared memory.
+
+        The rows go into one POSIX shm segment every worker maps (the
+        table is immutable, so concurrent read-only sharing is safe); the
+        key dictionary, when present, is small and travels inline on the
+        message queues.  The parent owns the segment's lifetime, like the
+        counter segments.
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=table.rows.nbytes)
+        view = np.ndarray(table.rows.shape, dtype=table.rows.dtype, buffer=shm.buf)
+        np.copyto(view, table.rows)
+        del view
+        self._dense_segments.append(shm)
+        keys_bytes = None if table.keys is None else table.keys.tobytes()
+        message = (
+            "dense",
+            shm.name,
+            tuple(table.rows.shape),
+            table.rows.dtype.str,
+            keys_bytes,
+        )
+        for inbox in self._inboxes:
+            inbox.put(message)
+
     def _barrier(self) -> None:
         if self.executor == "threads":
             pending = [f for futures in self._pending for f in futures]
@@ -580,7 +712,7 @@ class ShardedEngine:
         for inbox in self._inboxes:
             inbox.put(("sync",))
         snapshots: dict[int, ShardStats] = {}
-        plan_rollup: HashPlanStats | None = None
+        reported: list[HashPlanStats] = []
         failure = None
         while len(snapshots) < self.num_shards:
             kind, shard_id, snapshot, plan_payload, shard_failure = (
@@ -590,15 +722,27 @@ class ShardedEngine:
                 continue
             snapshots[shard_id] = snapshot
             if plan_payload is not None:
-                reported = HashPlanStats.from_json_dict(plan_payload)
-                plan_rollup = (
-                    reported
-                    if plan_rollup is None
-                    else plan_rollup.merged_with(reported)
-                )
+                reported.append(HashPlanStats.from_json_dict(plan_payload))
             if shard_failure is not None and failure is None:
                 failure = (shard_id, shard_failure)
         self._synced_stats = [snapshots[s] for s in range(self.num_shards)]
+        plan_rollup: HashPlanStats | None = None
+        if reported:
+            plan_rollup = reported[0]
+            for stats in reported[1:]:
+                plan_rollup = plan_rollup.merged_with(stats)
+            # Each worker's busy clock is a genuine wall-clock (single
+            # ingest thread per process), but workers run concurrently —
+            # their *sum* is cpu time, not elapsed time.  Report the sum
+            # in the cpu fields (merged_with already put it there too)
+            # and keep the busy fields a wall-clock-bounded figure: the
+            # slowest worker's account, which can never exceed the run's
+            # elapsed time.
+            plan_rollup = _replace_dataclass(
+                plan_rollup,
+                hash_seconds=max(s.hash_seconds for s in reported),
+                scatter_seconds=max(s.scatter_seconds for s in reported),
+            )
         self._synced_plan_stats = plan_rollup
         if failure is not None:
             raise RuntimeError(
@@ -706,10 +850,18 @@ class ShardedEngine:
     def stats(self) -> IngestStats:
         """Per-shard ingest metrics plus merge and hash-plan counters.
 
-        For the ``"processes"`` backend the shard rows (and the plan
-        roll-up, summed over the workers' per-process plans) reflect the
-        last synchronisation point (``flush()`` or any query); the serial
-        and thread backends report live counters.
+        The plan roll-up sums cache counters (hits, misses, evictions,
+        entries, capacity) across the per-shard plans, while its
+        ``hash_seconds``/``scatter_seconds`` stay wall-clock-honest:
+        the in-process backends read them once from the plans' shared
+        :class:`~repro.core.plan.PlanTimers` (concurrent shard threads
+        extend one de-overlapped busy interval), and the ``"processes"``
+        backend reports the slowest worker's clock.  Either way the busy
+        figures can never exceed the run's elapsed time; the summed
+        per-thread work lives in ``hash_cpu_seconds`` /
+        ``scatter_cpu_seconds``.  For ``"processes"`` the rows reflect
+        the last synchronisation point (``flush()`` or any query); the
+        serial and thread backends report live counters.
         """
         if self.executor == "processes":
             shard_rows = self._synced_stats or [
@@ -722,10 +874,25 @@ class ShardedEngine:
                 for stats in self._stats
             ]
             plan_stats = None
-            if self._use_plan:
-                from repro.core.plan import plan_for
-
-                plan_stats = plan_for(self.spec).stats()
+            if self._plans is not None:
+                snapshots = [plan.stats() for plan in self._plans]
+                plan_stats = snapshots[0]
+                for snapshot in snapshots[1:]:
+                    plan_stats = plan_stats.merged_with(snapshot)
+                # Every sibling reports the same shared timer account, so
+                # the merge multiplied the time fields (and summed the
+                # one shared dense table) — take them once instead.
+                hash_busy, scatter_busy, hash_cpu, scatter_cpu = (
+                    self._plans[0].timers.snapshot()
+                )
+                plan_stats = _replace_dataclass(
+                    plan_stats,
+                    hash_seconds=hash_busy,
+                    scatter_seconds=scatter_busy,
+                    hash_cpu_seconds=hash_cpu,
+                    scatter_cpu_seconds=scatter_cpu,
+                    dense_entries=snapshots[0].dense_entries,
+                )
         return IngestStats(
             shards=tuple(shard_rows),
             merges=self._merges,

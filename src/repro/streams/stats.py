@@ -232,10 +232,14 @@ class IngestStats:
     merge_seconds:
         Total wall-clock time spent in those merges.
     plan:
-        Shared hash-plan cache counters, when plan-based maintenance is
-        active.  For the in-process backends this is the one plan every
-        shard shares; for the ``"processes"`` backend it is the sum over
-        the workers' per-process plans as of the last synchronisation.
+        Hash-plan counters, when plan-based maintenance is active.  Cache
+        counters (hits, misses, evictions, entries) are summed over the
+        per-shard plans; the busy-clock fields stay bounded by elapsed
+        wall time (in-process backends read the shards' shared
+        :class:`~repro.core.plan.PlanTimers` once, the ``"processes"``
+        backend reports the slowest worker as of the last
+        synchronisation), with the summed per-thread work in the
+        ``*_cpu_seconds`` fields.
     """
 
     shards: tuple[ShardStats, ...] = field(default_factory=tuple)
@@ -285,11 +289,20 @@ class IngestStats:
             f"(aggregation ×{self.aggregation_ratio:.2f}), "
             f"{self.merges} merges in {self.merge_seconds:.3f}s"
         )
-        if self.plan is not None and self.plan.lookups:
+        plan = self.plan
+        if plan is not None and plan.lookups:
             lines.append(
-                f"plan   {self.plan.hits:,}/{self.plan.lookups:,} row-cache "
-                f"hits ({100 * self.plan.hit_rate:.0f}%), "
-                f"hash {self.plan.hash_seconds:.3f}s / "
-                f"scatter {self.plan.scatter_seconds:.3f}s"
+                f"plan   {plan.hits:,}/{plan.hits + plan.misses:,} row-cache "
+                f"hits ({100 * plan.hit_rate:.0f}%), "
+                f"hash {plan.hash_seconds:.3f}s / "
+                f"scatter {plan.scatter_seconds:.3f}s busy "
+                f"({plan.hash_cpu_seconds:.3f}s / "
+                f"{plan.scatter_cpu_seconds:.3f}s cpu)"
             )
+            if plan.dense_hits:
+                lines.append(
+                    f"dense  {plan.dense_hits:,}/{plan.lookups:,} table "
+                    f"gathers ({100 * plan.dense_rate:.0f}%), "
+                    f"{plan.dense_entries:,} precomputed rows"
+                )
         return "\n".join(lines)

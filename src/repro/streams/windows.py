@@ -24,6 +24,7 @@ the exact reference store — correctly — does not).
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Iterable
 
@@ -45,14 +46,35 @@ class SlidingWindowDriver:
     sinks:
         Objects with ``process(update)`` or ``apply(update)``; every
         forwarded and inverse update goes to all of them.
+    clock_policy:
+        What to do with a non-monotonic clock.  The driver's correctness
+        argument (expiry order equals observation order, so the deque
+        head is always the oldest in-window update) needs a
+        non-decreasing clock; a timestamp that silently moved it
+        backwards — or a NaN, which every comparison answers False for,
+        freezing expiry forever — would mis-expire updates with no
+        error.  ``"raise"`` (the default) rejects any regressing or NaN
+        timestamp with :class:`ValueError`.  ``"clamp"`` instead stamps
+        late updates at the current watermark (they enter the window
+        *now*, where they were observed, and expire a full span later)
+        and treats a backwards ``advance_to`` as a no-op; NaN is always
+        an error — there is no watermark it can mean.  Clamping is the
+        policy for wall-clock sources with small skew (e.g. merged feeds
+        from several machines), raising for logical/event time where a
+        regression is a bug worth hearing about.
     """
 
-    def __init__(self, window_span: float, *sinks) -> None:
+    def __init__(
+        self, window_span: float, *sinks, clock_policy: str = "raise"
+    ) -> None:
         if window_span <= 0:
             raise ValueError("window_span must be positive")
         if not sinks:
             raise ValueError("need at least one sink")
+        if clock_policy not in ("raise", "clamp"):
+            raise ValueError("clock_policy must be 'raise' or 'clamp'")
         self.window_span = window_span
+        self.clock_policy = clock_policy
         self._handlers = []
         for sink in sinks:
             handler = getattr(sink, "process", None) or getattr(sink, "apply", None)
@@ -67,11 +89,15 @@ class SlidingWindowDriver:
     # -- ingest ---------------------------------------------------------------
 
     def observe(self, update: Update, at: float) -> None:
-        """Forward one update observed at time ``at`` (non-decreasing)."""
-        if at < self._clock:
-            raise ValueError(
-                f"time went backwards: {at} after {self._clock}"
-            )
+        """Forward one update observed at time ``at``.
+
+        ``at`` must respect the configured ``clock_policy``: regressions
+        raise by default, or are clamped to the current watermark (see
+        the class docstring); NaN timestamps always raise.
+        """
+        at = self._checked_time(at)
+        if at < self._clock:  # clamp policy: stamp at the watermark
+            at = self._clock
         self.advance_to(at)
         self._emit(update)
         self._in_window.append((at, update))
@@ -82,12 +108,14 @@ class SlidingWindowDriver:
             self.observe(update, at)
 
     def advance_to(self, now: float) -> int:
-        """Move the clock, expiring (deleting) everything out of window.
+        """Move the clock forward, expiring everything out of window.
 
-        Returns the number of updates expired.
+        Returns the number of updates expired.  A regressing ``now``
+        raises or is ignored per ``clock_policy``; NaN always raises.
         """
-        if now < self._clock:
-            raise ValueError(f"time went backwards: {now} after {self._clock}")
+        now = self._checked_time(now)
+        if now < self._clock:  # clamp policy: backwards advance is a no-op
+            return 0
         self._clock = now
         expired = 0
         while self._in_window and self._in_window[0][0] + self.window_span <= now:
@@ -108,6 +136,23 @@ class SlidingWindowDriver:
         return len(self._in_window)
 
     # -- internals -------------------------------------------------------------
+
+    def _checked_time(self, value: float) -> float:
+        """Validate a timestamp against the clock policy.
+
+        NaN is rejected unconditionally: ``NaN < clock`` is False, so a
+        NaN would slip past any ordering check, become the new watermark,
+        and freeze expiry forever (every ``timestamp + span <= NaN``
+        comparison is False too).
+        """
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("timestamps must not be NaN")
+        if value < self._clock and self.clock_policy == "raise":
+            raise ValueError(
+                f"time went backwards: {value} after {self._clock}"
+            )
+        return value
 
     def _emit(self, update: Update) -> None:
         for handler in self._handlers:

@@ -100,3 +100,71 @@ class TestWindowedSketchSemantics:
         truth = exact.distinct_count("A")
         assert truth == 500
         assert abs(estimate.value - truth) / truth < 0.4
+
+
+class TestClockPolicy:
+    """The non-monotonic timestamp policy: ``"raise"`` (default) rejects
+    regressions, ``"clamp"`` folds them onto the watermark, and NaN is
+    rejected unconditionally under both."""
+
+    def test_raise_is_the_default(self):
+        driver = SlidingWindowDriver(10.0, ExactStreamStore())
+        assert driver.clock_policy == "raise"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDriver(10.0, ExactStreamStore(), clock_policy="ignore")
+
+    @pytest.mark.parametrize("policy", ["raise", "clamp"])
+    def test_nan_always_rejected(self, policy):
+        """NaN slips past every ordering check (``NaN < clock`` is
+        False) and would freeze expiry forever, so even the lenient
+        policy refuses it — and the driver state stays untouched."""
+        store = ExactStreamStore()
+        driver = SlidingWindowDriver(10.0, store, clock_policy=policy)
+        driver.observe(Update("A", 1, 1), at=5.0)
+        with pytest.raises(ValueError):
+            driver.observe(Update("A", 2, 1), at=float("nan"))
+        with pytest.raises(ValueError):
+            driver.advance_to(float("nan"))
+        assert driver.clock == 5.0
+        assert driver.in_window_count == 1
+        assert store.distinct_count("A") == 1
+
+    def test_clamp_stamps_regressions_at_watermark(self):
+        """A late update under ``"clamp"`` enters the window as if it
+        arrived exactly at the watermark: it is forwarded, and it
+        expires with the watermark's cohort, not before."""
+        store = ExactStreamStore()
+        driver = SlidingWindowDriver(10.0, store, clock_policy="clamp")
+        driver.observe(Update("A", 1, 1), at=5.0)
+        driver.observe(Update("A", 2, 1), at=3.0)  # late: stamped at 5.0
+        assert driver.clock == 5.0
+        assert store.distinct_count("A") == 2
+        # expiry at 13.0 would have dropped a 3.0-stamped update
+        # (3.0 + 10 <= 13) but not a clamped one (5.0 + 10 > 13)
+        assert driver.advance_to(13.0) == 0
+        assert store.distinct_count("A") == 2
+        assert driver.advance_to(15.0) == 2  # both cohorts expire together
+        assert store.distinct_count("A") == 0
+
+    def test_clamp_backwards_advance_is_noop(self):
+        driver = SlidingWindowDriver(10.0, ExactStreamStore(), clock_policy="clamp")
+        driver.observe(Update("A", 1, 1), at=8.0)
+        assert driver.advance_to(2.0) == 0
+        assert driver.clock == 8.0
+        assert driver.in_window_count == 1
+
+    def test_raise_leaves_state_intact_after_rejection(self):
+        """A rejected regression must not half-apply: clock, window
+        contents, and sink state all stay as they were."""
+        store = ExactStreamStore()
+        driver = SlidingWindowDriver(10.0, store, clock_policy="raise")
+        driver.observe(Update("A", 1, 1), at=5.0)
+        with pytest.raises(ValueError):
+            driver.observe(Update("A", 2, 1), at=4.0)
+        assert driver.clock == 5.0
+        assert driver.in_window_count == 1
+        assert store.distinct_count("A") == 1
+        driver.observe(Update("A", 2, 1), at=5.0)  # equal time is fine
+        assert store.distinct_count("A") == 2
