@@ -188,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="auto-ship upstream every N applied deltas (0 = only at "
         "shutdown)",
     )
+    serve.add_argument(
+        "--encodings", default=None, metavar="ENC[,ENC...]",
+        help="wire encodings accepted from v2 sites, preference first "
+        "(default: sparse+zlib,sparse,dense+zlib,dense; 'dense' forces "
+        "v1-style frames for every peer)",
+    )
 
     ship = subparsers.add_parser(
         "ship", help="replay an update log through a delta-shipping site"
@@ -200,6 +206,17 @@ def build_parser() -> argparse.ArgumentParser:
     ship.add_argument(
         "--every", type=int, default=100_000,
         help="updates observed between export rounds",
+    )
+    ship.add_argument(
+        "--encodings", default=None, metavar="ENC[,ENC...]",
+        help="wire encodings offered in the hello, preference first "
+        "(default: sparse+zlib,sparse,dense+zlib,dense; 'dense' ships "
+        "v1-style frames)",
+    )
+    ship.add_argument(
+        "--max-batch", type=int, default=32,
+        help="retained exports coalesced per delta frame on re-sync "
+        "(1 disables uplink batching)",
     )
 
     experiment = subparsers.add_parser(
@@ -395,12 +412,32 @@ def _spec_from_args(args: argparse.Namespace):
     )
 
 
+def _parse_encodings(text: str | None) -> tuple:
+    """``--encodings`` value -> encoding tuple (None = builtin preference)."""
+    from repro.streams.net import codec
+
+    if text is None:
+        return codec.PREFERRED_ENCODINGS
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not names:
+        raise SystemExit("--encodings needs at least one encoding name")
+    unknown = sorted(set(names) - set(codec.WIRE_ENCODINGS))
+    if unknown:
+        raise SystemExit(
+            f"unknown encoding(s) {', '.join(unknown)}; "
+            f"choose from {', '.join(codec.WIRE_ENCODINGS)}"
+        )
+    return names
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
     from repro.streams.net.coordinator import CoordinatorServer
     from repro.streams.net.site import SiteConnectionError
+
+    encodings = _parse_encodings(args.encodings)
 
     engine_factory = None
     if args.shards > 1:
@@ -445,6 +482,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 checkpoint_every=args.checkpoint_every,
                 engine_factory=engine_factory,
+                encodings=encodings,
                 **uplink_kwargs,
             )
             print(f"restored coordinator state from {args.checkpoint}")
@@ -456,6 +494,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 checkpoint_dir=args.checkpoint,
                 checkpoint_every=args.checkpoint_every,
                 engine_factory=engine_factory,
+                encodings=encodings,
                 **uplink_kwargs,
             )
         await server.start()
@@ -492,9 +531,11 @@ def _command_serve(args: argparse.Namespace) -> int:
             for site_id, stats in sorted(server.stats().items()):
                 print(
                     f"{stats.role} {site_id}: "
-                    f"{stats.deltas_applied} deltas applied, "
+                    f"{stats.deltas_applied} deltas applied "
+                    f"({stats.exports_coalesced} coalesced), "
                     f"{stats.duplicates_dropped} duplicates dropped, "
-                    f"{stats.bytes_received:,} bytes in"
+                    f"{stats.bytes_received:,} bytes in, "
+                    f"codec x{stats.compression_ratio:.1f}"
                 )
             rollup = server.transport_rollup()
             print(
@@ -504,6 +545,18 @@ def _command_serve(args: argparse.Namespace) -> int:
                 f"{rollup.bytes_sent:,} bytes out, "
                 f"{rollup.deltas_shipped} deltas shipped upstream"
             )
+            if rollup.payload_bytes_wire:
+                by_type = ", ".join(
+                    f"{mtype} {nbytes:,}"
+                    for mtype, nbytes in sorted(rollup.message_bytes.items())
+                )
+                print(
+                    f"wire codec: {rollup.payload_bytes_wire:,} payload "
+                    f"bytes for {rollup.payload_bytes_dense:,} dense "
+                    f"(x{rollup.compression_ratio:.1f}, "
+                    f"{rollup.payload_bytes_saved:,} saved); "
+                    f"bytes by type: {by_type}"
+                )
             streams = ", ".join(server.coordinator.stream_names()) or "<none>"
             print(
                 f"served {server.total_deltas_applied} deltas over streams "
@@ -535,6 +588,8 @@ def _command_ship(args: argparse.Namespace) -> int:
             spec=_spec_from_args(args),
             host=args.host,
             port=args.port,
+            encodings=_parse_encodings(args.encodings),
+            max_batch=args.max_batch,
         )
         count = rounds = 0
         for update in source:
@@ -551,6 +606,14 @@ def _command_ship(args: argparse.Namespace) -> int:
             f"export rounds ({client.stats.bytes_sent:,} bytes, "
             f"{client.stats.retries} retries, "
             f"{client.stats.reconnects} reconnects)"
+        )
+        stats = client.stats
+        print(
+            f"wire codec: {stats.payload_bytes_wire:,} payload bytes for "
+            f"{stats.payload_bytes_dense:,} dense "
+            f"(x{stats.compression_ratio:.1f}, "
+            f"{stats.payload_bytes_saved:,} saved), "
+            f"{stats.exports_coalesced} exports coalesced"
         )
         return count
 

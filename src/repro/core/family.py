@@ -106,6 +106,22 @@ class SketchSpec:
             ),
         )
 
+    @property
+    def counter_cells(self) -> int:
+        """Total ``int64`` cells in one family's counter slab.
+
+        The flat-index domain of the sparse delta codec
+        (:mod:`repro.streams.net.codec`): ``r * levels * s * 2``, i.e.
+        ``counter_payload_bytes // 8``.
+        """
+        shape = self.shape.counter_shape
+        return self.num_sketches * shape[0] * shape[1] * shape[2]
+
+    @property
+    def counter_payload_bytes(self) -> int:
+        """Size of the dense (v1) serialised counter payload, in bytes."""
+        return 8 * self.counter_cells
+
     def build(self) -> "SketchFamily":
         """Construct an empty family following this spec."""
         return SketchFamily(self)
@@ -544,6 +560,71 @@ class SketchFamily:
         insertion and one deletion of different elements).
         """
         return not self.counters.any()
+
+    # -- sparse cell access (delta wire format v2) --------------------------
+
+    def nonzero_cells(self) -> tuple[np.ndarray, np.ndarray]:
+        """The non-zero counter cells as ``(flat_indices, values)``.
+
+        Flat indices are row-major positions into the ``(r, levels, s,
+        2)`` slab, strictly increasing; values are the ``int64``
+        counters there.  This is the sparse side of the delta codec: a
+        delta from :meth:`diff_from` touches only the cells its window's
+        elements hashed to, so for small exports this pair is orders of
+        magnitude smaller than the slab.
+        """
+        flat = self.counters.reshape(-1)
+        indices = np.flatnonzero(flat)
+        return indices, flat[indices].copy()
+
+    @classmethod
+    def from_cells(
+        cls, indices: np.ndarray, values: np.ndarray, spec: SketchSpec
+    ) -> "SketchFamily":
+        """Rebuild a family from :meth:`nonzero_cells` output.
+
+        Byte-exact inverse: scattering the cells into a zero slab
+        reproduces the original counters bit for bit.
+        """
+        cells = spec.counter_cells
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and not (
+            0 <= int(indices[0]) and int(indices[-1]) < cells
+        ):
+            raise IncompatibleSketchesError(
+                f"cell indices exceed the {cells}-cell counter slab"
+            )
+        counters = np.zeros(cells, dtype=np.int64)
+        counters[indices] = np.asarray(values, dtype=np.int64)
+        return cls(
+            spec, counters.reshape((spec.num_sketches,) + spec.shape.counter_shape)
+        )
+
+    def add_cells(self, indices: np.ndarray, values: np.ndarray) -> None:
+        """Fold sparse delta cells into this family in place.
+
+        The coordinator's sparse fast path: equivalent to
+        ``merge_in_place(SketchFamily.from_cells(indices, values,
+        spec))`` — same exact int64 addition, bit-identical result —
+        without materialising the dense intermediate slab.  ``indices``
+        must be unique (strictly increasing, as the codec guarantees).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if indices.size and not (
+            0 <= int(indices.min()) and int(indices.max()) < self.spec.counter_cells
+        ):
+            raise IncompatibleSketchesError(
+                "cell indices exceed this family's counter slab"
+            )
+        counters = self.counters
+        if counters.flags.c_contiguous:
+            counters.reshape(-1)[indices] += values
+        else:
+            flat = np.ascontiguousarray(counters).reshape(-1)
+            flat[indices] += values
+            np.copyto(counters, flat.reshape(counters.shape))
+        self._mark_all_dirty()
 
     def merge_in_place(self, other: "SketchFamily") -> None:
         """Fold another family's counters into this one (coordinator combine).

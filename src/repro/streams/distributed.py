@@ -42,7 +42,9 @@ from __future__ import annotations
 import base64
 import uuid
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.expression import estimate_expression
 from repro.core.family import SketchFamily, SketchSpec
@@ -54,7 +56,7 @@ from repro.expr.parser import parse
 from repro.streams.engine import StreamEngine
 from repro.streams.updates import Update
 
-__all__ = ["DeltaExport", "StreamSite", "Coordinator"]
+__all__ = ["DeltaExport", "StreamSite", "Coordinator", "coalesce_exports"]
 
 
 @dataclass(frozen=True)
@@ -71,21 +73,117 @@ class DeltaExport:
     a restarted site starts a fresh incarnation (and fresh counters), so
     its sequence 1 can never be confused with — or dropped as a
     duplicate of — a previous life's.
+
+    A **batch** export (:func:`coalesce_exports`) covers the contiguous
+    sequence range ``first_sequence..sequence``; by linearity its
+    payloads are the entrywise sums of the covered exports' deltas, so
+    applying the batch is equivalent to applying each export in turn.
+    ``first_sequence`` of 0 means the export covers just ``sequence``
+    (the common, unbatched case).
+
+    ``encodings`` maps stream name to the wire encoding of its payload
+    (:mod:`repro.streams.net.codec`); streams absent from the mapping
+    carry plain dense ``to_bytes`` slabs.  In-process exports are always
+    dense — encodings appear only on exports rebuilt from v2 network
+    frames, and :meth:`Coordinator.collect` decodes them at fold time.
     """
 
     site_id: str
     sequence: int
     payloads: Mapping[str, bytes] = field(default_factory=dict)
     incarnation: str = ""
+    first_sequence: int = 0
+    encodings: Mapping[str, str] = field(default_factory=dict)
 
     @property
     def is_empty(self) -> bool:
         """True iff the export carries no counter changes."""
         return not self.payloads
 
+    @property
+    def batch_start(self) -> int:
+        """First sequence the export covers (== ``sequence`` unbatched)."""
+        return self.first_sequence or self.sequence
+
+    @property
+    def batch_size(self) -> int:
+        """How many per-export deltas this export's range covers."""
+        return self.sequence - self.batch_start + 1
+
     def payload_bytes(self) -> int:
         """Total serialised counter bytes in this export."""
         return sum(len(payload) for payload in self.payloads.values())
+
+
+def coalesce_exports(
+    exports: Sequence[DeltaExport], spec: SketchSpec
+) -> DeltaExport:
+    """Sum consecutive exports from one site into a single batch export.
+
+    Linearity is what makes this sound: each retained export is a
+    counter diff, and the diff across the whole range is the entrywise
+    sum of the per-export diffs — so one frame carrying the sums, tagged
+    with the range ``first_sequence..sequence``, folds to exactly the
+    state the individual exports would have.  Streams whose summed delta
+    is all-zero are dropped (e.g. an increment in one export undone by a
+    decrement in the next).
+
+    The inputs must come from one site and incarnation, carry dense
+    (unencoded) payloads, and form a contiguous ascending sequence run —
+    exactly the shape of a :meth:`StreamSite.exports_after` tail.
+    """
+    if not exports:
+        raise ValueError("cannot coalesce an empty export list")
+    head = exports[0]
+    for previous, current in zip(exports, exports[1:]):
+        if current.site_id != head.site_id:
+            raise ValueError(
+                f"cannot coalesce exports from different sites "
+                f"({head.site_id!r} and {current.site_id!r})"
+            )
+        if current.incarnation != head.incarnation:
+            raise ValueError(
+                f"cannot coalesce exports across incarnations of site "
+                f"{head.site_id!r}"
+            )
+        if current.batch_start != previous.sequence + 1:
+            raise ValueError(
+                f"cannot coalesce non-consecutive exports: sequence "
+                f"{current.batch_start} follows {previous.sequence}"
+            )
+    expected = spec.counter_payload_bytes
+    totals: dict[str, np.ndarray] = {}
+    for export in exports:
+        if export.encodings:
+            raise ValueError(
+                "cannot coalesce wire-encoded exports; decode them first"
+            )
+        for stream, payload in export.payloads.items():
+            if len(payload) != expected:
+                raise ValueError(
+                    f"stream {stream!r} payload is {len(payload)} bytes; "
+                    f"the spec calls for {expected}"
+                )
+            delta = np.frombuffer(payload, dtype="<i8")
+            total = totals.get(stream)
+            if total is None:
+                totals[stream] = delta.astype(np.int64)  # owned copy
+            else:
+                total += delta
+    if len(exports) == 1:
+        return exports[0]
+    payloads = {
+        stream: total.astype("<i8").tobytes()
+        for stream, total in totals.items()
+        if total.any()
+    }
+    return DeltaExport(
+        site_id=head.site_id,
+        sequence=exports[-1].sequence,
+        payloads=payloads,
+        incarnation=head.incarnation,
+        first_sequence=head.batch_start,
+    )
 
 
 class StreamSite:
@@ -320,29 +418,47 @@ class Coordinator:
         """Fold one site's delta export into the global synopses.
 
         Returns ``True`` when the export was applied, ``False`` when it
-        was a duplicate (sequence at or below the site's last applied
-        one) and therefore dropped — collecting the same export any
-        number of times leaves the merged state identical.  A sequence
-        *gap* raises :class:`~repro.errors.DeltaSequenceError`: applying
-        it would silently lose the missing exports' updates.
+        was a duplicate (whole covered range at or below the site's last
+        applied sequence) and therefore dropped — collecting the same
+        export any number of times leaves the merged state identical.  A
+        sequence *gap* raises
+        :class:`~repro.errors.DeltaSequenceError`: applying it would
+        silently lose the missing exports' updates.  So does a **batch**
+        export whose range only partially overlaps the applied prefix —
+        its summed payloads cannot be split, so the site must rewind and
+        re-batch from the first unapplied sequence.
 
         A stream observed at several sites ends up with the sum of the
         sites' deltas — by linearity, exactly the sketch of the full
-        stream.
+        stream.  Payloads carrying a v2 wire encoding are decoded here,
+        at fold time; sparse ones scatter straight into an existing
+        synopsis without materialising a dense slab.
         """
         last = self.applied_sequence(export.site_id, export.incarnation)
         if export.sequence <= last:
             self._duplicates_dropped += 1
             return False
-        if export.sequence != last + 1:
+        first = export.batch_start
+        if first != last + 1:
+            if first > last + 1:
+                raise DeltaSequenceError(
+                    f"site {export.site_id!r} shipped export sequence "
+                    f"{first}..{export.sequence} but the last applied one "
+                    f"is {last}; exports {last + 1}..{first - 1} are "
+                    f"missing (re-sync the site before collecting further)"
+                )
             raise DeltaSequenceError(
-                f"site {export.site_id!r} shipped export sequence "
-                f"{export.sequence} but the last applied one is {last}; "
-                f"exports {last + 1}..{export.sequence - 1} are missing "
-                f"(re-sync the site before collecting further)"
+                f"site {export.site_id!r} shipped a batch covering "
+                f"{first}..{export.sequence} but exports up to {last} are "
+                f"already applied; the batch cannot be split, so re-batch "
+                f"from {last + 1}"
             )
         for stream, payload in export.payloads.items():
-            incoming = SketchFamily.from_bytes(payload, self.spec)
+            incoming = self._decode_payload(
+                stream, payload, export.encodings.get(stream, "dense")
+            )
+            if incoming is None:
+                continue  # sparse payload scattered in place
             if self._engine is not None:
                 self._engine.merge_delta(stream, incoming)
             elif stream in self._families:
@@ -352,8 +468,37 @@ class Coordinator:
         site_history = self._applied.setdefault(export.site_id, {})
         site_history[export.incarnation] = export.sequence
         self._current[export.site_id] = export.incarnation
-        self._collects_applied += 1
+        # A batch counts as every export it covers: the logical tally
+        # stays comparable whether or not the uplink coalesced.
+        self._collects_applied += export.sequence - first + 1
         return True
+
+    def _decode_payload(
+        self, stream: str, payload: bytes, encoding: str
+    ) -> SketchFamily | None:
+        """Materialise one wire payload, or fold it in place.
+
+        Returns the decoded delta family, or ``None`` when a sparse
+        payload was scattered directly into an existing plain-map
+        synopsis (the fast path: no dense intermediate slab).
+        """
+        if encoding == "dense":
+            return SketchFamily.from_bytes(payload, self.spec)
+        # Deferred so importing this module never pulls the network
+        # stack in (repro.streams.net imports this module back).
+        from repro.streams.net import codec
+
+        cells = codec.decode_cells(payload, encoding, self.spec.counter_cells)
+        if cells is None:  # dense-based encoding (e.g. dense+zlib)
+            dense = codec.decode_dense(
+                payload, encoding, self.spec.counter_cells
+            )
+            return SketchFamily.from_bytes(dense, self.spec)
+        indices, values = cells
+        if self._engine is None and stream in self._families:
+            self._families[stream].add_cells(indices, values)
+            return None
+        return SketchFamily.from_cells(indices, values, self.spec)
 
     def collect_from(self, site: StreamSite) -> None:
         """Convenience: export from a site object, collect, acknowledge."""

@@ -7,6 +7,10 @@ exports on the wire:
 
 * :mod:`~repro.streams.net.protocol` — length-framed messages (a JSON
   header plus raw counter blobs) and the asyncio read/write helpers;
+* :mod:`~repro.streams.net.codec` — wire-format v2: the sparse
+  varint-delta payload codec with optional zlib, picked per blob by
+  measured size and negotiated per session in the hello/welcome
+  handshake (v1 peers transparently stay dense);
 * :mod:`~repro.streams.net.coordinator` —
   :class:`~repro.streams.net.coordinator.CoordinatorServer`, an asyncio
   TCP server that folds incoming deltas into a live
@@ -35,8 +39,19 @@ the same sequence/retention/re-sync machinery at every hop, so the
 whole tree inherits the per-hop exactly-once-in-effect guarantees.
 """
 
+from repro.streams.net.codec import (
+    DENSE_ONLY,
+    PREFERRED_ENCODINGS,
+    WIRE_ENCODINGS,
+    CodecError,
+)
 from repro.streams.net.coordinator import CoordinatorServer
-from repro.streams.net.protocol import PROTOCOL_VERSION, ROLES, ProtocolError
+from repro.streams.net.protocol import (
+    PROTOCOL_VERSION,
+    ROLES,
+    SUPPORTED_VERSIONS,
+    ProtocolError,
+)
 from repro.streams.net.site import SiteClient, SiteConnectionError
 
 __all__ = [
@@ -44,6 +59,11 @@ __all__ = [
     "SiteClient",
     "SiteConnectionError",
     "ProtocolError",
+    "CodecError",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "ROLES",
+    "WIRE_ENCODINGS",
+    "PREFERRED_ENCODINGS",
+    "DENSE_ONLY",
 ]

@@ -58,7 +58,7 @@ from repro.streams.checkpoint import (
     restore_engine,
 )
 from repro.streams.distributed import Coordinator, DeltaExport, StreamSite
-from repro.streams.net import protocol
+from repro.streams.net import codec, protocol
 from repro.streams.net.site import SiteClient, SiteConnectionError
 from repro.streams.stats import TransportStats, rollup_transport_stats
 
@@ -117,6 +117,13 @@ class CoordinatorServer:
         Extra keyword arguments forwarded to the uplink
         :class:`~repro.streams.net.site.SiteClient` (timeouts, retry
         budget, ``rng`` for deterministic backoff in tests).
+    encodings:
+        Wire encodings this server accepts, preference first (see
+        :mod:`repro.streams.net.codec`).  Each session's encodings are
+        the intersection with what the site's hello offered, announced
+        back in the welcome; v1 hellos (no ``encodings`` field) get a
+        v1-shaped welcome and plain dense frames.  Pass
+        ``codec.DENSE_ONLY`` to force dense for every peer.
     """
 
     def __init__(
@@ -136,6 +143,7 @@ class CoordinatorServer:
         uplink_site: StreamSite | None = None,
         uplink_options: dict | None = None,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        encodings: tuple = codec.PREFERRED_ENCODINGS,
     ) -> None:
         if coordinator is None:
             if spec is None:
@@ -152,6 +160,13 @@ class CoordinatorServer:
             raise ValueError("checkpoint_every must be non-negative")
         self._checkpoint_every = checkpoint_every
         self._max_frame_bytes = max_frame_bytes
+        unknown = sorted(set(encodings) - set(codec.WIRE_ENCODINGS))
+        if unknown:
+            raise ValueError(
+                f"unknown wire encoding(s) {unknown}; "
+                f"this build speaks {codec.WIRE_ENCODINGS}"
+            )
+        self._encodings = tuple(encodings)
         self._server: asyncio.AbstractServer | None = None
         self._handlers: set[asyncio.Task] = set()
         self._stats: dict[str, TransportStats] = {}
@@ -458,13 +473,19 @@ class CoordinatorServer:
             # full before any state changes — so the site simply
             # reconnects and re-syncs.
             pass
-        except protocol.ProtocolError as exc:
+        except (protocol.ProtocolError, codec.CodecError) as exc:
+            # CodecError: a malformed v2 payload is a protocol violation
+            # detected at fold time (decoding happens inside collect).
             await self._send_error(writer, str(exc))
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: a task cancelled mid-serve (server
+                # shutdown) re-raises at this await; the socket is
+                # already closing and the task ends right after, so
+                # swallowing it here only silences loop-callback noise.
                 pass
 
     async def _serve_site(
@@ -477,10 +498,10 @@ class CoordinatorServer:
             raise protocol.ProtocolError(
                 f"expected hello, got {header.get('type')!r}"
             )
-        if header.get("version") != protocol.PROTOCOL_VERSION:
+        if header.get("version") not in protocol.SUPPORTED_VERSIONS:
             raise protocol.ProtocolError(
                 f"protocol version {header.get('version')!r} not supported "
-                f"(this server speaks {protocol.PROTOCOL_VERSION})"
+                f"(this server speaks {protocol.SUPPORTED_VERSIONS})"
             )
         site_id = header.get("site_id")
         if not isinstance(site_id, str) or not site_id:
@@ -493,20 +514,57 @@ class CoordinatorServer:
             raise protocol.ProtocolError(
                 f"hello role {role!r} not one of {protocol.ROLES}"
             )
+        # -- v2 negotiation.  A v1 hello carries neither field; the
+        # welcome then answers without them and the session stays dense
+        # and unbatched — no flag day, old peers never see v2 framing.
+        offered = header.get("encodings")
+        session_encodings = codec.DENSE_ONLY
+        if offered is not None:
+            if not isinstance(offered, list) or not all(
+                isinstance(name, str) for name in offered
+            ):
+                raise protocol.ProtocolError(
+                    "hello 'encodings' must be a list of strings"
+                )
+            session_encodings = codec.negotiate_encodings(
+                offered, self._encodings
+            )
+        requested = header.get("features")
+        session_features: tuple = ()
+        if requested is not None:
+            if not isinstance(requested, list) or not all(
+                isinstance(name, str) for name in requested
+            ):
+                raise protocol.ProtocolError(
+                    "hello 'features' must be a list of strings"
+                )
+            session_features = tuple(
+                name for name in protocol.FEATURES if name in requested
+            )
         stats = self._stats.setdefault(
             site_id, TransportStats(site_id=site_id, role=role)
         )
         stats.role = role
         stats.frames_received += 1
         stats.bytes_received += nbytes
+        stats.count_message("hello", nbytes)
         applied = self.coordinator.applied_sequence(site_id, incarnation)
-        stats.bytes_sent += await protocol.write_message(
+        nbytes = await protocol.write_message(
             writer,
             protocol.welcome_message(
-                applied, self._durable_for(site_id, incarnation)
+                applied,
+                self._durable_for(site_id, incarnation),
+                encodings=(
+                    list(session_encodings) if offered is not None else None
+                ),
+                features=(
+                    list(session_features) if requested is not None else None
+                ),
             ),
         )
+        stats.bytes_sent += nbytes
         stats.frames_sent += 1
+        stats.count_message("welcome", nbytes)
         stats.resyncs += 1
 
         while True:
@@ -515,6 +573,7 @@ class CoordinatorServer:
             )
             stats.frames_received += 1
             stats.bytes_received += nbytes
+            stats.count_message(str(header.get("type")), nbytes)
             if header.get("type") != "delta":
                 raise protocol.ProtocolError(
                     f"expected delta, got {header.get('type')!r}"
@@ -526,15 +585,30 @@ class CoordinatorServer:
                     f"(incarnation {export.incarnation!r}) on a connection "
                     f"that said hello as {site_id!r} ({incarnation!r})"
                 )
+            unexpected = sorted(
+                set(export.encodings.values()) - set(session_encodings)
+            )
+            if unexpected:
+                raise protocol.ProtocolError(
+                    f"delta uses encoding(s) {unexpected} the session did "
+                    f"not negotiate (agreed: {list(session_encodings)})"
+                )
+            if export.batch_size > 1 and "batch" not in session_features:
+                raise protocol.ProtocolError(
+                    "delta covers a sequence range but the session did not "
+                    "negotiate the 'batch' feature"
+                )
             self._apply(export, stats)
-            stats.bytes_sent += await protocol.write_message(
+            nbytes = await protocol.write_message(
                 writer,
                 protocol.ack_message(
                     self.coordinator.applied_sequence(site_id, incarnation),
                     self._durable_for(site_id, incarnation),
                 ),
             )
+            stats.bytes_sent += nbytes
             stats.frames_sent += 1
+            stats.count_message("ack", nbytes)
 
     def _apply(self, export: DeltaExport, stats: TransportStats) -> None:
         from repro.errors import DeltaSequenceError
@@ -542,13 +616,20 @@ class CoordinatorServer:
         try:
             applied = self.coordinator.collect(export)
         except DeltaSequenceError:
-            # A gap: the ack below carries the coordinator's actual
-            # applied sequence and the site rewinds from there.
+            # A gap (or a batch straddling the applied prefix): the ack
+            # below carries the coordinator's actual applied sequence
+            # and the site rewinds — and re-batches — from there.
             return
         if applied:
-            stats.deltas_applied += 1
-            self._applied_since_checkpoint += 1
-            self._applied_since_uplink += 1
+            stats.deltas_applied += export.batch_size
+            stats.exports_coalesced += export.batch_size - 1
+            stats.payload_bytes_wire += export.payload_bytes()
+            stats.payload_bytes_dense += (
+                len(export.payloads)
+                * self.coordinator.spec.counter_payload_bytes
+            )
+            self._applied_since_checkpoint += export.batch_size
+            self._applied_since_uplink += export.batch_size
             self._maybe_checkpoint()
             self._maybe_ship_upstream()
         else:

@@ -9,35 +9,54 @@ Every message travels as one frame::
 The header is a small JSON object with a ``type`` field; binary counter
 payloads ride as raw blobs after the header, their lengths listed in the
 header's ``blobs`` array (in order).  Keeping counters out of the JSON
-avoids base64 inflation — a delta export's payload bytes go on the wire
-exactly as :meth:`~repro.core.family.SketchFamily.to_bytes` produced
-them.
+avoids base64 inflation, and :func:`decode_message` hands blobs back as
+zero-copy :class:`memoryview` slices over the one received frame buffer
+— a multi-MiB counter slab is never copied just to be parsed.
 
 Message types
 -------------
 
 ``hello``   (site → coordinator): ``site_id``, ``incarnation``,
-            ``version``, and a ``role`` — ``"site"`` for a leaf
-            observer, ``"uplink"`` for a child coordinator re-exporting
-            aggregated deltas up a federation tree.  First frame on
-            every connection.
+            ``version``, a ``role`` — ``"site"`` for a leaf observer,
+            ``"uplink"`` for a child coordinator re-exporting
+            aggregated deltas up a federation tree — and, from v2
+            peers, ``encodings`` (payload encodings the site can
+            produce, preference first) plus ``features`` (``"batch"``:
+            the site may coalesce several retained exports into one
+            frame).  First frame on every connection.
 ``welcome`` (coordinator → site): ``sequence`` (last applied for the
-            site), ``durable`` (last checkpoint-covered).  The site
-            prunes retained exports ≤ ``durable`` and re-ships every
-            retained export > ``sequence`` — the re-sync that makes
-            coordinator fail-over transparent.
+            site), ``durable`` (last checkpoint-covered), and — only
+            answering a hello that advertised them — the negotiated
+            ``encodings`` (the coordinator's pick, see
+            :func:`~repro.streams.net.codec.negotiate_encodings`) and
+            ``features``.  The site prunes retained exports ≤
+            ``durable`` and re-ships every retained export >
+            ``sequence`` — the re-sync that makes coordinator fail-over
+            transparent.
 ``delta``   (site → coordinator): ``site_id``, ``sequence``,
             ``streams`` (names, in blob order); blobs are the delta
-            counter payloads.
+            counter payloads.  V2 extensions, both optional: a
+            per-blob ``encodings`` list (aligned with ``streams``;
+            absent = all dense, the v1 payload), and ``first_sequence``
+            marking a *batched* frame whose payloads are the linearity
+            sum of exports ``first_sequence..sequence`` (absent =
+            ``sequence``, an unbatched frame).
 ``ack``     (coordinator → site): ``sequence`` (the site's last applied
             sequence *after* handling the frame), ``durable``.  An ack
             whose ``sequence`` is below the just-shipped export signals
-            a gap; the site rewinds and re-ships from ``sequence``.
+            a gap (or, for a batch, an overlap); the site rewinds and
+            re-ships from ``sequence``.
 ``error``   (either direction): ``message``; the connection closes.
 
 All integers are big-endian.  Frames above ``max_bytes`` (default
 64 MiB) are rejected before allocation — a garbage length prefix cannot
 make either endpoint swallow gigabytes.
+
+Version 2 changes only *header fields* — the frame layout is untouched
+and every new field is optional, so v1 peers interoperate without a
+flag day: a hello without ``encodings`` gets a v1 welcome and ships
+dense, unbatched frames, and the coordinator accepts any version in
+:data:`SUPPORTED_VERSIONS`.
 """
 
 from __future__ import annotations
@@ -49,11 +68,14 @@ from typing import Sequence
 
 from repro.errors import ReproError
 from repro.streams.distributed import DeltaExport
+from repro.streams.net import codec
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "MAX_FRAME_BYTES",
     "ROLES",
+    "FEATURES",
     "ProtocolError",
     "encode_message",
     "decode_message",
@@ -67,7 +89,17 @@ __all__ = [
     "export_from_message",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: Hello versions this endpoint accepts.  V2 is a pure field-level
+#: extension of v1, so both speak the same frames.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Optional capabilities negotiated in the hello/welcome handshake.
+#: ``"batch"``: the site may coalesce several consecutive retained
+#: exports into one delta frame (summed by linearity, ``first_sequence``
+#: set); the coordinator acks the batch's max sequence.
+FEATURES = ("batch",)
 
 #: Default refusal threshold for a single frame.  Far above any sane
 #: delta (a 512-sketch, 16-column synopsis is ~4 MiB per stream) but
@@ -94,28 +126,38 @@ def encode_message(header: dict, blobs: Sequence[bytes] = ()) -> bytes:
     )
 
 
-def decode_message(payload: bytes) -> tuple[dict, list[bytes]]:
-    """Inverse of :func:`encode_message`; validates structure strictly."""
+def decode_message(payload: bytes) -> tuple[dict, list[memoryview]]:
+    """Inverse of :func:`encode_message`; validates structure strictly.
+
+    Blobs come back as **zero-copy** :class:`memoryview` slices over the
+    one frame buffer — at the default shape a delta frame carries
+    multi-MiB counter slabs, and slicing them out as ``bytes`` used to
+    double the peak allocation per frame.  Memoryviews compare equal to
+    bytes and feed ``np.frombuffer``/``zlib`` directly; call ``bytes()``
+    only where a blob must outlive the frame (retention), which the
+    fold path never needs.
+    """
     if len(payload) < _LENGTH.size:
         raise ProtocolError("frame too short for a header length")
     (header_length,) = _LENGTH.unpack_from(payload)
     offset = _LENGTH.size
     if offset + header_length > len(payload):
         raise ProtocolError("frame shorter than its declared header")
+    view = memoryview(payload)
     try:
-        header = json.loads(payload[offset : offset + header_length])
+        header = json.loads(bytes(view[offset : offset + header_length]))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"unparseable message header: {exc}") from exc
     if not isinstance(header, dict) or "type" not in header:
         raise ProtocolError("message header must be an object with 'type'")
     offset += header_length
-    blobs: list[bytes] = []
+    blobs: list[memoryview] = []
     for length in header.pop("blobs", []):
         if not isinstance(length, int) or length < 0:
             raise ProtocolError("blob lengths must be non-negative integers")
         if offset + length > len(payload):
             raise ProtocolError("frame shorter than its declared blobs")
-        blobs.append(payload[offset : offset + length])
+        blobs.append(view[offset : offset + length])
         offset += length
     if offset != len(payload):
         raise ProtocolError("frame has trailing bytes beyond declared blobs")
@@ -168,25 +210,76 @@ ROLES = ("site", "uplink")
 
 
 def hello_message(
-    site_id: str, incarnation: str, role: str = "site"
+    site_id: str,
+    incarnation: str,
+    role: str = "site",
+    *,
+    encodings: Sequence[str] = (),
+    features: Sequence[str] = (),
 ) -> dict:
+    """The session-opening frame.
+
+    ``encodings``/``features`` advertise v2 capabilities; leaving both
+    empty produces a hello that is field-for-field what a v1 peer sends
+    (apart from the version number), and the coordinator answers it
+    with a v1 welcome — dense, unbatched frames both directions.
+    """
     if role not in ROLES:
         raise ValueError(f"role must be one of {ROLES}, got {role!r}")
-    return {
+    header = {
         "type": "hello",
         "site_id": site_id,
         "incarnation": incarnation,
         "role": role,
         "version": PROTOCOL_VERSION,
     }
+    if encodings:
+        header["encodings"] = list(encodings)
+    if features:
+        unknown = [f for f in features if f not in FEATURES]
+        if unknown:
+            raise ValueError(f"unknown features {unknown} (have {FEATURES})")
+        header["features"] = list(features)
+    return header
 
 
-def welcome_message(sequence: int, durable: int) -> dict:
-    return {"type": "welcome", "sequence": sequence, "durable": durable}
+def welcome_message(
+    sequence: int,
+    durable: int,
+    *,
+    encodings: Sequence[str] | None = None,
+    features: Sequence[str] | None = None,
+) -> dict:
+    """The coordinator's handshake answer.
+
+    ``encodings`` is the coordinator's pick — the subset of the hello's
+    advertisement the site may use, preference first; ``None`` (for a
+    v1 hello) omits the field entirely so old peers see exactly the
+    welcome they always did.
+    """
+    header = {"type": "welcome", "sequence": sequence, "durable": durable}
+    if encodings is not None:
+        header["encodings"] = list(encodings)
+    if features is not None:
+        header["features"] = list(features)
+    return header
 
 
-def delta_message(export: DeltaExport) -> tuple[dict, list[bytes]]:
-    """Header and blobs for one delta export (blobs in ``streams`` order)."""
+def delta_message(
+    export: DeltaExport,
+    allowed_encodings: Sequence[str] = codec.DENSE_ONLY,
+    *,
+    compress_level: int = 6,
+) -> tuple[dict, list[bytes]]:
+    """Header and blobs for one delta export (blobs in ``streams`` order).
+
+    Each payload is encoded independently through
+    :func:`~repro.streams.net.codec.encode_delta`, choosing the smallest
+    allowed encoding per blob; the per-blob choices ride in the header's
+    ``encodings`` list.  With the default dense-only allowance the
+    header is field-for-field the v1 message.  A batched export
+    (``first_sequence < sequence``) adds ``first_sequence``.
+    """
     streams = sorted(export.payloads)
     header = {
         "type": "delta",
@@ -195,7 +288,21 @@ def delta_message(export: DeltaExport) -> tuple[dict, list[bytes]]:
         "sequence": export.sequence,
         "streams": streams,
     }
-    return header, [export.payloads[name] for name in streams]
+    if export.first_sequence and export.first_sequence != export.sequence:
+        header["first_sequence"] = export.first_sequence
+    blobs = []
+    encodings = []
+    for name in streams:
+        encoding, blob = codec.encode_delta(
+            export.payloads[name],
+            allowed_encodings,
+            compress_level=compress_level,
+        )
+        encodings.append(encoding)
+        blobs.append(blob)
+    if any(encoding != "dense" for encoding in encodings):
+        header["encodings"] = encodings
+    return header, blobs
 
 
 def ack_message(sequence: int, durable: int) -> dict:
@@ -207,7 +314,14 @@ def error_message(message: str) -> dict:
 
 
 def export_from_message(header: dict, blobs: Sequence[bytes]) -> DeltaExport:
-    """Rebuild a :class:`DeltaExport` from a decoded ``delta`` message."""
+    """Rebuild a :class:`DeltaExport` from a decoded ``delta`` message.
+
+    The export keeps the blobs exactly as received (memoryviews from
+    :func:`decode_message` stay zero-copy) together with the per-stream
+    wire encodings; decoding to counters happens at fold time in
+    :meth:`~repro.streams.distributed.Coordinator.collect`, where the
+    sparse fast path can skip the dense slab entirely.
+    """
     if header.get("type") != "delta":
         raise ProtocolError(f"expected a delta message, got {header.get('type')!r}")
     streams = header.get("streams")
@@ -224,9 +338,35 @@ def export_from_message(header: dict, blobs: Sequence[bytes]) -> DeltaExport:
         raise ProtocolError("delta stream names must align with payload blobs")
     if len(set(streams)) != len(streams):
         raise ProtocolError("delta stream names must be unique")
+    first_sequence = header.get("first_sequence", sequence)
+    if not isinstance(first_sequence, int) or not (
+        1 <= first_sequence <= sequence
+    ):
+        raise ProtocolError(
+            "first_sequence must be an int in [1, sequence] when present"
+        )
+    wire_encodings = header.get("encodings", None)
+    if wire_encodings is None:
+        encodings = {}
+    else:
+        if (
+            not isinstance(wire_encodings, list)
+            or len(wire_encodings) != len(streams)
+            or any(e not in codec.WIRE_ENCODINGS for e in wire_encodings)
+        ):
+            raise ProtocolError(
+                "delta encodings must name a known encoding per stream"
+            )
+        encodings = {
+            name: encoding
+            for name, encoding in zip(streams, wire_encodings)
+            if encoding != "dense"
+        }
     return DeltaExport(
         site_id=site_id,
         sequence=sequence,
         payloads=dict(zip(streams, blobs)),
         incarnation=incarnation,
+        first_sequence=first_sequence,
+        encodings=encodings,
     )

@@ -31,8 +31,12 @@ import random
 
 from repro.core.family import SketchSpec
 from repro.errors import ReproError
-from repro.streams.distributed import DeltaExport, StreamSite
-from repro.streams.net import protocol
+from repro.streams.distributed import (
+    DeltaExport,
+    StreamSite,
+    coalesce_exports,
+)
+from repro.streams.net import codec, protocol
 from repro.streams.stats import TransportStats
 from repro.streams.updates import Update
 
@@ -73,6 +77,19 @@ class SiteClient:
         a leaf observer) or ``"uplink"`` (a child coordinator
         re-exporting aggregated deltas to its parent in a federation
         tree).
+    encodings:
+        Wire encodings offered in the hello, preference first (see
+        :mod:`repro.streams.net.codec`).  The coordinator answers with
+        the subset it accepts; delta payloads then ship under the
+        cheapest accepted encoding per blob.  An empty tuple sends a
+        v1-shaped hello — no ``encodings`` field at all — and the
+        session stays plain dense.
+    max_batch:
+        Upper bound on retained exports coalesced into one delta frame
+        (their counter diffs are summed per stream — linearity — and
+        the frame covers the whole sequence range, so one ack covers
+        the batch).  Batching engages only when the coordinator's
+        welcome confirms the ``"batch"`` feature; ``1`` turns it off.
     """
 
     def __init__(
@@ -91,6 +108,8 @@ class SiteClient:
         rng: random.Random | None = None,
         role: str = "site",
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        encodings: tuple = codec.PREFERRED_ENCODINGS,
+        max_batch: int = 32,
     ) -> None:
         if site is None:
             if site_id is None or spec is None:
@@ -100,8 +119,18 @@ class SiteClient:
             raise ValueError(
                 f"role must be one of {protocol.ROLES}, got {role!r}"
             )
+        unknown = sorted(set(encodings) - set(codec.WIRE_ENCODINGS))
+        if unknown:
+            raise ValueError(
+                f"unknown wire encoding(s) {unknown}; "
+                f"this build speaks {codec.WIRE_ENCODINGS}"
+            )
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
         self.site = site
         self.role = role
+        self.offered_encodings = tuple(encodings)
+        self.max_batch = max_batch
         self.host = host
         self.port = port
         self.connect_timeout = connect_timeout
@@ -117,6 +146,10 @@ class SiteClient:
         # The coordinator's last applied sequence for this site, as
         # learned from the most recent welcome/ack.
         self._applied = 0
+        # Negotiated per-session in the hello/welcome handshake; dense
+        # and unbatched until (and unless) the coordinator says better.
+        self._encodings: tuple = codec.DENSE_ONLY
+        self._batching = False
         self.stats = TransportStats(site_id=site.site_id, role=role)
 
     # -- observing (pass-through) -----------------------------------------
@@ -135,6 +168,16 @@ class SiteClient:
     def coordinator_applied_sequence(self) -> int:
         """Last sequence the coordinator reported as applied."""
         return self._applied
+
+    @property
+    def negotiated_encodings(self) -> tuple:
+        """Encodings the current session may ship (dense until welcomed)."""
+        return self._encodings
+
+    @property
+    def batching_enabled(self) -> bool:
+        """Whether the current session coalesces retained exports."""
+        return self._batching
 
     # -- shipping ----------------------------------------------------------
 
@@ -233,7 +276,11 @@ class SiteClient:
         self._ever_connected = True
         await self._send(
             protocol.hello_message(
-                self.site.site_id, self.site.incarnation, self.role
+                self.site.site_id,
+                self.site.incarnation,
+                self.role,
+                encodings=self.offered_encodings,
+                features=("batch",) if self.max_batch > 1 else (),
             )
         )
         header = await self._receive("welcome")
@@ -243,10 +290,29 @@ class SiteClient:
         # could prune or shadow this life's exports.
         self._applied = int(header.get("sequence", 0))
         self.site.acknowledge(int(header.get("durable", 0)))
+        # The coordinator's pick, restricted to what we offered — a v1
+        # welcome carries neither field, leaving the session dense and
+        # unbatched exactly as a v1 peer expects.
+        accepted = header.get("encodings") or ()
+        self._encodings = tuple(
+            encoding
+            for encoding in accepted
+            if encoding in self.offered_encodings
+        ) or codec.DENSE_ONLY
+        features = header.get("features") or ()
+        self._batching = "batch" in features and self.max_batch > 1
         self.stats.resyncs += 1
 
     async def _ship_retained(self) -> None:
-        """Send every retained export the coordinator has not applied."""
+        """Send every retained export the coordinator has not applied.
+
+        With batching negotiated, up to ``max_batch`` consecutive
+        retained exports coalesce into one frame (diffs summed per
+        stream); the coordinator's ack covers the batch's top sequence.
+        Retention is untouched either way — the *individual* exports
+        stay until durably acknowledged, so a rewind after a fault can
+        always re-batch from any boundary.
+        """
         while True:
             pending = [
                 export
@@ -255,13 +321,23 @@ class SiteClient:
             ]
             if not pending:
                 return
-            for export in pending:
-                await self._send_export(export)
+            if self._batching and len(pending) > 1:
+                for start in range(0, len(pending), self.max_batch):
+                    chunk = pending[start : start + self.max_batch]
+                    await self._send_export(
+                        coalesce_exports(chunk, self.site.spec)
+                    )
+            else:
+                for export in pending:
+                    await self._send_export(export)
 
     async def _send_export(self, export: DeltaExport) -> None:
-        header, blobs = protocol.delta_message(export)
+        header, blobs = protocol.delta_message(export, self._encodings)
         await self._send(header, blobs)
-        self.stats.deltas_shipped += 1
+        self.stats.deltas_shipped += export.batch_size
+        self.stats.exports_coalesced += export.batch_size - 1
+        self.stats.payload_bytes_dense += export.payload_bytes()
+        self.stats.payload_bytes_wire += sum(len(blob) for blob in blobs)
         ack = await self._receive("ack")
         self.stats.acks_received += 1
         self._applied = int(ack.get("sequence", 0))
@@ -269,11 +345,13 @@ class SiteClient:
 
     async def _send(self, header: dict, blobs=()) -> None:
         assert self._writer is not None
-        self.stats.bytes_sent += await asyncio.wait_for(
+        nbytes = await asyncio.wait_for(
             protocol.write_message(self._writer, header, blobs),
             self.io_timeout,
         )
+        self.stats.bytes_sent += nbytes
         self.stats.frames_sent += 1
+        self.stats.count_message(str(header.get("type")), nbytes)
 
     async def _receive(self, expected_type: str) -> dict:
         assert self._reader is not None
@@ -283,6 +361,7 @@ class SiteClient:
         )
         self.stats.frames_received += 1
         self.stats.bytes_received += nbytes
+        self.stats.count_message(str(header.get("type")), nbytes)
         if header.get("type") == "error":
             raise protocol.ProtocolError(
                 f"coordinator rejected the session: {header.get('message')}"

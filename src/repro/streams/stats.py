@@ -112,10 +112,44 @@ class TransportStats:
     reconnects: int = 0
     acks_received: int = 0
     checkpoints_written: int = 0
+    # -- wire-format v2 counters --
+    #: Exports that rode inside another export's frame instead of their
+    #: own (uplink batching): each coalesced frame covering ``n``
+    #: exports adds ``n - 1``.
+    exports_coalesced: int = 0
+    #: What the delta payloads would have cost as plain dense counter
+    #: slabs (the v1 wire format).
+    payload_bytes_dense: int = 0
+    #: What the delta payloads actually cost under the negotiated
+    #: encodings.  ``payload_bytes_dense - payload_bytes_wire`` is the
+    #: codec's whole effect; framing/header bytes live in
+    #: ``bytes_sent``/``bytes_received``.
+    payload_bytes_wire: int = 0
+    #: ``message type -> total frame bytes`` through this endpoint, both
+    #: directions (hello, welcome, delta, ack, error).
+    message_bytes: dict = field(default_factory=dict)
+
+    def count_message(self, message_type: str, nbytes: int) -> None:
+        """Attribute one frame's bytes to its message type."""
+        self.message_bytes[message_type] = (
+            self.message_bytes.get(message_type, 0) + nbytes
+        )
+
+    @property
+    def payload_bytes_saved(self) -> int:
+        """Payload bytes the v2 codec kept off the wire (vs. dense)."""
+        return self.payload_bytes_dense - self.payload_bytes_wire
+
+    @property
+    def compression_ratio(self) -> float:
+        """``payload_bytes_dense / payload_bytes_wire`` (1.0 before any)."""
+        if self.payload_bytes_wire == 0:
+            return 1.0
+        return self.payload_bytes_dense / self.payload_bytes_wire
 
     def snapshot(self) -> "TransportStats":
         """A point-in-time copy (the original keeps counting)."""
-        return replace(self)
+        return replace(self, message_bytes=dict(self.message_bytes))
 
     def merged_with(self, other: "TransportStats") -> "TransportStats":
         """Counter-wise sum of two snapshots (per-hop roll-up step).
@@ -131,11 +165,19 @@ class TransportStats:
                 "bytes_received", "deltas_shipped", "deltas_applied",
                 "duplicates_dropped", "resyncs", "retries", "reconnects",
                 "acks_received", "checkpoints_written",
+                "exports_coalesced", "payload_bytes_dense",
+                "payload_bytes_wire",
             )
         }
+        message_bytes = dict(self.message_bytes)
+        for message_type, nbytes in other.message_bytes.items():
+            message_bytes[message_type] = (
+                message_bytes.get(message_type, 0) + nbytes
+            )
         return TransportStats(
             site_id=self.site_id if self.site_id == other.site_id else "*",
             role=self.role if self.role == other.role else "*",
+            message_bytes=message_bytes,
             **merged,
         )
 

@@ -1,0 +1,224 @@
+"""Unit tests for the wire-format v2 payload codec.
+
+Bit-exactness is the contract: whatever encoding a negotiation permits,
+decoding must reproduce the dense counter slab byte for byte, and any
+malformed payload must raise :class:`CodecError` instead of folding
+garbage into a coordinator.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.errors import IncompatibleSketchesError
+from repro.streams.net import codec
+
+SHAPE = SketchShape(domain_bits=12, num_second_level=4, independence=4)
+SPEC = SketchSpec(num_sketches=8, shape=SHAPE, seed=11)
+
+CELLS = SPEC.counter_cells
+
+
+def dense_with(nonzero: dict[int, int]) -> bytes:
+    slab = np.zeros(CELLS, dtype="<i8")
+    for index, value in nonzero.items():
+        slab[index] = value
+    return slab.tobytes()
+
+
+class TestNegotiation:
+    def test_intersection_in_supported_order(self):
+        picked = codec.negotiate_encodings(
+            ["sparse", "dense+zlib", "made-up"],
+            ("sparse+zlib", "sparse", "dense+zlib", "dense"),
+        )
+        assert picked == ("sparse", "dense+zlib", "dense")
+
+    def test_dense_always_included(self):
+        assert codec.negotiate_encodings([]) == ("dense",)
+        assert "dense" in codec.negotiate_encodings(["sparse"])
+
+    def test_dense_only_supported_side(self):
+        picked = codec.negotiate_encodings(
+            codec.PREFERRED_ENCODINGS, codec.DENSE_ONLY
+        )
+        assert picked == ("dense",)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "allowed",
+        [
+            codec.DENSE_ONLY,
+            ("sparse",),
+            ("dense+zlib",),
+            ("sparse+zlib",),
+            codec.PREFERRED_ENCODINGS,
+        ],
+    )
+    @pytest.mark.parametrize("nonzero", [0, 1, 5, CELLS])
+    def test_byte_exact_over_every_encoding(self, allowed, nonzero):
+        rng = np.random.default_rng(nonzero * 31 + len(allowed))
+        slab = np.zeros(CELLS, dtype="<i8")
+        if nonzero:
+            where = rng.choice(CELLS, size=nonzero, replace=False)
+            slab[where] = rng.integers(
+                -(2**62), 2**62, size=nonzero, dtype=np.int64
+            )
+        payload = slab.tobytes()
+        encoding, blob = codec.encode_delta(payload, allowed)
+        assert encoding in set(allowed) | {"dense"}
+        assert codec.decode_dense(blob, encoding, CELLS) == payload
+
+    def test_extreme_values_survive_zigzag(self):
+        payload = dense_with(
+            {0: -(2**63), 1: 2**63 - 1, 2: -1, CELLS - 1: 1}
+        )
+        for allowed in (("sparse",), ("sparse+zlib",)):
+            encoding, blob = codec.encode_delta(payload, allowed)
+            assert codec.decode_dense(blob, encoding, CELLS) == payload
+
+    def test_fuzz_random_sparsity(self):
+        rng = np.random.default_rng(99)
+        for _ in range(25):
+            slab = np.zeros(CELLS, dtype="<i8")
+            nonzero = int(rng.integers(0, CELLS))
+            where = rng.choice(CELLS, size=nonzero, replace=False)
+            slab[where] = rng.integers(
+                -(2**40), 2**40, size=nonzero, dtype=np.int64
+            )
+            payload = slab.tobytes()
+            encoding, blob = codec.encode_delta(
+                payload, codec.PREFERRED_ENCODINGS
+            )
+            assert codec.decode_dense(blob, encoding, CELLS) == payload
+
+    def test_decode_accepts_memoryview(self):
+        payload = dense_with({7: 3})
+        encoding, blob = codec.encode_delta(payload, ("sparse",))
+        assert (
+            codec.decode_dense(memoryview(blob), encoding, CELLS) == payload
+        )
+
+
+class TestSizeChoice:
+    def test_sparse_chosen_for_sparse_payload(self):
+        payload = dense_with({3: 1, 100: -2, CELLS - 1: 7})
+        encoding, blob = codec.encode_delta(
+            payload, codec.PREFERRED_ENCODINGS
+        )
+        assert encoding.startswith("sparse")
+        assert len(blob) < len(payload)
+
+    def test_dense_fallback_never_larger_than_v1(self):
+        # A fully dense random slab: the sparse form is strictly larger,
+        # so the codec must fall back to (possibly zipped) dense.
+        rng = np.random.default_rng(3)
+        slab = rng.integers(-(2**62), 2**62, size=CELLS, dtype=np.int64)
+        payload = slab.astype("<i8").tobytes()
+        encoding, blob = codec.encode_delta(
+            payload, codec.PREFERRED_ENCODINGS
+        )
+        assert len(blob) <= len(payload)
+        assert codec.decode_dense(blob, encoding, CELLS) == payload
+
+    def test_disallowed_encodings_never_produced(self):
+        payload = dense_with({3: 1})
+        encoding, _ = codec.encode_delta(payload, codec.DENSE_ONLY)
+        assert encoding == "dense"
+        encoding, _ = codec.encode_delta(payload, ("dense", "dense+zlib"))
+        assert encoding in ("dense", "dense+zlib")
+
+    def test_zlib_dropped_when_it_does_not_shrink(self):
+        # A tiny sparse body barely compresses; whatever wins must never
+        # exceed the un-zipped sparse form.
+        payload = dense_with({0: 1})
+        _, sparse_blob = codec.encode_delta(payload, ("sparse",))
+        _, best_blob = codec.encode_delta(
+            payload, ("sparse", "sparse+zlib")
+        )
+        assert len(best_blob) <= len(sparse_blob)
+
+
+class TestMalformedPayloads:
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(codec.CodecError, match="unknown"):
+            codec.decode_dense(b"", "brotli", CELLS)
+
+    def test_wrong_dense_length_rejected(self):
+        with pytest.raises(codec.CodecError, match="expected"):
+            codec.decode_dense(b"\x00" * 16, "dense", CELLS)
+
+    def test_truncated_sparse_rejected(self):
+        _, blob = codec.encode_delta(dense_with({5: 9, 6: 2}), ("sparse",))
+        with pytest.raises(codec.CodecError):
+            codec.decode_dense(blob[:-1], "sparse", CELLS)
+
+    def test_trailing_bytes_rejected(self):
+        _, blob = codec.encode_delta(dense_with({5: 9}), ("sparse",))
+        with pytest.raises(codec.CodecError):
+            codec.decode_dense(blob + b"\x00", "sparse", CELLS)
+
+    def test_count_beyond_slab_rejected(self):
+        blob = struct.pack(">I", CELLS + 1)
+        with pytest.raises(codec.CodecError, match="claims"):
+            codec.decode_sparse_cells(blob, CELLS)
+
+    def test_indices_beyond_slab_rejected(self):
+        blob = codec.encode_sparse_cells(
+            np.array([CELLS - 1]), np.array([5])
+        )
+        with pytest.raises(codec.CodecError, match="exceed"):
+            codec.decode_sparse_cells(blob, CELLS - 1)
+
+    def test_varint_overflow_rejected(self):
+        # An 11-byte continuation run cannot encode any 64-bit value.
+        blob = struct.pack(">I", 1) + b"\xff" * 11 + b"\x00"
+        with pytest.raises(codec.CodecError):
+            codec.decode_sparse_cells(blob, CELLS)
+
+    def test_corrupt_zlib_rejected(self):
+        with pytest.raises(codec.CodecError, match="zlib"):
+            codec.decode_dense(b"not zlib at all", "sparse+zlib", CELLS)
+
+    def test_zlib_bomb_rejected(self):
+        # A stream inflating far past the slab size must be refused
+        # without materialising the inflated body.
+        bomb = zlib.compress(b"\x00" * (8 * CELLS * 64), 9)
+        with pytest.raises(codec.CodecError, match="inflates"):
+            codec.decode_dense(bomb, "dense+zlib", CELLS)
+
+
+class TestFamilyCellHelpers:
+    def test_nonzero_cells_round_trip(self):
+        family = SPEC.build()
+        family.update_batch(np.arange(50, dtype=np.uint64))
+        indices, values = family.nonzero_cells()
+        rebuilt = type(family).from_cells(indices, values, SPEC)
+        assert rebuilt.to_bytes() == family.to_bytes()
+
+    def test_add_cells_matches_merge(self):
+        base = SPEC.build()
+        base.update_batch(np.arange(30, dtype=np.uint64))
+        delta = SPEC.build()
+        delta.update_batch(np.arange(30, 60, dtype=np.uint64))
+        expected = base.copy()
+        expected.merge_in_place(delta)
+        base.add_cells(*delta.nonzero_cells())
+        assert base.to_bytes() == expected.to_bytes()
+
+    def test_from_cells_rejects_out_of_range(self):
+        with pytest.raises(IncompatibleSketchesError):
+            type(SPEC.build()).from_cells(
+                np.array([SPEC.counter_cells]), np.array([1]), SPEC
+            )
+
+    def test_counter_cell_arithmetic(self):
+        assert SPEC.counter_payload_bytes == 8 * SPEC.counter_cells
+        assert len(SPEC.build().to_bytes()) == SPEC.counter_payload_bytes

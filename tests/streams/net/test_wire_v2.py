@@ -1,0 +1,537 @@
+"""Wire-format v2 tests: negotiation, v1 interop, and uplink batching.
+
+The compatibility contract: a v1 peer — a hello with no ``encodings``
+field — must see exactly the v1 wire protocol (dense frames both
+directions, no batch ranges), while v2 peers negotiate sparse/zlib
+payloads and coalesced batch frames per session.  Every path must fold
+bit-identically to a flat engine, faults or not.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.errors import DeltaSequenceError
+from repro.streams.distributed import (
+    Coordinator,
+    DeltaExport,
+    StreamSite,
+    coalesce_exports,
+)
+from repro.streams.engine import StreamEngine
+from repro.streams.net import codec, protocol
+from repro.streams.net.coordinator import CoordinatorServer
+from repro.streams.net.site import SiteClient
+from repro.streams.updates import Update, deletions, insertions
+
+from .faults import FaultyTransport
+
+SHAPE = SketchShape(domain_bits=16, num_second_level=8, independence=4)
+SPEC = SketchSpec(num_sketches=32, shape=SHAPE, seed=23)
+
+TIMEOUT = 30.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+def make_client(site_id: str, port: int, **overrides) -> SiteClient:
+    options = dict(
+        site_id=site_id,
+        spec=SPEC,
+        port=port,
+        connect_timeout=2.0,
+        io_timeout=2.0,
+        max_retries=60,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        rng=random.Random(hash(site_id) & 0xFFFF),
+    )
+    options.update(overrides)
+    return SiteClient(**options)
+
+
+def populated_site(site_id: str, rounds: int = 4) -> StreamSite:
+    """A site with ``rounds`` retained exports of sparse per-round deltas."""
+    site = StreamSite(site_id, SPEC)
+    for index in range(rounds):
+        site.observe_many(
+            insertions("A", range(index * 10, index * 10 + 10))
+        )
+        site.observe_many(insertions("B", [1000 + index]))
+        site.export()
+    return site
+
+
+def flat_reference(*sites_updates) -> StreamEngine:
+    engine = StreamEngine(SPEC)
+    for updates in sites_updates:
+        engine.process_many(updates)
+    return engine
+
+
+# -- in-process batching ------------------------------------------------------
+
+
+class TestCoalesceExports:
+    def test_batch_folds_like_individual_exports(self):
+        site = populated_site("s", rounds=5)
+        exports = site.exports_after(0)
+        batch = coalesce_exports(exports, SPEC)
+        assert batch.batch_start == 1
+        assert batch.sequence == 5
+        assert batch.batch_size == 5
+
+        one_by_one, batched = Coordinator(SPEC), Coordinator(SPEC)
+        for export in exports:
+            one_by_one.collect(export)
+        batched.collect(batch)
+        for name in ("A", "B"):
+            assert (
+                batched.families()[name].to_bytes()
+                == one_by_one.families()[name].to_bytes()
+            )
+        # A batch counts as every export it covers.
+        assert batched.sites_collected == one_by_one.sites_collected == 5
+
+    def test_cancelling_deltas_drop_out(self):
+        site = StreamSite("s", SPEC)
+        site.observe_many(insertions("A", range(20)))
+        site.export()
+        site.observe_many(deletions("A", range(20)))
+        site.observe_many(insertions("B", [1]))
+        site.export()
+        batch = coalesce_exports(site.exports_after(0), SPEC)
+        # A's insert+delete cancel entrywise; only B's delta survives.
+        assert set(batch.payloads) == {"B"}
+
+    def test_single_export_passes_through(self):
+        site = populated_site("s", rounds=1)
+        [export] = site.exports_after(0)
+        assert coalesce_exports([export], SPEC) is export
+
+    def test_invalid_inputs_rejected(self):
+        a = populated_site("a", rounds=3).exports_after(0)
+        b = populated_site("b", rounds=1).exports_after(0)
+        with pytest.raises(ValueError, match="empty"):
+            coalesce_exports([], SPEC)
+        with pytest.raises(ValueError, match="different sites"):
+            coalesce_exports([a[0], b[0]], SPEC)
+        with pytest.raises(ValueError, match="non-consecutive"):
+            coalesce_exports([a[0], a[2]], SPEC)
+        other_life = DeltaExport("a", 2, {}, "another-incarnation")
+        with pytest.raises(ValueError, match="incarnations"):
+            coalesce_exports([a[0], other_life], SPEC)
+
+    def test_batch_sequence_rules_at_the_coordinator(self):
+        site = populated_site("s", rounds=6)
+        exports = site.exports_after(0)
+        batch_1_4 = coalesce_exports(exports[:4], SPEC)
+        batch_3_6 = coalesce_exports(exports[2:], SPEC)
+        batch_5_6 = coalesce_exports(exports[4:], SPEC)
+
+        coordinator = Coordinator(SPEC)
+        assert coordinator.collect(batch_1_4) is True
+        # Fully covered range: an idempotent duplicate.
+        assert coordinator.collect(batch_1_4) is False
+        assert coordinator.duplicates_dropped == 1
+        # Partial overlap: unsplittable, so the site must re-batch.
+        with pytest.raises(DeltaSequenceError, match="re-batch"):
+            coordinator.collect(batch_3_6)
+        # A gap ahead of the applied prefix is still a gap.
+        with pytest.raises(DeltaSequenceError, match="missing"):
+            coordinator.collect(coalesce_exports(exports[5:], SPEC))
+        assert coordinator.collect(batch_5_6) is True
+        assert coordinator.sites_collected == 6
+
+
+# -- negotiation and interop --------------------------------------------------
+
+
+class TestNegotiationHandshake:
+    def test_v2_session_negotiates_sparse_and_batch(self):
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                client = make_client("s1", server.port)
+                await client.connect()
+                assert (
+                    client.negotiated_encodings == codec.PREFERRED_ENCODINGS
+                )
+                assert client.batching_enabled
+                await client.close()
+
+        run(scenario())
+
+    def test_dense_only_server_downgrades_v2_client(self):
+        async def scenario():
+            async with CoordinatorServer(
+                SPEC, encodings=codec.DENSE_ONLY
+            ) as server:
+                client = make_client("s1", server.port)
+                client.observe_many(insertions("A", range(50)))
+                await client.connect()
+                assert client.negotiated_encodings == ("dense",)
+                await client.ship()
+                stats = client.stats
+                # Dense framing: wire payload == dense payload.
+                assert (
+                    stats.payload_bytes_wire == stats.payload_bytes_dense
+                )
+                await client.close()
+
+        run(scenario())
+
+    def test_v1_hello_gets_v1_shaped_session(self):
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await protocol.write_message(
+                    writer,
+                    {
+                        "type": "hello",
+                        "version": 1,
+                        "site_id": "old",
+                        "incarnation": "life-1",
+                    },
+                )
+                welcome, _, _ = await protocol.read_message(reader)
+                assert welcome["type"] == "welcome"
+                assert "encodings" not in welcome
+                assert "features" not in welcome
+
+                site = StreamSite("old", SPEC, incarnation="life-1")
+                site.observe_many(insertions("A", range(40)))
+                header, blobs = protocol.delta_message(site.export())
+                assert "encodings" not in header
+                assert "first_sequence" not in header
+                await protocol.write_message(writer, header, blobs)
+                ack, _, _ = await protocol.read_message(reader)
+                assert ack["type"] == "ack" and ack["sequence"] == 1
+                writer.close()
+                await writer.wait_closed()
+
+                reference = flat_reference(insertions("A", range(40)))
+                assert (
+                    server.coordinator.families()["A"].to_bytes()
+                    == reference.families()["A"].to_bytes()
+                )
+
+        run(scenario())
+
+    def test_unsupported_version_rejected(self):
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await protocol.write_message(
+                    writer,
+                    {
+                        "type": "hello",
+                        "version": 99,
+                        "site_id": "s",
+                        "incarnation": "x",
+                    },
+                )
+                answer, _, _ = await protocol.read_message(reader)
+                assert answer["type"] == "error"
+                assert "version" in answer["message"]
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+    def test_unnegotiated_encoding_rejected(self):
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                # v1 hello: the session is dense-only...
+                await protocol.write_message(
+                    writer,
+                    {
+                        "type": "hello",
+                        "version": 1,
+                        "site_id": "s",
+                        "incarnation": "x",
+                    },
+                )
+                await protocol.read_message(reader)
+                # ...so a sparse-encoded blob is a protocol violation.
+                site = StreamSite("s", SPEC, incarnation="x")
+                site.observe_many(insertions("A", range(10)))
+                header, blobs = protocol.delta_message(
+                    site.export(), codec.PREFERRED_ENCODINGS
+                )
+                assert header.get("encodings")  # really sparse on the wire
+                await protocol.write_message(writer, header, blobs)
+                answer, _, _ = await protocol.read_message(reader)
+                assert answer["type"] == "error"
+                assert "negotiate" in answer["message"]
+                writer.close()
+                await writer.wait_closed()
+                assert server.coordinator.stream_names() == []
+
+        run(scenario())
+
+    def test_unnegotiated_batch_rejected(self):
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await protocol.write_message(
+                    writer,
+                    {
+                        "type": "hello",
+                        "version": 1,
+                        "site_id": "s",
+                        "incarnation": "x",
+                    },
+                )
+                await protocol.read_message(reader)
+                site = StreamSite("s", SPEC, incarnation="x")
+                site.observe_many(insertions("A", range(10)))
+                site.export()
+                site.observe_many(insertions("A", range(10, 20)))
+                site.export()
+                batch = coalesce_exports(site.exports_after(0), SPEC)
+                header, blobs = protocol.delta_message(batch)
+                await protocol.write_message(writer, header, blobs)
+                answer, _, _ = await protocol.read_message(reader)
+                assert answer["type"] == "error"
+                assert "batch" in answer["message"]
+                writer.close()
+                await writer.wait_closed()
+
+        run(scenario())
+
+    def test_mixed_v1_v2_sites_fold_bit_identically(self):
+        """Fuzz seed: v2 sites under faults plus a raw v1 site, one
+        coordinator, every fold bit-identical to the flat engine."""
+        seed = 1337
+        rng = np.random.default_rng(seed)
+        site_updates = {
+            f"v2-{index}": [
+                Update(
+                    stream,
+                    int(element),
+                    1 if rng.random() < 0.8 else -1,
+                )
+                for stream in ("A", "B")
+                for element in rng.integers(0, 2**16, size=60)
+            ]
+            for index in range(2)
+        }
+        v1_updates = list(insertions("A", range(900, 960))) + list(
+            insertions("B", range(300, 330))
+        )
+
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                proxies, clients = [], []
+                for index, (site_id, updates) in enumerate(
+                    site_updates.items()
+                ):
+                    proxy = FaultyTransport(
+                        server.port,
+                        random.Random(seed + index),
+                        drop=0.1,
+                        duplicate=0.1,
+                        cut=0.05,
+                        max_faults=6,
+                    )
+                    await proxy.start()
+                    proxies.append(proxy)
+                    client = make_client(site_id, proxy.port)
+                    clients.append(client)
+                    for start in range(0, len(updates), 40):
+                        client.observe_many(updates[start : start + 40])
+                        await client.ship()
+
+                # The v1 peer: raw dense frames, version 1 hello.
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port
+                )
+                await protocol.write_message(
+                    writer,
+                    {
+                        "type": "hello",
+                        "version": 1,
+                        "site_id": "v1-site",
+                        "incarnation": "life",
+                    },
+                )
+                await protocol.read_message(reader)
+                v1_site = StreamSite("v1-site", SPEC, incarnation="life")
+                v1_site.observe_many(v1_updates)
+                header, blobs = protocol.delta_message(v1_site.export())
+                await protocol.write_message(writer, header, blobs)
+                ack, _, _ = await protocol.read_message(reader)
+                assert ack["type"] == "ack"
+                writer.close()
+                await writer.wait_closed()
+
+                for client in clients:
+                    await client.ship()
+                    await client.close()
+                for proxy in proxies:
+                    await proxy.stop()
+
+                reference = flat_reference(
+                    v1_updates, *site_updates.values()
+                )
+                for name in ("A", "B"):
+                    assert (
+                        server.coordinator.families()[name].to_bytes()
+                        == reference.families()[name].to_bytes()
+                    )
+
+        run(scenario())
+
+
+# -- batched shipping over the network ---------------------------------------
+
+
+class TestNetworkBatching:
+    def test_retained_backlog_ships_as_batches(self):
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                site = populated_site("s1", rounds=7)
+                client = make_client("s1", server.port, site=site, max_batch=3)
+                await client.connect()
+                stats = client.stats
+                assert stats.deltas_shipped == 7
+                # 7 exports in ceil(7/3)=3 frames -> 4 coalesced away.
+                assert stats.exports_coalesced == 4
+                assert server.stats()["s1"].deltas_applied == 7
+                assert site.retained_exports == 0
+
+                reference = flat_reference(
+                    [
+                        update
+                        for index in range(7)
+                        for update in list(
+                            insertions(
+                                "A", range(index * 10, index * 10 + 10)
+                            )
+                        )
+                        + [Update("B", 1000 + index, 1)]
+                    ]
+                )
+                for name in ("A", "B"):
+                    assert (
+                        server.coordinator.families()[name].to_bytes()
+                        == reference.families()[name].to_bytes()
+                    )
+                await client.close()
+
+        run(scenario())
+
+    def test_batching_disabled_when_client_opts_out(self):
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                site = populated_site("s1", rounds=4)
+                client = make_client("s1", server.port, site=site, max_batch=1)
+                await client.connect()
+                assert not client.batching_enabled
+                assert client.stats.deltas_shipped == 4
+                assert client.stats.exports_coalesced == 0
+                await client.close()
+
+        run(scenario())
+
+    @pytest.mark.parametrize("seed", [5, 17, 41])
+    def test_batches_survive_faulty_transport(self, seed):
+        """Drops, duplicates, and cuts against batched re-sync: the
+        coordinator must converge bit-identically, with the applied
+        tally counting logical exports (batches expanded)."""
+        updates = [
+            list(insertions("A", range(index * 8, index * 8 + 8)))
+            + ([Update("B", index, 1)] if index % 2 else [])
+            for index in range(10)
+        ]
+
+        async def scenario():
+            async with CoordinatorServer(SPEC) as server:
+                proxy = FaultyTransport(
+                    server.port,
+                    random.Random(seed),
+                    drop=0.35,
+                    duplicate=0.3,
+                    cut=0.2,
+                    max_faults=10,
+                )
+                await proxy.start()
+                client = make_client("s1", proxy.port, max_batch=4)
+                for batch in updates[:5]:
+                    client.observe_many(batch)
+                    client.site.export()
+                await client.connect()
+                await client.flush_retained()
+                for batch in updates[5:]:
+                    client.observe_many(batch)
+                    client.site.export()
+                await client.flush_retained()
+                assert proxy.faults_injected > 0
+                await client.close()
+                await proxy.stop()
+
+                reference = flat_reference(
+                    [update for batch in updates for update in batch]
+                )
+                for name in ("A", "B"):
+                    assert (
+                        server.coordinator.families()[name].to_bytes()
+                        == reference.families()[name].to_bytes()
+                    )
+                assert server.coordinator.sites_collected == 10
+
+        run(scenario())
+
+
+# -- zero-copy blob handling --------------------------------------------------
+
+
+class TestZeroCopyBlobs:
+    def test_decode_message_returns_views_over_one_buffer(self):
+        blobs_in = [b"a" * 64, b"b" * 128]
+        frame = protocol.encode_message({"type": "delta"}, blobs_in)
+        _, blobs = protocol.decode_message(frame)
+        for view, original in zip(blobs, blobs_in):
+            assert isinstance(view, memoryview)
+            assert view == original
+        # All views window the same frame buffer — no per-blob copies.
+        assert all(view.obj is frame for view in blobs)
+
+    def test_views_feed_the_fold_path(self):
+        site = StreamSite("s", SPEC)
+        site.observe_many(insertions("A", range(25)))
+        header, wire = protocol.delta_message(
+            site.export(), codec.PREFERRED_ENCODINGS
+        )
+        decoded_header, views = protocol.decode_message(
+            protocol.encode_message(header, wire)
+        )
+        export = protocol.export_from_message(decoded_header, views)
+        assert all(
+            isinstance(payload, memoryview)
+            for payload in export.payloads.values()
+        )
+        coordinator = Coordinator(SPEC)
+        coordinator.collect(export)
+        reference = flat_reference(insertions("A", range(25)))
+        assert (
+            coordinator.families()["A"].to_bytes()
+            == reference.families()["A"].to_bytes()
+        )
