@@ -588,8 +588,11 @@ class SketchFamily:
         """
         cells = spec.counter_cells
         indices = np.asarray(indices, dtype=np.int64)
+        # min/max, not first/last: codec-produced input is sorted, but
+        # this is a public classmethod and an unsorted caller must not
+        # wrap a negative middle index into the wrong cell.
         if indices.size and not (
-            0 <= int(indices[0]) and int(indices[-1]) < cells
+            0 <= int(indices.min()) and int(indices.max()) < cells
         ):
             raise IncompatibleSketchesError(
                 f"cell indices exceed the {cells}-cell counter slab"

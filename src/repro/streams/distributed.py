@@ -432,7 +432,12 @@ class Coordinator:
         sites' deltas — by linearity, exactly the sketch of the full
         stream.  Payloads carrying a v2 wire encoding are decoded here,
         at fold time; sparse ones scatter straight into an existing
-        synopsis without materialising a dense slab.
+        synopsis without materialising a dense slab.  Decoding is
+        all-or-nothing: every payload is decoded and validated before
+        any synopsis is touched, so a malformed blob
+        (:class:`~repro.streams.net.codec.CodecError`, a bad slab size)
+        leaves the coordinator exactly as it was — the site can re-ship
+        the same export without any stream being folded twice.
         """
         last = self.applied_sequence(export.site_id, export.incarnation)
         if export.sequence <= last:
@@ -453,18 +458,24 @@ class Coordinator:
                 f"already applied; the batch cannot be split, so re-batch "
                 f"from {last + 1}"
             )
-        for stream, payload in export.payloads.items():
-            incoming = self._decode_payload(
-                stream, payload, export.encodings.get(stream, "dense")
+        # Decode every payload before touching any synopsis.  Fold-time
+        # decode failure is an expected path under wire-format v2 (the
+        # server answers with an error and the site re-ships the same
+        # export after re-syncing); folding stream by stream would leave
+        # a failed export half-applied with applied_sequence unadvanced,
+        # and the re-shipped copy would then double-count the streams
+        # folded before the failure.
+        decoded = [
+            (
+                stream,
+                self._decode_payload(
+                    stream, payload, export.encodings.get(stream, "dense")
+                ),
             )
-            if incoming is None:
-                continue  # sparse payload scattered in place
-            if self._engine is not None:
-                self._engine.merge_delta(stream, incoming)
-            elif stream in self._families:
-                self._families[stream].merge_in_place(incoming)
-            else:
-                self._families[stream] = incoming
+            for stream, payload in export.payloads.items()
+        ]
+        for stream, incoming in decoded:
+            self._apply_decoded(stream, incoming)
         site_history = self._applied.setdefault(export.site_id, {})
         site_history[export.incarnation] = export.sequence
         self._current[export.site_id] = export.incarnation
@@ -473,14 +484,16 @@ class Coordinator:
         self._collects_applied += export.sequence - first + 1
         return True
 
-    def _decode_payload(
-        self, stream: str, payload: bytes, encoding: str
-    ) -> SketchFamily | None:
-        """Materialise one wire payload, or fold it in place.
+    def _decode_payload(self, stream: str, payload: bytes, encoding: str):
+        """Materialise one wire payload; never touches coordinator state.
 
-        Returns the decoded delta family, or ``None`` when a sparse
-        payload was scattered directly into an existing plain-map
-        synopsis (the fast path: no dense intermediate slab).
+        Returns the decoded delta :class:`SketchFamily`, or — for a
+        sparse encoding — the validated ``(indices, values)`` cell pair,
+        so :meth:`_apply_decoded` can scatter it straight into an
+        existing plain-map synopsis (the fast path: no dense
+        intermediate slab).  All payload validation happens here, which
+        is what lets :meth:`collect` decode a whole export before
+        mutating anything.
         """
         if encoding == "dense":
             return SketchFamily.from_bytes(payload, self.spec)
@@ -494,11 +507,22 @@ class Coordinator:
                 payload, encoding, self.spec.counter_cells
             )
             return SketchFamily.from_bytes(dense, self.spec)
-        indices, values = cells
-        if self._engine is None and stream in self._families:
-            self._families[stream].add_cells(indices, values)
-            return None
-        return SketchFamily.from_cells(indices, values, self.spec)
+        return cells
+
+    def _apply_decoded(self, stream: str, incoming) -> None:
+        """Fold one :meth:`_decode_payload` result into ``stream``."""
+        if not isinstance(incoming, SketchFamily):
+            indices, values = incoming
+            if self._engine is None and stream in self._families:
+                self._families[stream].add_cells(indices, values)
+                return
+            incoming = SketchFamily.from_cells(indices, values, self.spec)
+        if self._engine is not None:
+            self._engine.merge_delta(stream, incoming)
+        elif stream in self._families:
+            self._families[stream].merge_in_place(incoming)
+        else:
+            self._families[stream] = incoming
 
     def collect_from(self, site: StreamSite) -> None:
         """Convenience: export from a site object, collect, acknowledge."""

@@ -225,16 +225,24 @@ def decode_sparse_cells(
     data = np.frombuffer(payload, dtype=np.uint8, offset=_COUNT.size)
     packed = _varint_decode(data, 2 * count)
     gaps, zigzagged = packed[:count], packed[count:]
+    # Bound the gaps BEFORE any arithmetic: every reconstructed index
+    # must land below ``num_cells``, so no single gap may reach it.
+    # Checking afterwards would not do — a hostile 2^64-1 gap wraps the
+    # ``+ 1`` below back to a 0 step, producing duplicate indices whose
+    # last element still satisfies the final bound.
+    if count and int(gaps.max()) >= num_cells:
+        raise CodecError("sparse payload indices exceed the counter slab")
     steps = gaps.copy()
     if count > 1:
         steps[1:] += np.uint64(1)
-    # Guard the cumulative sum against uint64 wraparound from hostile
-    # gap values before trusting the reconstructed indices.
-    if count and int(steps.sum(dtype=np.float64)) > 2 * num_cells:
-        raise CodecError("sparse payload indices exceed the counter slab")
     indices = np.cumsum(steps).astype(np.int64)
     if count and int(indices[-1]) >= num_cells:
         raise CodecError("sparse payload indices exceed the counter slab")
+    # Belt and braces: the gap bound makes wraparound impossible for any
+    # representable slab, so reconstructed indices are strictly
+    # increasing by construction — verify rather than assume.
+    if count > 1 and not bool(np.all(np.diff(indices) > 0)):
+        raise CodecError("sparse payload indices are not strictly increasing")
     return indices, _unzigzag(zigzagged)
 
 

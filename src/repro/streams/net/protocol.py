@@ -54,9 +54,11 @@ make either endpoint swallow gigabytes.
 
 Version 2 changes only *header fields* — the frame layout is untouched
 and every new field is optional, so v1 peers interoperate without a
-flag day: a hello without ``encodings`` gets a v1 welcome and ships
-dense, unbatched frames, and the coordinator accepts any version in
-:data:`SUPPORTED_VERSIONS`.
+flag day in either rollout order: a hello without ``encodings`` gets a
+v1 welcome and ships dense, unbatched frames, the coordinator accepts
+any version in :data:`SUPPORTED_VERSIONS`, and a v2 site that offers
+no v2 capability announces ``version: 1`` outright — acceptable to a
+genuine v1 coordinator build, which knows no other version.
 """
 
 from __future__ import annotations
@@ -221,8 +223,11 @@ def hello_message(
 
     ``encodings``/``features`` advertise v2 capabilities; leaving both
     empty produces a hello that is field-for-field what a v1 peer sends
-    (apart from the version number), and the coordinator answers it
-    with a v1 welcome — dense, unbatched frames both directions.
+    — version number included — and the coordinator answers it with a
+    v1 welcome: dense, unbatched frames both directions.  Announcing
+    version 1 in that case is what keeps the rollout order free: a site
+    configured with ``encodings=()`` can talk to a genuine v1
+    coordinator build, which accepts only ``version == 1``.
     """
     if role not in ROLES:
         raise ValueError(f"role must be one of {ROLES}, got {role!r}")
@@ -231,7 +236,7 @@ def hello_message(
         "site_id": site_id,
         "incarnation": incarnation,
         "role": role,
-        "version": PROTOCOL_VERSION,
+        "version": PROTOCOL_VERSION if (encodings or features) else 1,
     }
     if encodings:
         header["encodings"] = list(encodings)

@@ -336,7 +336,14 @@ class SiteClient:
         await self._send(header, blobs)
         self.stats.deltas_shipped += export.batch_size
         self.stats.exports_coalesced += export.batch_size - 1
-        self.stats.payload_bytes_dense += export.payload_bytes()
+        # Baseline = dense slab bytes of the frame actually shipped
+        # (streams in frame × slab bytes) — the same definition the
+        # coordinator applies, so compression_ratio agrees end to end
+        # and isolates codec savings (batching shows in
+        # exports_coalesced, not here).
+        self.stats.payload_bytes_dense += (
+            len(export.payloads) * self.site.spec.counter_payload_bytes
+        )
         self.stats.payload_bytes_wire += sum(len(blob) for blob in blobs)
         ack = await self._receive("ack")
         self.stats.acks_received += 1

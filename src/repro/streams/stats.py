@@ -117,8 +117,12 @@ class TransportStats:
     #: own (uplink batching): each coalesced frame covering ``n``
     #: exports adds ``n - 1``.
     exports_coalesced: int = 0
-    #: What the delta payloads would have cost as plain dense counter
-    #: slabs (the v1 wire format).
+    #: What the shipped delta frames' payloads would have cost as plain
+    #: dense counter slabs (streams per frame × slab bytes — the v1
+    #: wire format for the *same* frames).  Site and coordinator apply
+    #: this one definition, so the derived ``compression_ratio`` agrees
+    #: at both endpoints and isolates the codec's effect; frame-count
+    #: savings from uplink batching show in ``exports_coalesced``.
     payload_bytes_dense: int = 0
     #: What the delta payloads actually cost under the negotiated
     #: encodings.  ``payload_bytes_dense - payload_bytes_wire`` is the

@@ -177,6 +177,25 @@ class TestMalformedPayloads:
         with pytest.raises(codec.CodecError, match="exceed"):
             codec.decode_sparse_cells(blob, CELLS - 1)
 
+    def test_wraparound_gap_rejected(self):
+        # A 2^64-1 gap must not wrap the reconstruction arithmetic: it
+        # would turn the second step into 0, yielding duplicate indices
+        # [5, 5] whose last element passes the final bound — and the
+        # payload would then fold differently through the scatter path
+        # (one addend wins) than through the dense path.
+        gaps = np.array([5, np.iinfo(np.uint64).max], dtype=np.uint64)
+        blob = (
+            struct.pack(">I", 2)
+            + codec._varint_encode(gaps)
+            + codec._varint_encode(
+                codec._zigzag(np.array([7, 9], dtype=np.int64))
+            )
+        )
+        with pytest.raises(codec.CodecError, match="exceed"):
+            codec.decode_sparse_cells(blob, CELLS)
+        with pytest.raises(codec.CodecError, match="exceed"):
+            codec.decode_dense(blob, "sparse", CELLS)
+
     def test_varint_overflow_rejected(self):
         # An 11-byte continuation run cannot encode any 64-bit value.
         blob = struct.pack(">I", 1) + b"\xff" * 11 + b"\x00"
@@ -217,6 +236,23 @@ class TestFamilyCellHelpers:
         with pytest.raises(IncompatibleSketchesError):
             type(SPEC.build()).from_cells(
                 np.array([SPEC.counter_cells]), np.array([1]), SPEC
+            )
+
+    def test_from_cells_rejects_unsorted_negative_middle(self):
+        # Public classmethod: unsorted input must not slip a negative
+        # middle index past a first/last-only check (it would wrap into
+        # the wrong cell).
+        with pytest.raises(IncompatibleSketchesError):
+            type(SPEC.build()).from_cells(
+                np.array([0, -3, 5]), np.array([1, 1, 1]), SPEC
+            )
+
+    def test_from_cells_rejects_unsorted_oversized_middle(self):
+        with pytest.raises(IncompatibleSketchesError):
+            type(SPEC.build()).from_cells(
+                np.array([0, SPEC.counter_cells + 1, 5]),
+                np.array([1, 1, 1]),
+                SPEC,
             )
 
     def test_counter_cell_arithmetic(self):

@@ -51,6 +51,24 @@ class TestEncoding:
             protocol.decode_message(tampered)
 
 
+class TestHelloVersion:
+    def test_capability_free_hello_announces_version_1(self):
+        # A site offering no v2 capability must produce a hello a
+        # genuine v1 coordinator (which accepts only version 1) takes —
+        # interop cannot depend on coordinator-first rollout.
+        assert protocol.hello_message("s", "life-1")["version"] == 1
+
+    def test_v2_capabilities_raise_the_version(self):
+        by_encoding = protocol.hello_message(
+            "s", "life-1", encodings=("sparse",)
+        )
+        by_feature = protocol.hello_message(
+            "s", "life-1", features=("batch",)
+        )
+        assert by_encoding["version"] == protocol.PROTOCOL_VERSION
+        assert by_feature["version"] == protocol.PROTOCOL_VERSION
+
+
 class TestDeltaMessages:
     def test_export_round_trip(self):
         export = DeltaExport("site-9", 3, {"B": b"bb", "A": b"aaaa"}, "life-1")

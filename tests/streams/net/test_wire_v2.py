@@ -152,6 +152,70 @@ class TestCoalesceExports:
         assert coordinator.sites_collected == 6
 
 
+class TestAtomicFold:
+    def test_malformed_payload_leaves_nothing_half_applied(self):
+        # Fold-time decode failure is an expected v2 path: the server
+        # errors, the site re-syncs and re-ships the SAME export.  If
+        # collect() had folded stream A before stream B's blob failed to
+        # decode, the re-ship would fold A twice — permanent corruption.
+        coordinator = Coordinator(SPEC)
+        site = StreamSite("s", SPEC)
+        site.observe_many(insertions("A", range(50)))
+        site.observe_many(insertions("B", range(50)))
+        assert coordinator.collect(site.export())
+        before = {
+            name: family.to_bytes()
+            for name, family in coordinator.families().items()
+        }
+
+        site.observe_many(insertions("A", range(50, 60)))
+        site.observe_many(insertions("B", range(50, 60)))
+        export = site.export()
+        encoded = {
+            name: codec.encode_delta(payload, ("sparse",))
+            for name, payload in export.payloads.items()
+        }
+        assert set(encoded) == {"A", "B"}
+        good = {name: blob for name, (_, blob) in encoded.items()}
+        encodings = {name: enc for name, (enc, _) in encoded.items()}
+        # A decodes fine and comes first; B's blob is truncated.
+        broken = dict(good)
+        broken["B"] = broken["B"][:-1]
+        with pytest.raises(codec.CodecError):
+            coordinator.collect(
+                DeltaExport(
+                    export.site_id,
+                    export.sequence,
+                    broken,
+                    export.incarnation,
+                    encodings=encodings,
+                )
+            )
+        assert coordinator.applied_sequence("s", site.incarnation) == 1
+        assert before == {
+            name: family.to_bytes()
+            for name, family in coordinator.families().items()
+        }
+        # The re-shipped (intact) export folds exactly once.
+        assert coordinator.collect(
+            DeltaExport(
+                export.site_id,
+                export.sequence,
+                good,
+                export.incarnation,
+                encodings=encodings,
+            )
+        )
+        reference = flat_reference(
+            insertions("A", range(60)), insertions("B", range(60))
+        )
+        for name in ("A", "B"):
+            assert (
+                coordinator.families()[name].to_bytes()
+                == reference.families()[name].to_bytes()
+            )
+
+
 # -- negotiation and interop --------------------------------------------------
 
 
