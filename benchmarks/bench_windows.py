@@ -1,0 +1,252 @@
+"""Windowed-engine bench: rotation cost and windowed-query latency.
+
+The scenario is the tentpole's steady state: three update streams feed
+a windowed engine (per-stream bucket rings, span = ``NUM_BUCKETS``
+buckets), standing set-expression queries are evaluated every tick over
+the most recent window, and the clock advances one tick at a time so
+the rings rotate — newest bucket absorbing ingest, oldest bucket
+subtracted out — while the all-time synopses keep growing.
+
+Two paths produce the same windowed state and are asserted
+**bit-identical at every bucket boundary** before any timing is
+trusted:
+
+* **ring** — the windowed engine itself: whole-bucket expiry by one
+  synopsis subtraction per rotated-out bucket, O(1) in the number of
+  in-window updates;
+* **driver** — the pre-change way to get windowed semantics: a
+  :class:`~repro.streams.windows.SlidingWindowDriver` holding every
+  in-window update in a deque and replaying per-update inverses into a
+  flat engine.
+
+Measured per tick (medians over the run): ingest+advance cost of each
+path, and on the ring engine the windowed-query latency next to the
+same expressions asked all-time — the windowed premium is the price of
+the ring indirection and its cache keying.  Rotation accounting
+(rotations, buckets expired, empty expiries) and the query-cache
+counters land in the report so regressions in the dirty-level
+interaction show up as recompute storms, not just milliseconds.
+
+Results go to ``BENCH_windows.json``; ``--smoke`` runs a reduced
+matrix with the same assertions for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.engine import StreamEngine
+from repro.streams.updates import Update
+from repro.streams.windows import SlidingWindowDriver
+
+STREAMS = "ABC"
+EXPRESSIONS = ("A & B", "(A & B) - C", "(A - B) | (B - C)")
+BUCKET_WIDTH = 4.0  # ticks per bucket
+NUM_BUCKETS = 4
+SPAN = BUCKET_WIDTH * NUM_BUCKETS
+
+
+def build_spec(num_sketches: int, num_second_level: int, seed: int) -> SketchSpec:
+    shape = SketchShape(
+        domain_bits=20, num_second_level=num_second_level, independence=6
+    )
+    return SketchSpec(num_sketches=num_sketches, shape=shape, seed=seed)
+
+
+def run_bench(
+    num_ticks: int,
+    updates_per_tick: int,
+    num_sketches: int,
+    num_second_level: int,
+    epsilon: float = 0.15,
+    seed: int = 9,
+) -> dict:
+    spec = build_spec(num_sketches, num_second_level, seed)
+    ring = StreamEngine(
+        spec, window_span=SPAN, bucket_width=BUCKET_WIDTH, batch_size=65536
+    )
+    flat = StreamEngine(spec, batch_size=65536)
+    driver = SlidingWindowDriver(SPAN, flat)
+
+    rng = np.random.default_rng(seed)
+    ring_ticks: list[float] = []
+    driver_ticks: list[float] = []
+    windowed_query_ticks: list[float] = []
+    alltime_query_ticks: list[float] = []
+    boundaries_checked = 0
+    stats_before = ring.query_stats()
+
+    for tick in range(1, num_ticks + 1):
+        now = float(tick)
+        elements = rng.integers(0, 2**20, size=updates_per_tick)
+        batch = [
+            Update(STREAMS[index % 3], int(element), 1)
+            for index, element in enumerate(elements)
+        ]
+
+        started = time.perf_counter()
+        ring.observe_many((update, now) for update in batch)
+        ring.advance_to(now)
+        ring.flush()
+        ring_ticks.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        driver.observe_many((update, now) for update in batch)
+        driver.advance_to(now)
+        flat.flush()
+        driver_ticks.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        windowed = [
+            ring.query(expression, epsilon, window=SPAN)
+            for expression in EXPRESSIONS
+        ]
+        windowed_query_ticks.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        for expression in EXPRESSIONS:
+            ring.query(expression, epsilon)
+        alltime_query_ticks.append(time.perf_counter() - started)
+
+        if now % BUCKET_WIDTH == 0:
+            # Bucket boundary: whole-bucket expiry (ring) and per-update
+            # expiry (driver) cover exactly the same trace suffix.
+            boundaries_checked += 1
+            for name in STREAMS:
+                assert np.array_equal(
+                    ring.window_family(name).counters,
+                    flat.family(name).counters,
+                ), f"ring diverged from driver on {name} at tick {tick}"
+            truth = [flat.query(e, epsilon) for e in EXPRESSIONS]
+            for ours, theirs in zip(windowed, truth):
+                assert ours.value == theirs.value, (
+                    f"windowed query diverged at tick {tick}"
+                )
+
+    window_stats = ring.window_stats()
+    stats = ring.query_stats()
+    assert boundaries_checked == num_ticks // BUCKET_WIDTH
+    assert window_stats.rotations >= boundaries_checked - 1
+    expected_expired = max(0, int(num_ticks // BUCKET_WIDTH) - NUM_BUCKETS)
+    assert window_stats.buckets_expired >= expected_expired * len(STREAMS)
+
+    ring_ms = 1000.0 * statistics.median(ring_ticks)
+    driver_ms = 1000.0 * statistics.median(driver_ticks)
+    windowed_ms = 1000.0 * statistics.median(windowed_query_ticks)
+    alltime_ms = 1000.0 * statistics.median(alltime_query_ticks)
+    return {
+        "num_ticks": num_ticks,
+        "updates_per_tick": updates_per_tick,
+        "num_sketches": num_sketches,
+        "num_second_level": num_second_level,
+        "epsilon": epsilon,
+        "bucket_width_ticks": BUCKET_WIDTH,
+        "num_buckets": NUM_BUCKETS,
+        "boundaries_checked": boundaries_checked,
+        "ring_ingest_ms_per_tick": ring_ms,
+        "driver_ingest_ms_per_tick": driver_ms,
+        "ingest_ratio_vs_driver": driver_ms / ring_ms if ring_ms else None,
+        "windowed_query_ms_per_tick": windowed_ms,
+        "alltime_query_ms_per_tick": alltime_ms,
+        "windowed_query_premium": (
+            windowed_ms / alltime_ms if alltime_ms else None
+        ),
+        "rotations": window_stats.rotations,
+        "buckets_expired": window_stats.buckets_expired,
+        "empty_expiries": window_stats.empty_expiries,
+        "subwindow_rebuilds": window_stats.subwindow_rebuilds,
+        "window_queries": stats.window_queries - stats_before.window_queries,
+        "cache_hits": stats.cache_hits - stats_before.cache_hits,
+        "revalidations": stats.revalidations - stats_before.revalidations,
+        "recomputes": stats.recomputes - stats_before.recomputes,
+    }
+
+
+def print_report(report: dict) -> None:
+    for run in report["runs"]:
+        print(
+            f"\n{run['num_ticks']} ticks x {run['updates_per_tick']:,} "
+            f"updates, r={run['num_sketches']}, "
+            f"s={run['num_second_level']}, "
+            f"{run['num_buckets']} buckets x {run['bucket_width_ticks']} ticks"
+        )
+        print(
+            f"  ingest+rotate  ring {run['ring_ingest_ms_per_tick']:.3f} ms"
+            f"  driver {run['driver_ingest_ms_per_tick']:.3f} ms"
+            f"  ({run['ingest_ratio_vs_driver']:.2f}x)"
+        )
+        print(
+            f"  queries        windowed {run['windowed_query_ms_per_tick']:.3f} ms"
+            f"  all-time {run['alltime_query_ms_per_tick']:.3f} ms"
+            f"  (premium {run['windowed_query_premium']:.2f}x)"
+        )
+        print(
+            f"  rotations {run['rotations']}  expired {run['buckets_expired']}"
+            f"  empty {run['empty_expiries']}"
+            f"  recomputes {run['recomputes']}  hits {run['cache_hits']}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="windowed-engine rotation cost and query latency"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced matrix with the same bit-identity assertions (CI)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_windows.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        matrix = [
+            # 28 ticks = 7 boundaries on a 4-bucket ring: the window
+            # genuinely rolls, so expiry subtraction is exercised (and
+            # bit-checked), not just rotation.
+            dict(
+                num_ticks=28,
+                updates_per_tick=200,
+                num_sketches=64,
+                num_second_level=8,
+            )
+        ]
+    else:
+        matrix = [
+            dict(
+                num_ticks=48,
+                updates_per_tick=1000,
+                num_sketches=128,
+                num_second_level=8,
+            ),
+            dict(
+                num_ticks=48,
+                updates_per_tick=4000,
+                num_sketches=256,
+                num_second_level=16,
+            ),
+        ]
+    report = {"smoke": args.smoke, "runs": [run_bench(**config) for config in matrix]}
+    print_report(report)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

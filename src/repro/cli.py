@@ -106,6 +106,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard backend when --shards > 1",
     )
 
+    def add_window_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--window-span", type=float, default=None, metavar="S",
+            help="maintain sliding-window synopses over the most recent S "
+            "logical time units (update index, for log replay); enables "
+            "windowed queries",
+        )
+        sub.add_argument(
+            "--bucket-width", type=float, default=None, metavar="W",
+            help="window ring bucket width (S must be a whole multiple of "
+            "W; default: one bucket spanning the whole window)",
+        )
+
+    add_window_arguments(ingest)
+
     query = subparsers.add_parser(
         "query", help="estimate |E| from checkpointed synopses"
     )
@@ -118,6 +133,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--explain", action="store_true",
         help="also print per-subexpression estimates",
+    )
+    query.add_argument(
+        "--window", type=float, default=None, metavar="T",
+        help="estimate over the most recent T time units (the checkpoint "
+        "must come from a windowed engine; incompatible with --explain)",
     )
 
     plan = subparsers.add_parser(
@@ -194,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: sparse+zlib,sparse,dense+zlib,dense; 'dense' forces "
         "v1-style frames for every peer)",
     )
+    add_window_arguments(serve)
 
     ship = subparsers.add_parser(
         "ship", help="replay an update log through a delta-shipping site"
@@ -218,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="retained exports coalesced per delta frame on re-sync "
         "(1 disables uplink batching)",
     )
+    add_window_arguments(ship)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate the paper's figures"
@@ -296,8 +318,37 @@ def _command_ingest(args: argparse.Namespace) -> int:
     if args.dense_domain is not None and args.hot_keys:
         print("pass --dense-domain or --hot-keys, not both", file=sys.stderr)
         return 2
+    windowed = _check_window_args(args)
+    if windowed and args.shards > 1:
+        print(
+            "windowing is unsupported on a sharded engine; drop --shards "
+            "or the window flags",
+            file=sys.stderr,
+        )
+        return 2
     progress = lambda n: print(f"  {n:,} updates ingested ...")  # noqa: E731
-    if args.shards == 1:
+    if windowed:
+        # Log replay has no wall clock; the update index is the logical
+        # time, so --window-span/--bucket-width are measured in updates.
+        from repro.streams.sources import load_updates, load_updates_csv
+
+        engine = StreamEngine(
+            spec,
+            dense_domain=args.dense_domain,
+            hot_keys=args.hot_keys,
+            window_span=args.window_span,
+            bucket_width=args.bucket_width,
+        )
+        is_csv = ".csv" in args.log.suffixes
+        source = (
+            load_updates_csv(args.log) if is_csv else load_updates(args.log)
+        )
+        count = engine.observe_many(
+            (update, float(index))
+            for index, update in enumerate(source, start=1)
+        )
+        checkpoint_engine(engine, args.checkpoint)
+    elif args.shards == 1:
         engine = StreamEngine(
             spec, dense_domain=args.dense_domain, hot_keys=args.hot_keys
         )
@@ -335,6 +386,28 @@ def _command_query(args: argparse.Namespace) -> int:
     from repro.streams.checkpoint import restore_engine
 
     engine = restore_engine(args.checkpoint)
+    if args.window is not None:
+        if args.explain:
+            print("--window and --explain are incompatible", file=sys.stderr)
+            return 2
+        if not engine.is_windowed:
+            print(
+                "this checkpoint has no window state; re-ingest with "
+                "--window-span",
+                file=sys.stderr,
+            )
+            return 2
+        for expression in args.expression:
+            estimate = engine.query(
+                expression, args.epsilon, window=args.window
+            )
+            print(
+                f"|{expression}| ≈ {estimate.value:,.0f} over the last "
+                f"{args.window:g} time units  "
+                f"(û={estimate.union_estimate:,.0f}, "
+                f"{estimate.num_witnesses}/{estimate.num_valid} witnesses)"
+            )
+        return 0
     for expression in args.expression:
         if args.explain:
             engine.flush()
@@ -412,6 +485,13 @@ def _spec_from_args(args: argparse.Namespace):
     )
 
 
+def _check_window_args(args: argparse.Namespace) -> bool:
+    """Validate the --window-span/--bucket-width pair; True when windowed."""
+    if args.bucket_width is not None and args.window_span is None:
+        raise SystemExit("--bucket-width needs --window-span")
+    return args.window_span is not None
+
+
 def _parse_encodings(text: str | None) -> tuple:
     """``--encodings`` value -> encoding tuple (None = builtin preference)."""
     from repro.streams.net import codec
@@ -438,6 +518,14 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.streams.net.site import SiteConnectionError
 
     encodings = _parse_encodings(args.encodings)
+    windowed = _check_window_args(args)
+    if windowed and args.shards > 1:
+        print(
+            "windowing is unsupported on a sharded fold engine; drop "
+            "--shards or the window flags",
+            file=sys.stderr,
+        )
+        return 2
 
     engine_factory = None
     if args.shards > 1:
@@ -449,6 +537,18 @@ def _command_serve(args: argparse.Namespace) -> int:
         def engine_factory(spec):
             return ShardedEngine(
                 spec, num_shards=args.shards, executor="serial"
+            )
+    elif windowed:
+        from repro.streams.engine import StreamEngine
+
+        # A windowed fold target buckets incoming deltas by their
+        # exports' window_at stamps, so windowed queries work at this
+        # node (and at every ancestor folding its uplink).
+        def engine_factory(spec):
+            return StreamEngine(
+                spec,
+                window_span=args.window_span,
+                bucket_width=args.bucket_width,
             )
 
     uplink_kwargs: dict = {}
@@ -476,12 +576,21 @@ def _command_serve(args: argparse.Namespace) -> int:
         if args.checkpoint is not None and (
             args.checkpoint / "manifest.json"
         ).is_file():
+            factory = engine_factory
+            if windowed:
+                from repro.streams.checkpoint import read_checkpoint_extra
+
+                if "windows" in read_checkpoint_extra(args.checkpoint):
+                    # A windowed checkpoint restores into its own engine,
+                    # rings included; the checkpoint's window config wins
+                    # over the flags.
+                    factory = None
             server = CoordinatorServer.restore(
                 args.checkpoint,
                 host=args.host,
                 port=args.port,
                 checkpoint_every=args.checkpoint_every,
-                engine_factory=engine_factory,
+                engine_factory=factory,
                 encodings=encodings,
                 **uplink_kwargs,
             )
@@ -575,29 +684,65 @@ def _command_serve(args: argparse.Namespace) -> int:
 
 def _command_ship(args: argparse.Namespace) -> int:
     import asyncio
+    import math
 
+    from repro.streams.distributed import StreamSite
     from repro.streams.net.site import SiteClient
     from repro.streams.sources import load_updates, load_updates_csv
 
     is_csv = ".csv" in args.log.suffixes
     source = load_updates_csv(args.log) if is_csv else load_updates(args.log)
+    windowed = _check_window_args(args)
 
     async def run() -> int:
+        spec = _spec_from_args(args)
+        site = None
+        if windowed:
+            from repro.streams.engine import StreamEngine
+
+            site = StreamSite(
+                args.site_id,
+                spec,
+                engine=StreamEngine(
+                    spec,
+                    window_span=args.window_span,
+                    bucket_width=args.bucket_width,
+                ),
+            )
         client = SiteClient(
-            site_id=args.site_id,
-            spec=_spec_from_args(args),
+            site=site,
+            site_id=None if site is not None else args.site_id,
+            spec=None if site is not None else spec,
             host=args.host,
             port=args.port,
             encodings=_parse_encodings(args.encodings),
             max_batch=args.max_batch,
         )
+        # Log replay has no wall clock; the update index is the logical
+        # time.  In windowed mode an export is cut whenever a ring bucket
+        # completes, so every shipped delta falls entirely inside one
+        # coordinator bucket and windowed queries at the coordinator are
+        # bit-identical to a local windowed replay.
+        width = None
+        if windowed:
+            width = (
+                args.bucket_width
+                if args.bucket_width is not None
+                else args.window_span
+            )
         count = rounds = 0
         for update in source:
-            client.observe(update)
             count += 1
-            if count % args.every == 0:
-                await client.ship()
-                rounds += 1
+            if windowed:
+                client.observe(update, float(count))
+                if math.ceil((count + 1) / width) > math.ceil(count / width):
+                    await client.ship()
+                    rounds += 1
+            else:
+                client.observe(update)
+                if count % args.every == 0:
+                    await client.ship()
+                    rounds += 1
         await client.ship()
         rounds += 1
         await client.close()

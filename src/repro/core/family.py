@@ -642,6 +642,20 @@ class SketchFamily:
         np.add(self.counters, other.counters, out=self.counters)
         self._mark_all_dirty()
 
+    def subtract_in_place(self, other: "SketchFamily") -> None:
+        """Remove another family's counters from this one (window expiry).
+
+        The inverse of :meth:`merge_in_place`: by linearity, subtracting
+        the synopsis of a cohort of updates is bit-identical to having
+        applied each update's inverse individually.  This is the expiry
+        primitive of the window ring (:mod:`repro.streams.windows`) —
+        ageing out a time bucket is one vectorised subtraction of its
+        synopsis from the in-window total.
+        """
+        self._check_compatible(other)
+        np.subtract(self.counters, other.counters, out=self.counters)
+        self._mark_all_dirty()
+
     def copy(self) -> "SketchFamily":
         """A deep copy with independent counter storage."""
         return SketchFamily(self.spec, self.counters.copy())

@@ -104,6 +104,15 @@ def checkpoint_engine(
     along in the same atomic-enough unit as the counters they describe.
     Restore functions ignore it, so checkpoints with extra metadata stay
     readable by every existing consumer.
+
+    A windowed engine's ring state rides automatically: the window
+    config, shared clock, and live bucket indices land in
+    ``extra["windows"]`` (a reserved key) and each non-zero bucket's
+    counter payload is written next to the stream payloads under the key
+    ``window/<stream>@<bucket>``.  :func:`restore_engine` rebuilds the
+    rings; every other consumer — including format-v1/v2 readers that
+    predate windows — simply ignores them and restores the all-time
+    synopses as before.
     """
     directory = pathlib.Path(directory)
     streams_dir = directory / "streams"
@@ -111,10 +120,16 @@ def checkpoint_engine(
 
     engine.flush()
     stream_names = engine.stream_names()
-    files = _write_stream_payloads(
-        streams_dir,
-        ((name, engine.family(name).to_bytes()) for name in stream_names),
-    )
+    named_payloads = [
+        (name, engine.family(name).to_bytes()) for name in stream_names
+    ]
+    window_meta = None
+    if getattr(engine, "is_windowed", False):
+        window_meta, bucket_payloads = engine.window_state()
+        named_payloads.extend(
+            (_window_key(key), payload) for key, payload in bucket_payloads
+        )
+    files = _write_stream_payloads(streams_dir, named_payloads)
 
     manifest = {
         "format_version": _FORMAT_VERSION,
@@ -123,6 +138,9 @@ def checkpoint_engine(
         "stream_files": files,
         "updates_processed": engine.updates_processed,
     }
+    extra = dict(extra) if extra else {}
+    if window_meta is not None:
+        extra["windows"] = window_meta
     if extra:
         manifest["extra"] = dict(extra)
     (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
@@ -195,6 +213,25 @@ def _read_family(
     return SketchFamily.from_bytes(payload_path.read_bytes(), spec)
 
 
+def _window_key(bucket_key: str) -> str:
+    """Payload-map key of one ring bucket (``bucket_key`` is
+    ``"<stream>@<bucket>"`` from :meth:`StreamEngine.window_state`)."""
+    return f"window/{bucket_key}"
+
+
+def _window_meta(manifest: dict) -> dict | None:
+    """The ``extra["windows"]`` section, validated shallowly (None if absent)."""
+    extra = manifest.get("extra")
+    if not isinstance(extra, dict):
+        return None
+    windows = extra.get("windows")
+    if windows is None:
+        return None
+    if not isinstance(windows, dict) or "window_span" not in windows:
+        raise CheckpointError("manifest 'extra[\"windows\"]' is malformed")
+    return windows
+
+
 def restore_engine(
     directory: str | pathlib.Path, batch_size: int = 4096
 ) -> StreamEngine:
@@ -204,11 +241,28 @@ def restore_engine(
     for the latter the per-shard slices of each stream are summed into
     one family per stream, which by linearity is exactly the synopsis of
     the full stream.
+
+    A checkpoint written by a windowed engine restores as a windowed
+    engine: the window config and ring clock come from
+    ``extra["windows"]``, the live buckets from their payload files, and
+    each ring's in-window total is rebuilt by summation (bit-identical
+    by linearity).  Checkpoints without the section — anything written
+    before windows existed — restore unwindowed, exactly as before.
     """
     directory = pathlib.Path(directory)
     manifest = _load_manifest(directory)
     spec = SketchSpec.from_json_dict(manifest["spec"])
-    engine = StreamEngine(spec, batch_size=batch_size)
+    windows = _window_meta(manifest)
+    if windows is None:
+        engine = StreamEngine(spec, batch_size=batch_size)
+    else:
+        engine = StreamEngine(
+            spec,
+            batch_size=batch_size,
+            window_span=windows["window_span"],
+            bucket_width=windows.get("bucket_width"),
+            clock_policy=windows.get("clock_policy", "raise"),
+        )
     shards = manifest.get("shards")
     for name in manifest["streams"]:
         if shards is None:
@@ -220,6 +274,19 @@ def restore_engine(
             ]
             family = sum_families(parts) if parts else spec.build()
         engine.adopt_family(name, family)
+    if windows is not None:
+        files = manifest.get("stream_files", {})
+        buckets_by_stream: dict[str, dict[int, SketchFamily]] = {}
+        for stream, indices in windows.get("streams", {}).items():
+            decoded: dict[int, SketchFamily] = {}
+            for index in indices:
+                key = _window_key(f"{stream}@{index}")
+                if key in files:
+                    decoded[int(index)] = _read_family(
+                        directory, manifest, key, spec
+                    )
+            buckets_by_stream[stream] = decoded
+        engine.restore_window_state(windows, buckets_by_stream)
     engine.mark_replayed(int(manifest.get("updates_processed", 0)))
     return engine
 

@@ -46,6 +46,18 @@ class StandingQuery:
     query evaluated every few updates on an unbounded stream holds a
     bounded tail of observations rather than growing without limit.
     ``max_history=None`` disables trimming (the pre-existing behaviour).
+
+    Alerts are **edge-triggered**: a sustained breach records and fires
+    once, on the observation that *crossed* the threshold, and arms
+    again only after an observation back at or below it.  ``realert_every
+    = n`` opts into periodic re-pages while the breach is sustained —
+    every ``n``-th breaching observation after the crossing fires again.
+    (The previous level-triggered behaviour re-fired on *every*
+    evaluation of a sustained breach, flooding the callback and the
+    ``alerts`` ring at the evaluation cadence.)
+
+    ``window`` (windowed engines only) makes the query evaluate over the
+    most recent ``window`` time units instead of all time.
     """
 
     name: str
@@ -55,8 +67,14 @@ class StandingQuery:
     threshold: float | None
     on_alert: Callable[["StandingQuery", Observation], None] | None
     max_history: int | None = 10_000
+    window: float | None = None
+    realert_every: int | None = None
     history: list[Observation] = field(default_factory=list)
     alerts: list[Observation] = field(default_factory=list)
+    #: Whether the last observation was above threshold (the edge detector).
+    currently_breached: bool = False
+    #: Consecutive breaching observations in the current breach episode.
+    breach_run: int = 0
 
     @property
     def latest(self) -> Observation | None:
@@ -70,12 +88,27 @@ class StandingQuery:
     def record(self, observation: Observation) -> bool:
         """Append an observation (and any alert), trimming both logs.
 
-        Returns whether the observation breached the alert threshold; the
-        caller fires ``on_alert``.
+        Returns whether to alert: True on a threshold *crossing* (the
+        first breaching observation after a non-breaching one), or — with
+        ``realert_every`` set — on every ``realert_every``-th breaching
+        observation of a sustained breach.  The caller fires ``on_alert``.
         """
         self.history.append(observation)
         self._trim(self.history)
-        alerted = self.breached(observation)
+        if not self.breached(observation):
+            self.currently_breached = False
+            self.breach_run = 0
+            return False
+        self.breach_run += 1
+        if self.currently_breached:
+            # Sustained breach: silent unless periodic re-pages opted in.
+            alerted = (
+                self.realert_every is not None
+                and (self.breach_run - 1) % self.realert_every == 0
+            )
+        else:
+            self.currently_breached = True
+            alerted = True  # rising edge
         if alerted:
             self.alerts.append(observation)
             self._trim(self.alerts)
@@ -121,12 +154,24 @@ class ContinuousQueryProcessor:
         threshold: float | None = None,
         on_alert: Callable[[StandingQuery, Observation], None] | None = None,
         max_history: int | None = 10_000,
+        window: float | None = None,
+        realert_every: int | None = None,
     ) -> StandingQuery:
         """Register a standing query evaluated every ``every`` updates.
 
-        ``threshold``/``on_alert`` make it an alerting rule: when an
-        observation exceeds the threshold, it is recorded in
-        ``query.alerts`` and the callback (if any) fires.
+        ``threshold``/``on_alert`` make it an alerting rule: an
+        observation that *crosses* the threshold is recorded in
+        ``query.alerts`` and the callback (if any) fires; a sustained
+        breach stays silent until it clears and crosses again, unless
+        ``realert_every=n`` opts into a re-page every ``n``-th breaching
+        observation (see :class:`StandingQuery`).
+
+        ``window`` (windowed engines only) evaluates the query over the
+        most recent ``window`` time units — the "distinct IPs in A ∩ B
+        over the last 5 minutes" shape.  The alert cadence is then per
+        window state: ``every`` still counts processed updates, but each
+        evaluation sees only in-window traffic, so a breach clears on
+        its own as the offending cohort ages out.
 
         ``max_history`` bounds the per-query observation and alert logs
         (oldest entries dropped first).  The generous default keeps
@@ -141,6 +186,9 @@ class ContinuousQueryProcessor:
             raise ValueError("epsilon must be in (0, 1)")
         if max_history is not None and max_history < 1:
             raise ValueError("max_history must be positive (or None)")
+        if realert_every is not None and realert_every < 1:
+            raise ValueError("realert_every must be positive (or None)")
+        window = self.engine._checked_query_window(window)
         if isinstance(expression, str):
             expression = parse(expression)
         query = StandingQuery(
@@ -151,6 +199,8 @@ class ContinuousQueryProcessor:
             threshold=threshold,
             on_alert=on_alert,
             max_history=max_history,
+            window=window,
+            realert_every=realert_every,
         )
         self._queries[name] = query
         return query
@@ -188,6 +238,33 @@ class ContinuousQueryProcessor:
         to evaluating each query alone.
         """
         self.engine.process(update)
+        self._evaluate_due()
+
+    def process_many(self, updates) -> None:
+        """Feed a sequence of updates through :meth:`process`."""
+        for update in updates:
+            self.process(update)
+
+    def observe(self, update: Update, at: float) -> None:
+        """Feed one *timestamped* update (windowed engines only).
+
+        Routes through :meth:`StreamEngine.observe`, so the update lands
+        in both the all-time synopses and the window rings, then
+        evaluates due queries exactly like :meth:`process` — windowed
+        standing queries see the ring state as of ``at``.
+        """
+        self.engine.observe(update, at)
+        self._evaluate_due()
+
+    def observe_many(self, updates) -> int:
+        """Feed ``(update, timestamp)`` pairs; returns the observed count."""
+        observed = 0
+        for update, at in updates:
+            self.observe(update, at)
+            observed += 1
+        return observed
+
+    def _evaluate_due(self) -> None:
         position = self.engine.updates_processed
         due = [
             query
@@ -199,22 +276,19 @@ class ContinuousQueryProcessor:
         if len(due) == 1:
             self._evaluate(due[0], position)
             return
-        # query_many shares work per stream set but takes one epsilon per
-        # call, so group the due queries by their target error first.
-        by_epsilon: dict[float, list[StandingQuery]] = {}
+        # query_many shares work per stream set but takes one epsilon (and
+        # one window) per call, so group the due queries first.
+        groups: dict[tuple, list[StandingQuery]] = {}
         for query in due:
-            by_epsilon.setdefault(query.epsilon, []).append(query)
-        for epsilon, group in by_epsilon.items():
+            groups.setdefault((query.epsilon, query.window), []).append(query)
+        for (epsilon, window), group in groups.items():
             estimates = self.engine.query_many(
-                [query.expression for query in group], epsilon=epsilon
+                [query.expression for query in group],
+                epsilon=epsilon,
+                window=window,
             )
             for query, estimate in zip(group, estimates):
                 self._record(query, estimate, position)
-
-    def process_many(self, updates) -> None:
-        """Feed a sequence of updates through :meth:`process`."""
-        for update in updates:
-            self.process(update)
 
     def evaluate_now(self, name: str) -> Observation:
         """Force an immediate evaluation of one standing query."""
@@ -223,7 +297,9 @@ class ContinuousQueryProcessor:
     # -- internals -------------------------------------------------------------
 
     def _evaluate(self, query: StandingQuery, position: int) -> Observation:
-        estimate = self.engine.query(query.expression, query.epsilon)
+        estimate = self.engine.query(
+            query.expression, query.epsilon, window=query.window
+        )
         return self._record(query, estimate, position)
 
     def _record(

@@ -86,6 +86,15 @@ class DeltaExport:
     carry plain dense ``to_bytes`` slabs.  In-process exports are always
     dense — encodings appear only on exports rebuilt from v2 network
     frames, and :meth:`Coordinator.collect` decodes them at fold time.
+
+    ``window_at`` stamps the export with the shipping site's window
+    watermark: every update the deltas summarise was observed at or
+    before that instant, and the site had already observed everything up
+    to it when the export was cut.  A windowed coordinator folds the
+    deltas into the bucket covering ``window_at``, so windowed queries
+    at the root see federated traffic in the same buckets a co-located
+    engine would have used.  ``None`` (unwindowed sites, older peers)
+    folds into the all-time synopses only.
     """
 
     site_id: str
@@ -94,6 +103,7 @@ class DeltaExport:
     incarnation: str = ""
     first_sequence: int = 0
     encodings: Mapping[str, str] = field(default_factory=dict)
+    window_at: float | None = None
 
     @property
     def is_empty(self) -> bool:
@@ -129,8 +139,13 @@ def coalesce_exports(
     decrement in the next).
 
     The inputs must come from one site and incarnation, carry dense
-    (unencoded) payloads, and form a contiguous ascending sequence run —
-    exactly the shape of a :meth:`StreamSite.exports_after` tail.
+    (unencoded) payloads, form a contiguous ascending sequence run —
+    exactly the shape of a :meth:`StreamSite.exports_after` tail — and
+    agree on ``window_at``.  The last condition is what keeps batching
+    sound under windowing: exports cut at different watermarks belong in
+    different ring buckets at the coordinator, so summing them would
+    smear traffic across buckets; group a retained tail into equal-
+    ``window_at`` runs before coalescing (:mod:`repro.streams.net` does).
     """
     if not exports:
         raise ValueError("cannot coalesce an empty export list")
@@ -150,6 +165,12 @@ def coalesce_exports(
             raise ValueError(
                 f"cannot coalesce non-consecutive exports: sequence "
                 f"{current.batch_start} follows {previous.sequence}"
+            )
+        if current.window_at != head.window_at:
+            raise ValueError(
+                f"cannot coalesce exports cut at different window "
+                f"watermarks ({head.window_at!r} and "
+                f"{current.window_at!r}); batch equal-window_at runs only"
             )
     expected = spec.counter_payload_bytes
     totals: dict[str, np.ndarray] = {}
@@ -183,6 +204,7 @@ def coalesce_exports(
         payloads=payloads,
         incarnation=head.incarnation,
         first_sequence=head.batch_start,
+        window_at=head.window_at,
     )
 
 
@@ -233,9 +255,18 @@ class StreamSite:
 
     # -- observing ---------------------------------------------------------
 
-    def observe(self, update: Update) -> None:
-        """Observe one local update tuple."""
-        self._engine.process(update)
+    def observe(self, update: Update, at: float | None = None) -> None:
+        """Observe one local update tuple.
+
+        ``at`` (windowed backing engines only) is the update's
+        timestamp; it routes through
+        :meth:`~repro.streams.engine.StreamEngine.observe` so the update
+        lands in the local window ring as well as the all-time synopsis.
+        """
+        if at is None:
+            self._engine.process(update)
+        else:
+            self._engine.observe(update, at)
 
     def observe_many(self, updates: Iterable[Update]) -> None:
         """Observe a sequence of local updates."""
@@ -254,14 +285,28 @@ class StreamSite:
         """Sequence number of the most recent export (0 before any)."""
         return self._sequence
 
-    def export(self) -> DeltaExport:
+    def export(self, window_at: float | None = None) -> DeltaExport:
         """Ship-ready delta: counter diffs since the previous export.
 
         Always advances the sequence, even when no counters changed (an
         empty export) — the coordinator's in-order check relies on the
         numbering having no holes.  The export is retained until
         :meth:`acknowledge`.
+
+        ``window_at`` stamps the export with the watermark its deltas
+        were cut at (see :class:`DeltaExport`).  When omitted, a
+        windowed backing engine stamps its current
+        :attr:`~repro.streams.engine.StreamEngine.window_clock`
+        automatically; an unwindowed engine leaves it ``None``.
         """
+        if window_at is not None:
+            window_at = float(window_at)
+            if window_at != window_at:  # NaN
+                raise ValueError("window_at must not be NaN")
+        elif getattr(self._engine, "is_windowed", False):
+            clock = self._engine.window_clock
+            if clock != float("-inf"):
+                window_at = clock
         payloads: dict[str, bytes] = {}
         for name, family in self._engine.families().items():
             baseline = self._shipped.get(name)
@@ -272,7 +317,11 @@ class StreamSite:
             self._shipped[name] = family.copy()
         self._sequence += 1
         export = DeltaExport(
-            self.site_id, self._sequence, payloads, self.incarnation
+            self.site_id,
+            self._sequence,
+            payloads,
+            self.incarnation,
+            window_at=window_at,
         )
         self._retained[export.sequence] = export
         return export
@@ -337,6 +386,7 @@ class StreamSite:
                         name: encode(payload)
                         for name, payload in export.payloads.items()
                     },
+                    "window_at": export.window_at,
                 }
                 for export in (
                     self._retained[seq] for seq in sorted(self._retained)
@@ -370,6 +420,7 @@ class StreamSite:
         }
         for entry in state.get("retained", ()):
             sequence = int(entry["sequence"])
+            window_at = entry.get("window_at")
             site._retained[sequence] = DeltaExport(
                 site.site_id,
                 sequence,
@@ -378,6 +429,7 @@ class StreamSite:
                     for name, payload in dict(entry["payloads"]).items()
                 },
                 site.incarnation,
+                window_at=None if window_at is None else float(window_at),
             )
         return site
 
@@ -475,7 +527,7 @@ class Coordinator:
             for stream, payload in export.payloads.items()
         ]
         for stream, incoming in decoded:
-            self._apply_decoded(stream, incoming)
+            self._apply_decoded(stream, incoming, at=export.window_at)
         site_history = self._applied.setdefault(export.site_id, {})
         site_history[export.incarnation] = export.sequence
         self._current[export.site_id] = export.incarnation
@@ -509,8 +561,16 @@ class Coordinator:
             return SketchFamily.from_bytes(dense, self.spec)
         return cells
 
-    def _apply_decoded(self, stream: str, incoming) -> None:
-        """Fold one :meth:`_decode_payload` result into ``stream``."""
+    def _apply_decoded(
+        self, stream: str, incoming, at: float | None = None
+    ) -> None:
+        """Fold one :meth:`_decode_payload` result into ``stream``.
+
+        ``at`` is the export's window watermark; a windowed fold engine
+        lands the delta in the ring bucket covering it (all-time
+        synopses are updated either way).  Unwindowed fold targets — the
+        plain family map included — ignore it.
+        """
         if not isinstance(incoming, SketchFamily):
             indices, values = incoming
             if self._engine is None and stream in self._families:
@@ -518,7 +578,10 @@ class Coordinator:
                 return
             incoming = SketchFamily.from_cells(indices, values, self.spec)
         if self._engine is not None:
-            self._engine.merge_delta(stream, incoming)
+            if at is not None and getattr(self._engine, "is_windowed", False):
+                self._engine.merge_delta(stream, incoming, at=at)
+            else:
+                self._engine.merge_delta(stream, incoming)
         elif stream in self._families:
             self._families[stream].merge_in_place(incoming)
         else:
@@ -597,6 +660,23 @@ class Coordinator:
         """The pluggable fold target (``None`` for the plain family map)."""
         return self._engine
 
+    @property
+    def is_windowed(self) -> bool:
+        """Whether the fold target buckets incoming deltas by time.
+
+        True only for a windowed :class:`StreamEngine` fold target.
+        Exposing it here lets an uplink :class:`StreamSite` backed by
+        this coordinator stamp its re-exports with the aggregated
+        watermark automatically — a mid-tree node forwards windowed
+        state upward exactly like a leaf.
+        """
+        return getattr(self._engine, "is_windowed", False)
+
+    @property
+    def window_clock(self) -> float:
+        """The fold engine's window watermark (``-inf`` when unwindowed)."""
+        return getattr(self._engine, "window_clock", float("-inf"))
+
     def families(self) -> dict[str, SketchFamily]:
         """``stream -> merged synopsis`` (live objects, not copies).
 
@@ -625,33 +705,61 @@ class Coordinator:
                 f"known streams: {known}"
             )
 
+    def _check_windowed_query(self, window: float | None) -> None:
+        if window is not None and not getattr(
+            self._engine, "is_windowed", False
+        ):
+            raise ValueError(
+                "windowed queries need a windowed fold engine; construct "
+                "the coordinator with engine=StreamEngine(spec, "
+                "window_span=...)"
+            )
+
     def query(
-        self, expression: SetExpression | str, epsilon: float = 0.1
+        self,
+        expression: SetExpression | str,
+        epsilon: float = 0.1,
+        window: float | None = None,
     ) -> WitnessEstimate:
         """Estimate ``|E|`` over the merged global synopses.
 
         Raises :class:`~repro.errors.UnknownStreamError` (naming the
         missing stream and listing the known ones) when the expression
         references a stream no site has shipped yet.
+
+        ``window`` restricts the estimate to the most recent ``window``
+        time units of federated traffic — it requires a *windowed* fold
+        engine, which buckets incoming deltas by their exports'
+        ``window_at`` stamps (:class:`DeltaExport`).
         """
+        self._check_windowed_query(window)
         if isinstance(expression, str):
             expression = parse(expression)
         self._require_streams(expression.streams())
         if self._engine is not None:
+            if window is not None:
+                return self._engine.query(expression, epsilon, window=window)
             return self._engine.query(expression, epsilon)
         return estimate_expression(expression, self._families, epsilon)
 
     def query_union(
-        self, stream_names: Iterable[str], epsilon: float = 0.1
+        self,
+        stream_names: Iterable[str],
+        epsilon: float = 0.1,
+        window: float | None = None,
     ) -> UnionEstimate:
         """Estimate the distinct-element count of a union of streams.
 
         Raises :class:`~repro.errors.UnknownStreamError` for stream
-        names without a collected synopsis.
+        names without a collected synopsis.  ``window`` as in
+        :meth:`query`.
         """
+        self._check_windowed_query(window)
         names = list(stream_names)
         self._require_streams(names)
         if self._engine is not None:
+            if window is not None:
+                return self._engine.query_union(names, epsilon, window=window)
             return self._engine.query_union(names, epsilon)
         families = [self._families[name] for name in names]
         return estimate_union(families, epsilon)

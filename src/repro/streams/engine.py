@@ -14,6 +14,7 @@ seen once, in order, and never re-read.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Iterable, Sequence
@@ -30,8 +31,9 @@ from repro.errors import EstimationError
 from repro.expr.ast import SetExpression
 from repro.expr.compile import compile_expression
 from repro.expr.parser import parse
-from repro.streams.stats import QueryStats
+from repro.streams.stats import QueryStats, WindowStats
 from repro.streams.updates import Update
+from repro.streams.windows import WindowRing, check_window_config
 
 __all__ = ["StreamEngine"]
 
@@ -59,10 +61,15 @@ class _CacheEntry:
     (empty for pure union entries).  The entry stays servable while every
     family reports those levels clean since its recorded version — see
     :meth:`repro.core.family.SketchFamily.levels_clean_since`.
+
+    ``position`` is the engine's ``(updates_processed, mutation_epoch)``
+    pair at compute time: the epoch counts synopsis mutations that are
+    *not* processed updates (delta folds, window-ring expiry), so the
+    "nothing changed" fast path cannot serve a stale result across them.
     """
 
     result: object
-    position: int
+    position: tuple[int, int]
     families: tuple[SketchFamily, ...]
     versions: tuple[int, ...]
     prefix: int
@@ -113,6 +120,24 @@ class StreamEngine:
         with ``dense_domain``; requires ``use_plan=True``.
     hot_key_sample:
         How many updates to observe before freezing the hot-key set.
+    window_span:
+        Enable sliding-window queries: each stream additionally maintains
+        a :class:`~repro.streams.windows.WindowRing` of time-bucketed
+        synopses covering the most recent ``window_span`` time units, and
+        ``query(..., window=W)`` answers over that state.  Timestamped
+        ingest goes through :meth:`observe`/:meth:`observe_many` (which
+        also feed the all-time synopses); the ring clock is shared across
+        streams and advanced by :meth:`advance_to`.
+    bucket_width:
+        Bucket granularity of the window rings; must divide
+        ``window_span`` evenly.  Defaults to the full span (one tumbling
+        bucket).  Windowed queries may ask for any whole number of
+        buckets up to the span.
+    clock_policy:
+        Timestamp policy for windowed ingest, as in
+        :class:`~repro.streams.windows.SlidingWindowDriver`: ``"raise"``
+        (default) rejects regressing timestamps, ``"clamp"`` stamps them
+        at the watermark; NaN always raises.
     """
 
     def __init__(
@@ -123,6 +148,9 @@ class StreamEngine:
         dense_domain: int | None = None,
         hot_keys: int = 0,
         hot_key_sample: int = 65536,
+        window_span: float | None = None,
+        bucket_width: float | None = None,
+        clock_policy: str = "raise",
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
@@ -136,6 +164,19 @@ class StreamEngine:
             raise ValueError("pass dense_domain or hot_keys, not both")
         if (dense_domain is not None or hot_keys) and not use_plan:
             raise ValueError("the dense fast path requires use_plan=True")
+        if window_span is None:
+            if bucket_width is not None:
+                raise ValueError("bucket_width requires window_span")
+            self._window_span = self._bucket_width = None
+        else:
+            self._window_span, self._bucket_width, _ = check_window_config(
+                window_span, bucket_width
+            )
+        if clock_policy not in ("raise", "clamp"):
+            raise ValueError("clock_policy must be 'raise' or 'clamp'")
+        self._clock_policy = clock_policy
+        self._rings: dict[str, WindowRing] = {}
+        self._window_clock = float("-inf")
         self.spec = spec
         self._batch_size = batch_size
         self._plan_arg = "auto" if use_plan else None
@@ -150,6 +191,12 @@ class StreamEngine:
         self._families: dict[str, SketchFamily] = {}
         self._buffers: dict[str, tuple[list[int], list[int]]] = {}
         self._updates_processed = 0
+        # Synopsis mutations that are not processed updates: delta folds
+        # (merge_delta) and non-empty window-bucket expiry.  Folded into
+        # the cache position so the position-equality fast path stays
+        # sound — without it a cached estimate could be served unchanged
+        # after a merge or rotation mutated a participating family.
+        self._mutation_epoch = 0
         # (canonical cells, streams, epsilon, pool) -> _CacheEntry; entries
         # carry per-family version/level dependencies so repeat queries
         # revalidate in O(streams) instead of recomputing whenever *any*
@@ -199,6 +246,149 @@ class StreamEngine:
         """Push all buffered updates into the synopses."""
         for stream in list(self._buffers):
             self._flush_stream(stream)
+        for ring in self._rings.values():
+            ring.flush()
+
+    # -- windowed ingest -------------------------------------------------------
+
+    @property
+    def window_span(self) -> float | None:
+        """The sliding-window span, or ``None`` for an unwindowed engine."""
+        return self._window_span
+
+    @property
+    def bucket_width(self) -> float | None:
+        """The window rings' bucket granularity (``None`` if unwindowed)."""
+        return self._bucket_width
+
+    @property
+    def is_windowed(self) -> bool:
+        return self._window_span is not None
+
+    @property
+    def window_clock(self) -> float:
+        """The shared window watermark (``-inf`` before the first instant)."""
+        return self._window_clock
+
+    @property
+    def clock_policy(self) -> str:
+        return self._clock_policy
+
+    def observe(self, update: Update, at: float) -> None:
+        """Ingest one timestamped update (windowed engines only).
+
+        Feeds both the all-time synopsis (exactly like :meth:`process`)
+        and the stream's window ring.  ``at`` is validated against the
+        engine-wide watermark per ``clock_policy``; the watermark is
+        shared by all streams, mirroring
+        :class:`~repro.streams.windows.SlidingWindowDriver`'s single
+        clock.
+        """
+        self._require_windowed()
+        at = self._checked_window_time(at)
+        self.process(update)
+        self._ring(update.stream).observe(update.element, update.delta, at)
+
+    def observe_many(self, updates: Iterable[tuple[Update, float]]) -> int:
+        """Ingest a sequence of ``(update, timestamp)`` pairs.
+
+        Returns the number of updates observed.  Like
+        :meth:`~repro.streams.windows.SlidingWindowDriver.observe_many`,
+        ingestion is partial on a rejected timestamp: earlier pairs have
+        already been applied, and the return value says how far the
+        iterable got.
+        """
+        self._require_windowed()
+        observed = 0
+        for update, at in updates:
+            self.observe(update, at)
+            observed += 1
+        return observed
+
+    def advance_to(self, now: float) -> int:
+        """Move the window watermark forward on every ring.
+
+        Returns the total number of buckets expired.  Expiry is pure
+        synopsis subtraction — no per-update state exists anywhere.
+        """
+        self._require_windowed()
+        now = self._checked_window_time(now)
+        expired = 0
+        for ring in self._rings.values():
+            expired += self._advance_ring(ring, now)
+        return expired
+
+    def window_family(self, stream: str, window: float | None = None) -> SketchFamily:
+        """The in-window synopsis for ``stream`` (advanced to the watermark).
+
+        ``window`` selects a sub-window (a whole number of bucket widths
+        up to the span); ``None`` means the full span.
+        """
+        self._require_windowed()
+        ring = self._ring(stream)
+        if self._window_clock != float("-inf"):
+            self._advance_ring(ring, self._window_clock)
+        return ring.family(window)
+
+    def window_stats(self) -> WindowStats:
+        """Rotation/expiry counters summed over the per-stream rings."""
+        stats = WindowStats()
+        for ring in self._rings.values():
+            stats.rotations += ring.rotations
+            stats.buckets_expired += ring.buckets_expired
+            stats.empty_expiries += ring.empty_expiries
+            stats.subwindow_rebuilds += ring.subwindow_rebuilds
+        return stats
+
+    def _position(self) -> tuple[int, int]:
+        """The cache-position pair: processed updates plus mutation epoch."""
+        return (self._updates_processed, self._mutation_epoch)
+
+    def _advance_ring(self, ring: WindowRing, now: float) -> int:
+        """Advance one ring, folding non-empty expiries into the epoch.
+
+        An expiry that subtracts a non-empty bucket mutates the ring's
+        window total without any update being processed; bumping the
+        mutation epoch keeps the cache's position fast path honest.
+        Empty-bucket expiries deliberately do not bump it — nothing
+        changed, so cached windowed estimates stay servable unrun.
+        """
+        before = ring.buckets_expired - ring.empty_expiries
+        expired = ring.advance_to(now)
+        self._mutation_epoch += (ring.buckets_expired - ring.empty_expiries) - before
+        return expired
+
+    def _require_windowed(self) -> None:
+        if self._window_span is None:
+            raise ValueError(
+                "this engine is not windowed; construct it with window_span="
+            )
+
+    def _checked_window_time(self, at: float) -> float:
+        at = float(at)
+        if math.isnan(at):
+            raise ValueError("timestamps must not be NaN")
+        if at < self._window_clock:
+            if self._clock_policy == "raise":
+                raise ValueError(
+                    f"time went backwards: {at} after {self._window_clock}"
+                )
+            return self._window_clock  # clamp: stamp at the watermark
+        self._window_clock = at
+        return at
+
+    def _ring(self, stream: str) -> WindowRing:
+        ring = self._rings.get(stream)
+        if ring is None:
+            ring = self._rings[stream] = WindowRing(
+                self.spec,
+                self._window_span,
+                self._bucket_width,
+                clock_policy=self._clock_policy,
+            )
+            if self._window_clock != float("-inf"):
+                ring.advance_to(self._window_clock)
+        return ring
 
     # -- queries ----------------------------------------------------------------
 
@@ -208,11 +398,19 @@ class StreamEngine:
         epsilon: float = 0.1,
         pool_levels: int = 1,
         use_cache: bool = True,
+        window: float | None = None,
     ) -> WitnessEstimate:
         """Estimate ``|E|`` for a set expression over the engine's streams.
 
         ``pool_levels`` enables the level-pooling extension (see
         :func:`repro.core.witness.run_witness_estimator`).
+
+        ``window`` (windowed engines only) answers over the most recent
+        ``window`` time units instead of all time: the participating
+        streams' window-ring synopses — exact at bucket boundaries — are
+        substituted for the all-time families, everything else (the
+        estimators, the cache, the error guarantees) is unchanged.  It
+        must be a whole number of bucket widths in ``(0, window_span]``.
 
         Repeat queries are served from a semantic cache: the key is the
         expression's canonical Venn-cell set, so equivalent spellings
@@ -222,24 +420,31 @@ class StreamEngine:
         version; it is served again — bit-identical, the estimators are
         deterministic functions of those levels — until an update actually
         dirties a consulted level of a participating stream.  Updates to
-        other streams, or to deeper levels, do not evict.
-        ``use_cache=False`` bypasses the cache entirely.
+        other streams, or to deeper levels, do not evict.  Windowed
+        entries revalidate the same way against the ring synopses'
+        versions — a rotation that expires only empty buckets leaves
+        them servable.  ``use_cache=False`` bypasses the cache entirely.
         """
         if isinstance(expression, str):
             expression = parse(expression)
         self.flush()
+        window = self._checked_query_window(window)
+        if window is not None:
+            self._prepare_window(expression.streams())
         stats = self._query_stats
         stats.queries += 1
+        if window is not None:
+            stats.window_queries += 1
 
         key = None
         if use_cache:
-            key = self._expression_key(expression, epsilon, pool_levels)
+            key = self._expression_key(expression, epsilon, pool_levels, window)
             cached = self._cache_lookup(self._query_cache, key)
             if cached is not None:
                 return cached.result
 
         estimate, entry = self._evaluate_expression(
-            expression, epsilon, pool_levels, use_cache
+            expression, epsilon, pool_levels, use_cache, window
         )
         stats.recomputes += 1
         if use_cache:
@@ -252,6 +457,7 @@ class StreamEngine:
         epsilon: float = 0.1,
         pool_levels: int = 1,
         use_cache: bool = True,
+        window: float | None = None,
     ) -> list[WitnessEstimate]:
         """Estimate many expressions in one shared evaluation pass.
 
@@ -274,9 +480,17 @@ class StreamEngine:
             for expression in expressions
         ]
         self.flush()
+        window = self._checked_query_window(window)
+        if window is not None:
+            names: set[str] = set()
+            for expression in parsed:
+                names.update(expression.streams())
+            self._prepare_window(names)
         stats = self._query_stats
         stats.queries += len(parsed)
         stats.batch_queries += len(parsed)
+        if window is not None:
+            stats.window_queries += len(parsed)
 
         results: list[WitnessEstimate | None] = [None] * len(parsed)
         groups: dict[frozenset[str], list[tuple[int, SetExpression, tuple | None]]] = {}
@@ -285,7 +499,7 @@ class StreamEngine:
         for index, expression in enumerate(parsed):
             key = None
             if use_cache:
-                key = self._expression_key(expression, epsilon, pool_levels)
+                key = self._expression_key(expression, epsilon, pool_levels, window)
                 cached = self._cache_lookup(self._query_cache, key)
                 if cached is not None:
                     results[index] = cached.result
@@ -306,7 +520,7 @@ class StreamEngine:
             stats.batch_groups += 1
             estimates, entry_for = self._evaluate_group(
                 stream_set, [expr for _, expr, _ in members],
-                epsilon, pool_levels, use_cache,
+                epsilon, pool_levels, use_cache, window,
             )
             stats.recomputes += len(members)
             for (index, _, key), estimate in zip(members, estimates):
@@ -323,22 +537,29 @@ class StreamEngine:
         stream_names: Iterable[str],
         epsilon: float = 0.1,
         use_cache: bool = True,
+        window: float | None = None,
     ) -> UnionEstimate:
         """Estimate the distinct-element count of a union of streams.
 
         Served through the same version-revalidated cache as :meth:`query`
         (an entry depends only on the union scan's level prefix); the
         entry is shared with the ``ε/3`` union sub-estimates that
-        expression queries compute, in both directions.
+        expression queries compute, in both directions.  ``window``
+        answers over the sliding window, as in :meth:`query`.
         """
         self.flush()
+        window = self._checked_query_window(window)
         stats = self._query_stats
         stats.union_queries += 1
+        if window is not None:
+            stats.window_queries += 1
         names = tuple(sorted(set(stream_names)))
         if not names:
             # Preserve the uncached error behaviour for an empty selection.
             return estimate_union([], epsilon)
-        return self._union_for(names, epsilon, use_cache)
+        if window is not None:
+            self._prepare_window(names)
+        return self._union_for(names, epsilon, use_cache, window)
 
     def explain(self, expression: SetExpression | str, epsilon: float = 0.1):
         """Per-subexpression cardinality breakdown (one consistent scan).
@@ -430,7 +651,9 @@ class StreamEngine:
         self._query_cache.clear()
         self._union_cache.clear()
 
-    def merge_delta(self, stream: str, delta: SketchFamily) -> None:
+    def merge_delta(
+        self, stream: str, delta: SketchFamily, at: float | None = None
+    ) -> None:
         """Fold a delta synopsis into ``stream`` by linearity.
 
         The network-fold primitive: a
@@ -441,6 +664,14 @@ class StreamEngine:
         directly (ownership transfers to the engine); otherwise the
         counters are added in place, which marks the family dirty so
         cached queries revalidate.
+
+        On a windowed engine, ``at`` attributes the delta to a window
+        instant (the exporter's window clock at cut time): the delta
+        additionally lands in the stream's ring bucket for ``at``.  A
+        late delta whose bucket already expired folds into the all-time
+        synopsis only — those updates are out of window.  Timestamp
+        regressions are *not* errors here (site skew is expected at a
+        fold point); the ring clock simply never goes backwards.
         """
         if delta.spec != self.spec:
             from repro.errors import IncompatibleSketchesError
@@ -454,6 +685,18 @@ class StreamEngine:
             self.adopt_family(stream, delta)
         else:
             family.merge_in_place(delta)
+        # A fold mutates the synopsis without processing updates; move
+        # the epoch so the cache's position fast path cannot serve a
+        # pre-merge result (version revalidation then catches the dirty
+        # levels and recomputes).
+        self._mutation_epoch += 1
+        if at is not None and self._window_span is not None:
+            at = float(at)
+            if math.isnan(at):
+                raise ValueError("timestamps must not be NaN")
+            if at > self._window_clock:
+                self._window_clock = at
+            self._ring(stream).merge_at(delta, at)
 
     def mark_replayed(self, num_updates: int) -> None:
         """Record updates that were applied before this engine existed
@@ -465,13 +708,118 @@ class StreamEngine:
             self._query_cache.clear()
             self._union_cache.clear()
 
+    def window_state(self) -> tuple[dict, list[tuple[str, bytes]]]:
+        """Ring state for a checkpoint: ``(metadata, payloads)``.
+
+        ``metadata`` is JSON-safe (window config, shared clock, and each
+        stream's live bucket indices); ``payloads`` are the non-zero
+        buckets' counter slabs keyed ``"<stream>@<bucket_index>"`` — they
+        travel as files next to the stream payloads, the in-window
+        totals are rebuilt by summation on restore.  Only meaningful on
+        a windowed engine (see :func:`repro.streams.checkpoint.checkpoint_engine`).
+        """
+        self._require_windowed()
+        self.flush()
+        clock = self._window_clock
+        meta: dict = {
+            "window_span": self._window_span,
+            "bucket_width": self._bucket_width,
+            "clock_policy": self._clock_policy,
+            "clock": None if clock == float("-inf") else clock,
+            "streams": {},
+        }
+        payloads: list[tuple[str, bytes]] = []
+        for stream in sorted(self._rings):
+            ring = self._rings[stream]
+            if clock != float("-inf"):
+                self._advance_ring(ring, clock)
+            buckets = []
+            for index, payload in ring.bucket_payloads():
+                buckets.append(index)
+                payloads.append((f"{stream}@{index}", payload))
+            meta["streams"][stream] = buckets
+        return meta, payloads
+
+    def restore_window_state(
+        self, meta: dict, buckets_by_stream: dict[str, dict[int, SketchFamily]]
+    ) -> None:
+        """Rebuild the window rings from checkpointed state.
+
+        The engine must have been constructed with the checkpoint's
+        window config; ``buckets_by_stream`` carries the decoded bucket
+        synopses (absent buckets restore as empty — they were all-zero
+        at checkpoint time and carry no state).
+        """
+        self._require_windowed()
+        clock = meta.get("clock")
+        if clock is not None:
+            self._window_clock = float(clock)
+        for stream, indices in meta.get("streams", {}).items():
+            decoded = buckets_by_stream.get(stream, {})
+            buckets = {
+                int(index): decoded[int(index)]
+                for index in indices
+                if int(index) in decoded
+            }
+            self._rings[stream] = WindowRing.restore(
+                self.spec,
+                self._window_span,
+                self._bucket_width,
+                clock,
+                buckets,
+                clock_policy=self._clock_policy,
+            )
+
     # -- query internals -------------------------------------------------------
 
     def _expression_key(
-        self, expression: SetExpression, epsilon: float, pool_levels: int
+        self,
+        expression: SetExpression,
+        epsilon: float,
+        pool_levels: int,
+        window: float | None = None,
     ) -> tuple:
         cells, stream_set = _expression_key_parts(expression)
-        return (cells, stream_set, epsilon, pool_levels)
+        return (cells, stream_set, epsilon, pool_levels, window)
+
+    def _checked_query_window(self, window: float | None) -> float | None:
+        """Validate a query's ``window`` argument; returns it normalised."""
+        if window is None:
+            return None
+        self._require_windowed()
+        window = float(window)
+        if not window > 0:
+            raise ValueError("window must be positive")
+        if window > self._window_span + 1e-9:
+            raise ValueError(
+                f"window {window} exceeds the engine's span {self._window_span}"
+            )
+        buckets = window / self._bucket_width
+        if abs(buckets - round(buckets)) > 1e-9 or round(buckets) < 1:
+            raise ValueError(
+                f"window {window} is not a whole number of bucket widths "
+                f"({self._bucket_width})"
+            )
+        return window
+
+    def _prepare_window(self, names: Iterable[str]) -> None:
+        """Advance the participating rings to the shared watermark.
+
+        Rings rotate lazily: ingest only advances the observed stream's
+        ring, so before a windowed evaluation every participating ring
+        (materialised on demand — a never-observed stream has an empty
+        window) catches up to the engine clock, expiring what fell out.
+        """
+        clock = self._window_clock
+        for name in names:
+            ring = self._ring(name)
+            if clock != float("-inf"):
+                self._advance_ring(ring, clock)
+
+    def _family_for(self, stream: str, window: float | None) -> SketchFamily:
+        if window is None:
+            return self._family(stream)
+        return self._rings[stream].family(window)
 
     def _cache_lookup(
         self, cache: dict[tuple, _CacheEntry], key: tuple, union: bool = False
@@ -488,14 +836,14 @@ class StreamEngine:
         if entry is None:
             return None
         stats = self._query_stats
-        if entry.position == self._updates_processed:
+        if entry.position == self._position():
             if union:
                 stats.union_cache_hits += 1
             else:
                 stats.cache_hits += 1
             return entry
         if entry.is_clean():
-            entry.position = self._updates_processed
+            entry.position = self._position()
             if union:
                 stats.union_revalidations += 1
             else:
@@ -504,15 +852,19 @@ class StreamEngine:
         return None
 
     def _union_for(
-        self, names: tuple[str, ...], epsilon: float, use_cache: bool = True
+        self,
+        names: tuple[str, ...],
+        epsilon: float,
+        use_cache: bool = True,
+        window: float | None = None,
     ) -> UnionEstimate:
         """Cached union estimate over ``names`` (a sorted tuple)."""
-        key = (names, epsilon)
+        key = (names, epsilon, window)
         if use_cache:
             cached = self._cache_lookup(self._union_cache, key, union=True)
             if cached is not None:
                 return cached.result
-        families = tuple(self._family(name) for name in names)
+        families = tuple(self._family_for(name, window) for name in names)
         result = estimate_union(families, epsilon)
         self._query_stats.union_recomputes += 1
         if use_cache:
@@ -521,7 +873,7 @@ class StreamEngine:
             # scan), so that prefix is the entry's whole dependency.
             self._union_cache[key] = _CacheEntry(
                 result=result,
-                position=self._updates_processed,
+                position=self._position(),
                 families=families,
                 versions=tuple(family.version for family in families),
                 prefix=result.level,
@@ -534,10 +886,11 @@ class StreamEngine:
         epsilon: float,
         pool_levels: int,
         use_cache: bool,
+        window: float | None = None,
     ) -> tuple[WitnessEstimate, _CacheEntry]:
         names = tuple(sorted(expression.streams()))
-        union = self._union_for(names, epsilon / 3.0, use_cache)
-        families = {name: self._family(name) for name in names}
+        union = self._union_for(names, epsilon / 3.0, use_cache, window)
+        families = {name: self._family_for(name, window) for name in names}
         estimate = estimate_expression(
             expression,
             families,
@@ -545,7 +898,9 @@ class StreamEngine:
             union_estimate=union,
             pool_levels=pool_levels,
         )
-        return estimate, self._witness_entry(names, union, estimate, pool_levels)
+        return estimate, self._witness_entry(
+            names, union, estimate, pool_levels, window
+        )
 
     def _witness_entry(
         self,
@@ -553,8 +908,9 @@ class StreamEngine:
         union: UnionEstimate,
         estimate: WitnessEstimate,
         pool_levels: int,
+        window: float | None = None,
     ) -> _CacheEntry:
-        families = tuple(self._family(name) for name in names)
+        families = tuple(self._family_for(name, window) for name in names)
         if estimate.union_estimate <= 0.0:
             # Empty-union early return: no witness slab was consulted.
             start = stop = 0
@@ -564,7 +920,7 @@ class StreamEngine:
             stop = min(start + pool_levels, num_levels)
         return _CacheEntry(
             result=estimate,
-            position=self._updates_processed,
+            position=self._position(),
             families=families,
             versions=tuple(family.version for family in families),
             prefix=union.level,
@@ -579,6 +935,7 @@ class StreamEngine:
         epsilon: float,
         pool_levels: int,
         use_cache: bool,
+        window: float | None = None,
     ):
         """Evaluate expressions over one stream set with shared sub-steps.
 
@@ -590,9 +947,9 @@ class StreamEngine:
         factory producing the cache entry for each estimate.
         """
         names = tuple(sorted(stream_set))
-        families = [self._family(name) for name in names]
+        families = [self._family_for(name, window) for name in names]
         check_same_coins(*families)
-        union = self._union_for(names, epsilon / 3.0, use_cache)
+        union = self._union_for(names, epsilon / 3.0, use_cache, window)
         union_value = float(union)
         num_sketches = families[0].num_sketches
 
@@ -657,7 +1014,7 @@ class StreamEngine:
         else:
             start = level
             stop = min(level + pool_levels, num_levels)
-        position_now = self._updates_processed
+        position_now = self._position()
 
         def entry_for(estimate: WitnessEstimate) -> _CacheEntry:
             return _CacheEntry(

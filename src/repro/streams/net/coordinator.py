@@ -228,16 +228,35 @@ class CoordinatorServer:
         coordinator sees an unbroken peer: retained exports re-ship
         bit-identically and nothing is lost or double-applied.  Pass the
         same ``parent_port`` (and friends) as the original run.
+
+        A checkpoint written by a *windowed* fold engine restores into
+        that engine directly — the engine
+        :func:`~repro.streams.checkpoint.restore_engine` rebuilt (rings
+        included) becomes the coordinator's fold target, so windowed
+        queries survive the restart.  ``engine_factory`` cannot be
+        combined with a windowed checkpoint: the factory's engine would
+        start with empty rings, silently dropping in-window state, so
+        that combination raises :class:`ValueError` instead.
         """
         replay = restore_engine(checkpoint_dir)
-        if engine_factory is None:
+        if replay.is_windowed:
+            if engine_factory is not None:
+                raise ValueError(
+                    "cannot restore a windowed checkpoint into a "
+                    "factory-built fold engine (its window rings would "
+                    "start empty); omit engine_factory"
+                )
+            coordinator = Coordinator(replay.spec, engine=replay)
+        elif engine_factory is None:
             coordinator = Coordinator(replay.spec)
+            for name, family in replay.families().items():
+                coordinator.adopt_family(name, family)
         else:
             fold = engine_factory(replay.spec)
             fold.mark_replayed(replay.updates_processed)
             coordinator = Coordinator(replay.spec, engine=fold)
-        for name, family in replay.families().items():
-            coordinator.adopt_family(name, family)
+            for name, family in replay.families().items():
+                coordinator.adopt_family(name, family)
         extra = read_checkpoint_extra(checkpoint_dir)
         sequences = extra.get(_SITE_SEQUENCES_KEY, {})
         for site_id, history in sequences.items():
@@ -351,11 +370,13 @@ class CoordinatorServer:
 
     # -- queries (pass-through) -------------------------------------------
 
-    def query(self, expression, epsilon: float = 0.1):
-        return self.coordinator.query(expression, epsilon)
+    def query(self, expression, epsilon: float = 0.1, window=None):
+        return self.coordinator.query(expression, epsilon, window=window)
 
-    def query_union(self, stream_names, epsilon: float = 0.1):
-        return self.coordinator.query_union(stream_names, epsilon)
+    def query_union(self, stream_names, epsilon: float = 0.1, window=None):
+        return self.coordinator.query_union(
+            stream_names, epsilon, window=window
+        )
 
     # -- checkpointing -----------------------------------------------------
 

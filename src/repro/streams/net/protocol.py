@@ -37,10 +37,13 @@ Message types
             ``streams`` (names, in blob order); blobs are the delta
             counter payloads.  V2 extensions, both optional: a
             per-blob ``encodings`` list (aligned with ``streams``;
-            absent = all dense, the v1 payload), and ``first_sequence``
+            absent = all dense, the v1 payload), ``first_sequence``
             marking a *batched* frame whose payloads are the linearity
             sum of exports ``first_sequence..sequence`` (absent =
-            ``sequence``, an unbatched frame).
+            ``sequence``, an unbatched frame), and ``window_at`` — the
+            window watermark the export was cut at, so a windowed
+            coordinator buckets the deltas by time (absent = all-time
+            fold only).
 ``ack``     (coordinator → site): ``sequence`` (the site's last applied
             sequence *after* handling the frame), ``durable``.  An ack
             whose ``sequence`` is below the just-shipped export signals
@@ -295,6 +298,8 @@ def delta_message(
     }
     if export.first_sequence and export.first_sequence != export.sequence:
         header["first_sequence"] = export.first_sequence
+    if export.window_at is not None:
+        header["window_at"] = export.window_at
     blobs = []
     encodings = []
     for name in streams:
@@ -350,6 +355,15 @@ def export_from_message(header: dict, blobs: Sequence[bytes]) -> DeltaExport:
         raise ProtocolError(
             "first_sequence must be an int in [1, sequence] when present"
         )
+    window_at = header.get("window_at", None)
+    if window_at is not None:
+        if isinstance(window_at, bool) or not isinstance(
+            window_at, (int, float)
+        ):
+            raise ProtocolError("window_at must be a number when present")
+        window_at = float(window_at)
+        if window_at != window_at:  # NaN survives JSON via Infinity parsing
+            raise ProtocolError("window_at must not be NaN")
     wire_encodings = header.get("encodings", None)
     if wire_encodings is None:
         encodings = {}
@@ -374,4 +388,5 @@ def export_from_message(header: dict, blobs: Sequence[bytes]) -> DeltaExport:
         incarnation=incarnation,
         first_sequence=first_sequence,
         encodings=encodings,
+        window_at=window_at,
     )

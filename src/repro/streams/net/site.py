@@ -52,6 +52,17 @@ class SiteConnectionError(ReproError, ConnectionError):
     """The coordinator stayed unreachable past the retry budget."""
 
 
+def _window_runs(exports: list[DeltaExport]) -> list[list[DeltaExport]]:
+    """Split an ordered export tail into maximal equal-``window_at`` runs."""
+    runs: list[list[DeltaExport]] = []
+    for export in exports:
+        if runs and runs[-1][-1].window_at == export.window_at:
+            runs[-1].append(export)
+        else:
+            runs.append([export])
+    return runs
+
+
 class SiteClient:
     """Ships one site's delta exports to a coordinator over TCP.
 
@@ -154,8 +165,8 @@ class SiteClient:
 
     # -- observing (pass-through) -----------------------------------------
 
-    def observe(self, update: Update) -> None:
-        self.site.observe(update)
+    def observe(self, update: Update, at: float | None = None) -> None:
+        self.site.observe(update, at)
 
     def observe_many(self, updates) -> None:
         self.site.observe_many(updates)
@@ -311,7 +322,11 @@ class SiteClient:
         stream); the coordinator's ack covers the batch's top sequence.
         Retention is untouched either way — the *individual* exports
         stay until durably acknowledged, so a rewind after a fault can
-        always re-batch from any boundary.
+        always re-batch from any boundary.  Exports cut at different
+        window watermarks never share a batch (they belong in different
+        ring buckets at the coordinator; :func:`coalesce_exports`
+        enforces it), so the pending tail is first split into runs of
+        equal ``window_at``.
         """
         while True:
             pending = [
@@ -322,11 +337,12 @@ class SiteClient:
             if not pending:
                 return
             if self._batching and len(pending) > 1:
-                for start in range(0, len(pending), self.max_batch):
-                    chunk = pending[start : start + self.max_batch]
-                    await self._send_export(
-                        coalesce_exports(chunk, self.site.spec)
-                    )
+                for run in _window_runs(pending):
+                    for start in range(0, len(run), self.max_batch):
+                        chunk = run[start : start + self.max_batch]
+                        await self._send_export(
+                            coalesce_exports(chunk, self.site.spec)
+                        )
             else:
                 for export in pending:
                     await self._send_export(export)

@@ -26,6 +26,7 @@ __all__ = [
     "IngestStats",
     "HashPlanStats",
     "QueryStats",
+    "WindowStats",
     "TransportStats",
     "rollup_transport_stats",
 ]
@@ -67,6 +68,9 @@ class QueryStats:
     union_recomputes: int = 0
     batch_queries: int = 0
     batch_groups: int = 0
+    #: Expression/union queries answered over a sliding window
+    #: (``query(..., window=...)``); included in the totals above.
+    window_queries: int = 0
 
     @property
     def served_from_cache(self) -> int:
@@ -79,6 +83,31 @@ class QueryStats:
         if self.queries == 0:
             return 0.0
         return self.served_from_cache / self.queries
+
+
+@dataclass
+class WindowStats:
+    """Window-ring counters of a windowed
+    :class:`~repro.streams.engine.StreamEngine` (summed over its
+    per-stream rings).
+
+    ``empty_expiries`` counts expired buckets that were all-zero —
+    those rotations leave the in-window totals' versions untouched, so
+    cached windowed estimates revalidate in O(streams) instead of
+    recomputing; the difference ``buckets_expired - empty_expiries`` is
+    the number of expiries that actually changed a window.
+    """
+
+    #: Bucket-boundary crossings of the ring clocks.
+    rotations: int = 0
+    #: Buckets aged out of the rings (subtracted from window totals
+    #: unless all-zero).
+    buckets_expired: int = 0
+    #: Expired buckets that were all-zero (no version bump anywhere).
+    empty_expiries: int = 0
+    #: Memoised sub-window sums rebuilt because their member buckets
+    #: changed.
+    subwindow_rebuilds: int = 0
 
 
 @dataclass

@@ -1,0 +1,276 @@
+"""Windowed federation: a 2-level tree answering windowed queries.
+
+The acceptance scenario: two windowed leaf coordinators with two
+windowed sites each, fault-injecting proxies on both hops, and one leaf
+restarted from its (windowed) checkpoint mid-run.  Exports are cut per
+bucket and stamped with the shipping site's watermark, so every delta
+folds into its true bucket at each fold point.  At every bucket
+boundary the root's windowed 3-stream expression must be
+**bit-identical** to the same query on a flat engine fed the
+concatenated trace through a :class:`SlidingWindowDriver` — whole-bucket
+expiry at the tree and per-update expiry at the driver meet exactly at
+boundaries, and linearity makes the tree's shape (and its failures)
+invisible.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import numpy as np
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.distributed import StreamSite
+from repro.streams.engine import StreamEngine
+from repro.streams.net.coordinator import CoordinatorServer
+from repro.streams.net.site import SiteClient
+from repro.streams.updates import Update
+from repro.streams.windows import SlidingWindowDriver
+
+from tests.streams.net.faults import FaultyTransport
+
+SHAPE = SketchShape(domain_bits=14, num_second_level=8, independence=4)
+SPEC = SketchSpec(num_sketches=16, shape=SHAPE, seed=41)
+
+TIMEOUT = 60.0
+STREAMS = "ABC"
+SPAN = 12.0
+WIDTH = 3.0
+NUM_BUCKETS = 4
+EXPR = "(A & B) - C"
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+def windowed_factory(spec: SketchSpec) -> StreamEngine:
+    return StreamEngine(spec, window_span=SPAN, bucket_width=WIDTH)
+
+
+def make_client(site_id: str, port: int, seed: int) -> SiteClient:
+    site = StreamSite(site_id, SPEC, engine=windowed_factory(SPEC))
+    return SiteClient(
+        site,
+        port=port,
+        connect_timeout=1.0,
+        io_timeout=0.3,
+        max_retries=80,
+        backoff_base=0.005,
+        backoff_cap=0.03,
+        rng=random.Random(seed),
+    )
+
+
+def uplink_options(seed: int) -> dict:
+    return dict(
+        connect_timeout=1.0,
+        io_timeout=0.5,
+        max_retries=80,
+        backoff_base=0.005,
+        backoff_cap=0.03,
+        rng=random.Random(seed),
+    )
+
+
+def bucket_trace(rng: random.Random, bucket: int, per_site: int, sites):
+    """Per-site timestamped updates inside bucket ``bucket``'s interval.
+
+    Timestamps are nondecreasing per site *and* globally sortable; the
+    last update of the first site lands exactly on the closing boundary
+    (the duplicate-boundary-timestamp case rides along in every round).
+    """
+    lo = (bucket - 1) * WIDTH
+    trace = {site_id: [] for site_id in sites}
+    for index, site_id in enumerate(sites):
+        for i in range(per_site):
+            at = round(lo + (i + 1) * WIDTH / (per_site + 1), 6)
+            if index == 0 and i == per_site - 1:
+                at = bucket * WIDTH  # exactly on the boundary
+            update = Update(
+                stream=rng.choice(STREAMS),
+                element=rng.randrange(1, 4000),
+                delta=rng.choice([1, 1, 1, -1]),
+            )
+            trace[site_id].append((update, at))
+    return trace
+
+
+def assert_root_matches_driver(root, flat: StreamEngine, boundary: float):
+    """Bit-identity of the root's windowed state against the driver-fed
+    flat engine, both advanced to the same bucket boundary."""
+    fold = root.coordinator.fold_engine
+    fold.advance_to(boundary)
+    fold.flush()
+    flat.flush()
+    for name in STREAMS:
+        assert np.array_equal(
+            fold.window_family(name).counters,
+            flat.family(name).counters,
+        ), (name, boundary)
+    windowed = root.coordinator.query(EXPR, 0.25, window=SPAN)
+    truth = flat.query(EXPR, 0.25)
+    assert windowed.value == truth.value
+    assert windowed.union_estimate == truth.union_estimate
+
+
+class TestWindowedFederation:
+    def test_windowed_tree_matches_driver_at_every_boundary(self, tmp_path):
+        """The acceptance scenario (see module docstring)."""
+
+        async def scenario():
+            rng = random.Random(90)
+            # Truth: one flat engine fed through the per-update driver,
+            # and one all-time engine fed everything (never expires).
+            flat = StreamEngine(SPEC)
+            driver = SlidingWindowDriver(SPAN, flat)
+            alltime = StreamEngine(SPEC)
+
+            root = CoordinatorServer(
+                SPEC, port=0, engine_factory=windowed_factory
+            )
+            await root.start()
+
+            up1 = FaultyTransport(
+                root.port, random.Random(1), duplicate=0.25, cut=0.2,
+                max_faults=4,
+            )
+            up2 = FaultyTransport(
+                root.port, random.Random(2), duplicate=0.25, cut=0.2,
+                max_faults=4,
+            )
+            await up1.start()
+            await up2.start()
+
+            leaf1_dir = tmp_path / "leaf1"
+            leaf1 = CoordinatorServer(
+                SPEC,
+                port=0,
+                checkpoint_dir=leaf1_dir,
+                engine_factory=windowed_factory,
+                parent_port=up1.port,
+                uplink_id="leaf1",
+                uplink_options=uplink_options(21),
+            )
+            leaf2 = CoordinatorServer(
+                SPEC,
+                port=0,
+                engine_factory=windowed_factory,
+                parent_port=up2.port,
+                uplink_id="leaf2",
+                uplink_options=uplink_options(22),
+            )
+            await leaf1.start()
+            await leaf2.start()
+            leaf1_port = leaf1.port
+
+            site_leaves = [
+                ("s1", leaf1), ("s2", leaf1), ("s3", leaf2), ("s4", leaf2)
+            ]
+            site_proxies = {}
+            for i, (site_id, leaf) in enumerate(site_leaves):
+                proxy = FaultyTransport(
+                    leaf.port, random.Random(30 + i),
+                    duplicate=0.2, cut=0.15, max_faults=4,
+                )
+                await proxy.start()
+                site_proxies[site_id] = proxy
+            clients = {
+                site_id: make_client(site_id, proxy.port, seed=40 + i)
+                for i, (site_id, proxy) in enumerate(site_proxies.items())
+            }
+
+            async def feed_bucket(bucket: int) -> None:
+                """One bucket's worth of traffic: observe per site, ship
+                every hop, and mirror the trace into both truth engines."""
+                trace = bucket_trace(rng, bucket, 10, list(clients))
+                merged = sorted(
+                    (pair for pairs in trace.values() for pair in pairs),
+                    key=lambda pair: pair[1],
+                )
+                for update, at in merged:
+                    driver.observe(update, at=at)
+                    alltime.process(update)
+                for site_id, pairs in trace.items():
+                    for update, at in pairs:
+                        clients[site_id].observe(update, at)
+                    await clients[site_id].ship()
+                await leaf1.ship_upstream()
+                await leaf2.ship_upstream()
+
+            # Buckets 1-3 flow through the intact tree; compare at each
+            # closing boundary.
+            for bucket in (1, 2, 3):
+                await feed_bucket(bucket)
+                boundary = bucket * WIDTH
+                driver.advance_to(boundary)
+                assert_root_matches_driver(root, flat, boundary)
+
+            # Bucket 4 reaches leaf1 but dies with it: the deltas applied
+            # after its last checkpoint-cut are lost, and the restored
+            # (windowed) leaf re-syncs them from the sites' retained
+            # tails — window stamps intact.
+            trace = bucket_trace(rng, 4, 10, ["s1", "s2"])
+            for update, at in sorted(
+                (pair for pairs in trace.values() for pair in pairs),
+                key=lambda pair: pair[1],
+            ):
+                driver.observe(update, at=at)
+                alltime.process(update)
+            for site_id, pairs in trace.items():
+                for update, at in pairs:
+                    clients[site_id].observe(update, at)
+                await clients[site_id].ship()
+            await leaf1.stop()
+            leaf1 = CoordinatorServer.restore(
+                leaf1_dir,
+                port=leaf1_port,
+                parent_port=up1.port,
+                uplink_id="leaf1",
+                uplink_options=uplink_options(23),
+            )
+            assert leaf1.uplink.site.incarnation  # restored, not fresh
+            assert leaf1.coordinator.is_windowed
+            await leaf1.start()
+            for site_id in ("s1", "s2"):
+                await clients[site_id].connect()  # re-sync the lost tail
+            await leaf1.ship_upstream()
+            driver.advance_to(4 * WIDTH)
+            assert_root_matches_driver(root, flat, 4 * WIDTH)
+
+            # Buckets 5-6 roll the window: by bucket 6 the root has
+            # expired buckets 1-2, federated and flat paths alike.
+            for bucket in (5, 6):
+                await feed_bucket(bucket)
+                boundary = bucket * WIDTH
+                driver.advance_to(boundary)
+                assert_root_matches_driver(root, flat, boundary)
+            fold = root.coordinator.fold_engine
+            assert fold.window_stats().buckets_expired > 0
+
+            # The all-time synopsis is untouched by expiry on every path.
+            alltime.flush()
+            for name in STREAMS:
+                assert np.array_equal(
+                    fold.family(name).counters,
+                    alltime.family(name).counters,
+                ), name
+
+            # The faults were real.
+            injected = sum(
+                p.faults_injected
+                for p in [up1, up2, *site_proxies.values()]
+            )
+            assert injected > 0
+
+            for client in clients.values():
+                await client.close()
+            for proxy in [up1, up2, *site_proxies.values()]:
+                await proxy.stop()
+            await leaf1.stop()
+            await leaf2.stop()
+            await root.stop()
+
+        run(scenario())

@@ -599,3 +599,91 @@ class TestZeroCopyBlobs:
             coordinator.families()["A"].to_bytes()
             == reference.families()["A"].to_bytes()
         )
+
+
+class TestWindowStamps:
+    """The ``window_at`` export stamp: cut-time watermark carried from a
+    windowed shipping site to windowed fold points (and over the wire)."""
+
+    @staticmethod
+    def _windowed_site(site_id="w"):
+        return StreamSite(
+            site_id,
+            SPEC,
+            engine=StreamEngine(SPEC, window_span=10.0, bucket_width=2.0),
+        )
+
+    def test_windowed_site_auto_stamps_exports(self):
+        site = self._windowed_site()
+        site.observe(Update("A", 1, 1), at=3.5)
+        export = site.export()
+        assert export.window_at == 3.5
+        # explicit stamps win; NaN is rejected
+        site.observe(Update("A", 2, 1), at=4.0)
+        assert site.export(window_at=4.25).window_at == 4.25
+        with pytest.raises(ValueError):
+            site.export(window_at=float("nan"))
+
+    def test_unwindowed_site_ships_unstamped(self):
+        site = StreamSite("s", SPEC)
+        site.observe(Update("A", 1, 1))
+        assert site.export().window_at is None
+
+    def test_coalesce_keeps_equal_stamps_and_rejects_mixed(self):
+        site = self._windowed_site()
+        exports = []
+        for element in (1, 2):
+            site.observe(Update("A", element, 1), at=1.0)
+            exports.append(site.export())
+        batch = coalesce_exports(exports, SPEC)
+        assert batch.window_at == 1.0
+
+        site.observe(Update("A", 3, 1), at=5.0)  # a later bucket
+        exports.append(site.export())
+        with pytest.raises(ValueError, match="window watermarks"):
+            coalesce_exports(exports, SPEC)
+
+    def test_stamp_survives_the_wire_and_state_roundtrip(self):
+        site = self._windowed_site()
+        site.observe(Update("A", 1, 1), at=7.0)
+        export = site.export()
+        header, blobs = protocol.delta_message(export)
+        rebuilt = protocol.export_from_message(header, blobs)
+        assert rebuilt.window_at == 7.0
+
+        unstamped = StreamSite("s", SPEC)
+        unstamped.observe(Update("A", 1, 1))
+        header, blobs = protocol.delta_message(unstamped.export())
+        assert "window_at" not in header
+        assert protocol.export_from_message(header, blobs).window_at is None
+
+        restored = StreamSite.from_state(site.to_state(), SPEC)
+        [retained] = restored.exports_after(0)
+        assert retained.window_at == 7.0
+
+    def test_wire_rejects_malformed_stamps(self):
+        site = self._windowed_site()
+        site.observe(Update("A", 1, 1), at=1.0)
+        header, blobs = protocol.delta_message(site.export())
+        for bad in (float("nan"), True, "soon"):
+            corrupted = dict(header, window_at=bad)
+            with pytest.raises(protocol.ProtocolError):
+                protocol.export_from_message(corrupted, blobs)
+
+    def test_windowed_fold_routes_delta_into_its_bucket(self):
+        engine = StreamEngine(SPEC, window_span=10.0, bucket_width=2.0)
+        coordinator = Coordinator(SPEC, engine=engine)
+        site = self._windowed_site()
+        site.observe(Update("A", 1, 1), at=1.0)
+        coordinator.collect(site.export())
+        site.observe(Update("A", 2, 1), at=15.0)
+        coordinator.collect(site.export())
+        # clock 15: bucket 1 ((0,2]) expired at root, so only element 2
+        # remains in-window; the all-time fold keeps both.
+        windowed = engine.window_family("A")
+        lone = SPEC.build()
+        lone.update_batch(np.array([2]))
+        assert windowed.to_bytes() == lone.to_bytes()
+        both = SPEC.build()
+        both.update_batch(np.array([1, 2]))
+        assert engine.family("A").to_bytes() == both.to_bytes()

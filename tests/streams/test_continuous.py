@@ -138,3 +138,129 @@ class TestAlerts:
         assert query.latest.value > 1500
         feed(processor, "A", elements[:2000], delta=-1)
         assert query.latest.value < 1500
+
+
+class TestEdgeTriggeredAlerts:
+    """Regression suite for the alert storm: a sustained breach pages on
+    the rising edge only, unless periodic re-pages are opted into."""
+
+    @staticmethod
+    def _standing(threshold=10.0, realert_every=None):
+        from repro.expr.parser import parse
+        from repro.streams.continuous import StandingQuery
+
+        return StandingQuery(
+            name="q",
+            expression=parse("A"),
+            epsilon=0.1,
+            every=1,
+            threshold=threshold,
+            on_alert=None,
+            realert_every=realert_every,
+        )
+
+    @staticmethod
+    def _obs(value, at=0):
+        from types import SimpleNamespace
+
+        from repro.streams.continuous import Observation
+
+        return Observation(at_update=at, estimate=SimpleNamespace(value=value))
+
+    def test_sustained_breach_fires_exactly_once(self):
+        query = self._standing(threshold=10.0)
+        fired = [query.record(self._obs(v)) for v in (5, 20, 25, 30, 40, 50)]
+        assert fired == [False, True, False, False, False, False]
+        assert len(query.alerts) == 1
+        assert len(query.history) == 6
+
+    def test_rearms_after_clearing(self):
+        query = self._standing(threshold=10.0)
+        fired = [query.record(self._obs(v)) for v in (20, 5, 30, 30, 5, 11)]
+        assert fired == [True, False, True, False, False, True]
+        assert len(query.alerts) == 3
+
+    def test_realert_every_periodic_repage(self):
+        query = self._standing(threshold=10.0, realert_every=3)
+        fired = [query.record(self._obs(20)) for _ in range(7)]
+        # breach run 1 (edge), then every 3rd after: runs 4 and 7
+        assert fired == [True, False, False, True, False, False, True]
+        assert len(query.alerts) == 3
+
+    def test_realert_every_one_restores_per_evaluation_alerts(self):
+        query = self._standing(threshold=10.0, realert_every=1)
+        fired = [query.record(self._obs(20)) for _ in range(4)]
+        assert fired == [True, True, True, True]
+
+    def test_realert_every_validation(self):
+        processor = make_processor()
+        with pytest.raises(ValueError):
+            processor.register("q", "A", threshold=1.0, realert_every=0)
+
+    def test_processor_does_not_storm_on_sustained_breach(self):
+        """End to end: a stream that stays far above threshold for many
+        evaluation ticks produces exactly one page."""
+        processor = make_processor(num_sketches=128)
+        fired = []
+        query = processor.register(
+            "storm",
+            "A",
+            every=100,
+            epsilon=0.2,
+            threshold=300,
+            on_alert=lambda q, o: fired.append(o.value),
+        )
+        rng = np.random.default_rng(77)
+        elements = rng.choice(2**20, size=2000, replace=False)
+        feed(processor, "A", elements)
+        assert len(query.history) == 20  # evaluated every 100 updates
+        assert len(fired) == 1
+        assert len(query.alerts) == 1
+        # clearing the condition re-arms the edge detector
+        feed(processor, "A", elements, delta=-1)
+        assert not query.currently_breached
+        feed(processor, "A", elements)
+        assert len(fired) == 2
+
+    def test_windowed_standing_query_clears_as_cohort_ages_out(self):
+        """A windowed standing query breaches during a burst, clears on
+        its own once the burst ages out of the window, and pages again on
+        the next burst — two alerts, no storm."""
+        engine = StreamEngine(
+            SketchSpec(num_sketches=128, shape=SHAPE, seed=5),
+            window_span=10.0,
+            bucket_width=5.0,
+        )
+        processor = ContinuousQueryProcessor(engine)
+        fired = []
+        query = processor.register(
+            "burst",
+            "A",
+            every=100,
+            epsilon=0.2,
+            threshold=300,
+            window=10.0,
+            on_alert=lambda q, o: fired.append(o.value),
+        )
+        rng = np.random.default_rng(78)
+        elements = rng.choice(2**20, size=1000, replace=False)
+        # burst 1: 500 distinct elements around t = 1
+        for element in elements[:500]:
+            processor.observe(Update("A", int(element), 1), at=1.0)
+        assert len(fired) == 1  # breached, paged once
+        # sparse phase: few distinct elements while the burst ages out
+        for step in range(200):
+            processor.observe(
+                Update("A", 1 + step % 5, 1), at=12.0 + step * 0.05
+            )
+        assert not query.currently_breached  # cleared without deletions
+        # burst 2: new elements at t = 23 -> a fresh rising edge
+        for element in elements[500:]:
+            processor.observe(Update("A", int(element), 1), at=23.0)
+        assert len(fired) == 2
+        assert len(query.alerts) == 2
+
+    def test_windowed_query_needs_windowed_engine(self):
+        processor = make_processor()
+        with pytest.raises(ValueError):
+            processor.register("q", "A", window=5.0)

@@ -328,3 +328,46 @@ class TestFamilyDelta:
         families = engine.families()
         assert sorted(families) == ["A", "B"]
         assert families["A"] is engine.family("A")
+
+
+class TestEngineBackedFoldFreshness:
+    """Regression: an engine-backed coordinator used to serve a *stale*
+    cached estimate after a second collect, because ``merge_delta`` folds
+    counters without advancing the engine's updates-processed position.
+    The mutation epoch now invalidates those entries."""
+
+    def test_second_collect_invalidates_cached_estimate(self):
+        engine = StreamEngine(SPEC)
+        coordinator = Coordinator(SPEC, engine=engine)
+        site = StreamSite("s", SPEC)
+        site.observe_many(insertions("A", range(500)))
+        coordinator.collect_from(site)
+        first = coordinator.query_union(["A"], 0.2).value
+
+        site.observe_many(insertions("A", range(500, 1000)))
+        coordinator.collect_from(site)
+        second = coordinator.query_union(["A"], 0.2).value
+        assert second != first  # grew ~2x; a stale cache returns first
+
+        fresh = StreamEngine(SPEC)
+        fresh.process_many(insertions("A", range(1000)))
+        assert second == fresh.query_union(["A"], 0.2).value
+
+    def test_windowed_fold_expiry_invalidates_cached_estimate(self):
+        """The windowed twin: a rotation that expires a non-empty bucket
+        must invalidate cached windowed estimates even though no new
+        updates were processed."""
+        engine = StreamEngine(SPEC, window_span=10.0, bucket_width=5.0)
+        coordinator = Coordinator(SPEC, engine=engine)
+        site = StreamSite("s", SPEC, engine=StreamEngine(
+            SPEC, window_span=10.0, bucket_width=5.0
+        ))
+        for element in range(200):
+            site.observe(Update("A", element, 1), at=1.0)
+        coordinator.collect(site.export())
+        before = coordinator.query_union(["A"], 0.2, window=10.0).value
+        assert before > 0
+        engine.advance_to(20.0)  # bucket 1 fully expires
+        after = coordinator.query_union(["A"], 0.2, window=10.0).value
+        assert after == 0.0
+        assert after != before

@@ -222,10 +222,12 @@ class TestContinuousBatching:
         engine = StreamEngine(SPEC)
         processor = ContinuousQueryProcessor(engine)
         fired = []
+        # realert_every=1 pages on every breaching evaluation (alerts are
+        # edge-triggered by default), so the alert log actually fills.
         processor.register(
             "alerting", "A", epsilon=0.2, every=10, threshold=0.5,
             on_alert=lambda query, observation: fired.append(observation),
-            max_history=3,
+            max_history=3, realert_every=1,
         )
         rng = np.random.default_rng(13)
         for element in rng.choice(2**18, size=80, replace=False):
