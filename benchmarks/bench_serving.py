@@ -1,0 +1,315 @@
+"""Serving bench: query latency under sustained ingest.
+
+The serving front end answers set-expression queries on the same event
+loop that folds site deltas — snapshot consistency comes from drain
+atomicity, not locks, so the question this bench answers is *what that
+costs*: p50/p99 query latency for N concurrent clients while sites keep
+shipping, and whether batching (many clients, one drain) holds the tail.
+
+The workload mounts a query server on a root coordinator
+(``CoordinatorServer(..., query_port=...)``), drives sustained ingest
+from several site clients, and runs N concurrent query clients issuing
+expression and union queries the whole time.  Every update is mirrored
+into a flat :class:`~repro.streams.engine.StreamEngine` twin; after the
+final quiesce the served answers must be **bit-identical** to the
+twin's.
+
+Gates (``--smoke`` runs a scaled-down version as a CI gate, exiting
+non-zero on violation):
+
+* zero query errors across every client;
+* every client observes **monotone non-decreasing** snapshot positions
+  (time never runs backwards for a session);
+* post-quiesce served answers bit-identical to the flat twin;
+* the plan cache parses each distinct expression text exactly once.
+
+Results (latency percentiles, queries/s, batching counters) land in
+``BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import pathlib
+import random
+import sys
+import time
+
+import numpy as np
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.distributed import StreamSite
+from repro.streams.engine import StreamEngine
+from repro.streams.net.coordinator import CoordinatorServer
+from repro.streams.net.site import SiteClient
+from repro.streams.serving import QueryClient
+from repro.streams.updates import Update
+
+SHAPE = SketchShape(domain_bits=20, num_second_level=8, independence=6)
+STREAMS = ("A", "B", "C")
+
+#: Expression texts the clients cycle through; the distinct-text count
+#: pins the parse-once gate on the plan cache.
+EXPRESSIONS = (
+    "A & B",
+    "A | B",
+    "(A - B) | C",
+    "A - C",
+    "(A & B) - C",
+)
+EPSILON = 0.2
+
+
+def percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1))
+    return ordered[index]
+
+
+async def run_serving(
+    spec: SketchSpec,
+    *,
+    num_sites: int,
+    num_clients: int,
+    rounds: int,
+    updates_per_round: int,
+    seed: int,
+) -> dict:
+    root = CoordinatorServer(spec, query_port=0)
+    await root.start()
+
+    flat = StreamEngine(spec)
+    rng = np.random.default_rng(seed)
+
+    sites = [
+        SiteClient(
+            site=StreamSite(f"site-{index}", spec),
+            port=root.port,
+            rng=random.Random(seed + 10 + index),
+        )
+        for index in range(num_sites)
+    ]
+
+    # Seed every stream before clients start so no query can race an
+    # unknown name.
+    for client in sites:
+        for stream in STREAMS:
+            update = Update(stream, int(rng.integers(0, 2**SHAPE.domain_bits)), 1)
+            client.observe(update)
+            flat.process(update)
+        await client.ship()
+
+    ingest_done = asyncio.Event()
+    total_updates = 0
+
+    async def ingest() -> None:
+        nonlocal total_updates
+        try:
+            for _ in range(rounds):
+                for client in sites:
+                    for stream in STREAMS:
+                        elements = rng.integers(
+                            0, 2**SHAPE.domain_bits, size=updates_per_round
+                        )
+                        for element in elements:
+                            update = Update(stream, int(element), 1)
+                            client.observe(update)
+                            flat.process(update)
+                        total_updates += updates_per_round
+                    await client.ship()
+                # Yield generously so parked queries drain mid-round.
+                await asyncio.sleep(0)
+        finally:
+            ingest_done.set()
+
+    async def query_client(offset: int) -> dict:
+        latencies: list[float] = []
+        errors = 0
+        regressions = 0
+        answered = 0
+        last_position = (-1, -1)
+        async with QueryClient("127.0.0.1", root.query_port) as client:
+            while not ingest_done.is_set():
+                text = EXPRESSIONS[(offset + answered) % len(EXPRESSIONS)]
+                started = time.perf_counter()
+                try:
+                    if (offset + answered) % 7 == 6:
+                        await client.query_union(list(STREAMS), EPSILON)
+                    else:
+                        await client.query(text, EPSILON)
+                except Exception:
+                    errors += 1
+                else:
+                    latencies.append(time.perf_counter() - started)
+                    if client.last_position < last_position:
+                        regressions += 1
+                    last_position = client.last_position
+                answered += 1
+        return {
+            "latencies": latencies,
+            "errors": errors,
+            "position_regressions": regressions,
+        }
+
+    started = time.perf_counter()
+    outcomes = await asyncio.gather(
+        ingest(), *(query_client(index) for index in range(num_clients))
+    )
+    elapsed = time.perf_counter() - started
+    client_outcomes = outcomes[1:]
+
+    # Quiesce: drain every site's retained tail, then the served answers
+    # must be bit-identical to the flat twin's.
+    for client in sites:
+        await client.ship()
+        await client.close()
+    divergences = 0
+    async with QueryClient("127.0.0.1", root.query_port) as client:
+        for text in EXPRESSIONS:
+            if await client.query(text, EPSILON) != flat.query(text, EPSILON):
+                divergences += 1
+        if await client.query_union(list(STREAMS), EPSILON) != flat.query_union(
+            list(STREAMS), EPSILON
+        ):
+            divergences += 1
+
+    server = root.query_server
+    serving_stats = server.stats()
+    tenant_stats = next(iter(serving_stats.values()))
+    plan_parses = server.plans.parses
+    plan_hits = server.plans.hits
+    drains = server.drains
+    batched_drains = server.batched_drains
+    await root.stop()
+
+    latencies = [
+        sample
+        for outcome in client_outcomes
+        for sample in outcome["latencies"]
+    ]
+    queries = len(latencies)
+    return {
+        "updates": total_updates,
+        "queries_answered": queries,
+        "query_errors": sum(o["errors"] for o in client_outcomes),
+        "position_regressions": sum(
+            o["position_regressions"] for o in client_outcomes
+        ),
+        "latency_p50_ms": percentile(latencies, 50) * 1000,
+        "latency_p99_ms": percentile(latencies, 99) * 1000,
+        "latency_max_ms": (max(latencies) if latencies else float("nan")) * 1000,
+        "queries_per_second": queries / elapsed if elapsed else 0.0,
+        "updates_per_second": total_updates / elapsed if elapsed else 0.0,
+        "elapsed_seconds": elapsed,
+        "drains": drains,
+        "batched_drains": batched_drains,
+        "batched_queries": tenant_stats.batched_queries,
+        "plan_parses": plan_parses,
+        "plan_hits": plan_hits,
+        "quiesced_divergences": divergences,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--sites", type=int, default=2)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--rounds", type=int, default=10)
+    parser.add_argument("--updates-per-round", type=int, default=200)
+    parser.add_argument("--sketches", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("BENCH_serving.json")
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.sites, args.clients, args.rounds = 2, 4, 4
+        args.updates_per_round, args.sketches = 64, 48
+
+    spec = SketchSpec(num_sketches=args.sketches, shape=SHAPE, seed=5)
+    print(
+        f"spec: r={args.sketches}; {args.clients} query clients over "
+        f"{args.sites} ingesting sites, {args.rounds} rounds"
+    )
+    result = asyncio.run(
+        run_serving(
+            spec,
+            num_sites=args.sites,
+            num_clients=args.clients,
+            rounds=args.rounds,
+            updates_per_round=args.updates_per_round,
+            seed=args.seed,
+        )
+    )
+    print(
+        f"{result['queries_answered']} queries during "
+        f"{result['updates']:,} updates: p50 "
+        f"{result['latency_p50_ms']:.2f} ms, p99 "
+        f"{result['latency_p99_ms']:.2f} ms, "
+        f"{result['queries_per_second']:,.0f} q/s alongside "
+        f"{result['updates_per_second']:,.0f} updates/s"
+    )
+    print(
+        f"batching: {result['batched_drains']}/{result['drains']} drains "
+        f"multi-request, {result['batched_queries']} queries shared a "
+        f"snapshot; plan cache {result['plan_parses']} parses / "
+        f"{result['plan_hits']} hits"
+    )
+
+    payload = {
+        "workload": {
+            "sites": args.sites,
+            "query_clients": args.clients,
+            "rounds": args.rounds,
+            "updates_per_round_per_stream": args.updates_per_round,
+            "streams": list(STREAMS),
+            "expressions": list(EXPRESSIONS),
+            "epsilon": EPSILON,
+            "num_sketches": args.sketches,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "result": result,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if result["queries_answered"] == 0:
+        failures.append("no queries were answered during ingest")
+    if result["query_errors"]:
+        failures.append(f"{result['query_errors']} query errors")
+    if result["position_regressions"]:
+        failures.append(
+            f"{result['position_regressions']} snapshot positions ran "
+            "backwards"
+        )
+    if result["quiesced_divergences"]:
+        failures.append(
+            f"{result['quiesced_divergences']} served answers diverged "
+            "from the flat twin after quiesce"
+        )
+    # EXPRESSIONS plus the quiesce pass re-issuing the same texts: every
+    # distinct text parses exactly once, ever.
+    if result["plan_parses"] != len(EXPRESSIONS):
+        failures.append(
+            f"plan cache parsed {result['plan_parses']} times for "
+            f"{len(EXPRESSIONS)} distinct texts"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Serving walkthrough: multi-tenant queries against a live coordinator.
+
+A coordinator folds deltas from two reporting sites while a query
+server mounted on the same event loop answers set-expression queries
+over the network — the PR-10 serving front end.  Two tenants share the
+deployment:
+
+* ``acme`` sees only streams under the ``acme_`` prefix and is
+  rate-limited to 5 expression evaluations/second;
+* ``ops`` sees every stream, unmetered.
+
+The walkthrough shows the serving contracts in action: both tenants
+issue the *same expression text* (one parse, per-namespace answers),
+every response carries a snapshot-position token, a windowed ``window=``
+pass-through is rejected typed on this unwindowed target, and driving
+``acme`` past its token budget raises a typed ``RateLimitedError`` with
+a ``retry_after`` hint — the session survives and recovers.
+
+Run:  python examples/query_client.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import numpy as np
+
+from repro import SketchShape, SketchSpec, Update
+from repro.errors import RateLimitedError
+from repro.streams.distributed import StreamSite
+from repro.streams.net.coordinator import CoordinatorServer
+from repro.streams.net.site import SiteClient
+from repro.streams.serving import QueryClient, TenantSpec
+
+QUERY = "(logins & payments) - refunds"
+
+
+async def main() -> None:
+    rng = np.random.default_rng(1007)
+    spec = SketchSpec(
+        num_sketches=256,
+        shape=SketchShape(domain_bits=24, num_second_level=16),
+        seed=31,
+    )
+
+    # One process hosts both directions: deltas fold in on the ingest
+    # port, queries are answered on the query port.
+    server = CoordinatorServer(
+        spec,
+        query_port=0,
+        query_options={
+            "tenants": [
+                TenantSpec("acme", prefix="acme_", rate=5.0),
+                TenantSpec("ops"),
+            ]
+        },
+    )
+    await server.start()
+    print(
+        f"coordinator: ingest on :{server.port}, "
+        f"queries on :{server.query_port} "
+        f"(tenants: {', '.join(server.query_server.tenant_names())})"
+    )
+
+    # -- two sites report acme's event streams -------------------------
+    users = rng.choice(2**24, size=30_000, replace=False)
+    sites = [
+        SiteClient(
+            site=StreamSite(f"site-{index}", spec),
+            port=server.port,
+            rng=random.Random(500 + index),
+        )
+        for index in range(2)
+    ]
+    for site, chunk in zip(sites, np.array_split(users, 2)):
+        for user in chunk[: len(chunk) // 2]:
+            site.observe(Update("acme_logins", int(user), 1))
+            site.observe(Update("acme_payments", int(user), 1))
+        for user in chunk[len(chunk) // 2 :]:
+            site.observe(Update("acme_logins", int(user), 1))
+        for user in chunk[:2_000]:
+            site.observe(Update("acme_refunds", int(user), 1))
+        await site.ship()
+    print("sites shipped; coordinator folded both deltas\n")
+
+    # -- tenant views ---------------------------------------------------
+    async with QueryClient(
+        "127.0.0.1", server.query_port, tenant="acme"
+    ) as acme, QueryClient(
+        "127.0.0.1", server.query_port, tenant="ops"
+    ) as ops:
+        # acme names its streams logically; the server resolves them
+        # under the acme_ prefix.
+        estimate = await acme.query(QUERY, epsilon=0.1)
+        print(
+            f"[acme] |{QUERY}| ≈ {estimate.value:,.0f} "
+            f"(snapshot position {acme.last_position})"
+        )
+
+        # ops issues the SAME text against the physical namespace —
+        # the text parses once (shared plan), the answers differ.
+        physical = QUERY.replace("logins", "acme_logins").replace(
+            "payments", "acme_payments"
+        ).replace("refunds", "acme_refunds")
+        estimate = await ops.query(physical, epsilon=0.1)
+        print(f"[ops]  |{physical}| ≈ {estimate.value:,.0f}")
+        union = await ops.query_union(
+            ["acme_logins", "acme_payments"], epsilon=0.1
+        )
+        print(f"[ops]  |logins ∪ payments| ≈ {union.value:,.0f}")
+
+        # Errors come back typed, and the session survives every one.
+        try:
+            await acme.query(QUERY, epsilon=0.1, window=60.0)
+        except ValueError as exc:
+            print(f"[acme] windowed query rejected typed: {exc}")
+
+        print("\n[acme] hammering past the 5/s budget ...")
+        answered = 0
+        try:
+            for _ in range(20):
+                await acme.query(QUERY, epsilon=0.1)
+                answered += 1
+        except RateLimitedError as exc:
+            print(
+                f"[acme] {answered} answered, then typed rate limit: "
+                f"{exc} (retry in {exc.retry_after:.2f}s)"
+            )
+            await asyncio.sleep(exc.retry_after + 0.05)
+            estimate = await acme.query(QUERY, epsilon=0.1)
+            print(
+                f"[acme] same session recovered after the hint: "
+                f"≈ {estimate.value:,.0f}"
+            )
+
+    stats = server.query_server.stats()
+    plans = server.query_server.plans
+    for name, row in sorted(stats.items()):
+        print(
+            f"tenant {name}: {row.queries} queries, "
+            f"{row.errors} errors, {row.rate_limited} rate-limited"
+        )
+    print(f"plan cache: {plans.parses} parses, {plans.hits} hits")
+
+    for site in sites:
+        await site.close()
+    await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

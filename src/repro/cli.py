@@ -122,9 +122,23 @@ def build_parser() -> argparse.ArgumentParser:
     add_window_arguments(ingest)
 
     query = subparsers.add_parser(
-        "query", help="estimate |E| from checkpointed synopses"
+        "query",
+        help="estimate |E| from checkpointed synopses or a live "
+        "query server",
     )
-    query.add_argument("--checkpoint", type=pathlib.Path, required=True)
+    query.add_argument(
+        "--checkpoint", type=pathlib.Path, default=None,
+        help="checkpoint directory to query offline (or use --server)",
+    )
+    query.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="query a live serving front end (a coordinator started "
+        "with serve --query-port) instead of a checkpoint",
+    )
+    query.add_argument(
+        "--tenant", default=None,
+        help="tenant name for --server sessions (default: public)",
+    )
     query.add_argument(
         "--expression", action="append", required=True,
         help="may be given multiple times",
@@ -132,12 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--epsilon", type=float, default=0.1)
     query.add_argument(
         "--explain", action="store_true",
-        help="also print per-subexpression estimates",
+        help="also print per-subexpression estimates (checkpoint mode "
+        "only)",
     )
     query.add_argument(
         "--window", type=float, default=None, metavar="T",
-        help="estimate over the most recent T time units (the checkpoint "
-        "must come from a windowed engine; incompatible with --explain)",
+        help="estimate over the most recent T time units (needs a "
+        "windowed engine; incompatible with --explain)",
     )
 
     plan = subparsers.add_parser(
@@ -213,6 +228,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="wire encodings accepted from v2 sites, preference first "
         "(default: sparse+zlib,sparse,dense+zlib,dense; 'dense' forces "
         "v1-style frames for every peer)",
+    )
+    serve.add_argument(
+        "--query-port", type=int, default=None,
+        help="also serve set-expression queries on this port (0 = "
+        "ephemeral); see the 'repro query --server' client",
+    )
+    serve.add_argument(
+        "--query-tenant", action="append", default=None,
+        metavar="NAME[:PREFIX[:RATE]]",
+        help="register a serving tenant (repeatable): stream-namespace "
+        "PREFIX (empty = all streams) and token-bucket RATE in "
+        "queries/s (empty = unlimited); default: one unlimited "
+        "'public' tenant",
     )
     add_window_arguments(serve)
 
@@ -385,6 +413,18 @@ def _command_query(args: argparse.Namespace) -> int:
     from repro.core.explain import explain_expression
     from repro.streams.checkpoint import restore_engine
 
+    if (args.checkpoint is None) == (args.server is None):
+        print(
+            "pass exactly one of --checkpoint (offline) or --server "
+            "(live query session)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.server is not None:
+        return _query_remote(args)
+    if args.tenant is not None:
+        print("--tenant only applies with --server", file=sys.stderr)
+        return 2
     engine = restore_engine(args.checkpoint)
     if args.window is not None:
         if args.explain:
@@ -425,6 +465,61 @@ def _command_query(args: argparse.Namespace) -> int:
                 f"{estimate.num_witnesses}/{estimate.num_valid} witnesses)"
             )
     return 0
+
+
+def _query_remote(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.streams.net.protocol import ProtocolError
+    from repro.streams.serving import DEFAULT_TENANT, QueryClient
+
+    if args.explain:
+        print("--explain needs --checkpoint (offline mode)", file=sys.stderr)
+        return 2
+    host, _, port = args.server.rpartition(":")
+    if not port.isdigit():
+        print(f"--server wants HOST:PORT, got {args.server!r}", file=sys.stderr)
+        return 2
+
+    async def run() -> int:
+        client = QueryClient(
+            host or "127.0.0.1",
+            int(port),
+            tenant=args.tenant or DEFAULT_TENANT,
+        )
+        async with client:
+            estimates = await client.query(
+                list(args.expression), args.epsilon, window=args.window
+            )
+            for expression, estimate in zip(args.expression, estimates):
+                suffix = (
+                    f" over the last {args.window:g} time units"
+                    if args.window is not None
+                    else ""
+                )
+                print(
+                    f"|{expression}| ≈ {estimate.value:,.0f}{suffix}  "
+                    f"(û={estimate.union_estimate:,.0f}, "
+                    f"{estimate.num_witnesses}/{estimate.num_valid} "
+                    f"witnesses)"
+                )
+            position = client.last_position
+            print(
+                f"answered at position {position[0]:,} updates / "
+                f"epoch {position[1]}"
+            )
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except (ReproError, ProtocolError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"query failed: {message}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {args.server}: {exc}", file=sys.stderr)
+        return 1
 
 
 def _command_plan(args: argparse.Namespace) -> int:
@@ -561,6 +656,36 @@ def _command_serve(args: argparse.Namespace) -> int:
             "uplink_every": args.uplink_every,
         }
 
+    serving_kwargs: dict = {}
+    if args.query_port is not None:
+        tenants = None
+        if args.query_tenant:
+            from repro.streams.serving import TenantSpec
+
+            tenants = []
+            for text in args.query_tenant:
+                name, _, rest = text.partition(":")
+                prefix, _, rate = rest.partition(":")
+                try:
+                    tenants.append(
+                        TenantSpec(
+                            name,
+                            prefix=prefix,
+                            rate=float(rate) if rate else None,
+                        )
+                    )
+                except ValueError as exc:
+                    print(f"bad --query-tenant {text!r}: {exc}",
+                          file=sys.stderr)
+                    return 2
+        serving_kwargs = {
+            "query_port": args.query_port,
+            "query_options": {"tenants": tenants} if tenants else None,
+        }
+    elif args.query_tenant:
+        print("--query-tenant needs --query-port", file=sys.stderr)
+        return 2
+
     async def run() -> None:
         # SIGINT/SIGTERM request a clean shutdown: final checkpoint,
         # unacked uplink exports flushed upstream, connections closed,
@@ -593,6 +718,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 engine_factory=factory,
                 encodings=encodings,
                 **uplink_kwargs,
+                **serving_kwargs,
             )
             print(f"restored coordinator state from {args.checkpoint}")
         else:
@@ -605,9 +731,16 @@ def _command_serve(args: argparse.Namespace) -> int:
                 engine_factory=engine_factory,
                 encodings=encodings,
                 **uplink_kwargs,
+                **serving_kwargs,
             )
         await server.start()
         print(f"coordinator listening on {server.host}:{server.port}")
+        if server.query_server is not None:
+            print(
+                f"query server listening on {server.host}:"
+                f"{server.query_port} (tenants: "
+                f"{', '.join(server.query_server.tenant_names())})"
+            )
         try:
             if args.max_deltas is None:
                 await stop_requested.wait()
@@ -637,6 +770,24 @@ def _command_serve(args: argparse.Namespace) -> int:
             if args.checkpoint is not None:
                 server.checkpoint()
             await server.stop()
+            if server.query_server is not None:
+                for name, serving in sorted(
+                    server.query_server.stats().items()
+                ):
+                    print(
+                        f"tenant {name}: {serving.queries} queries "
+                        f"({serving.items} expressions, "
+                        f"{serving.batched_queries} batched), "
+                        f"{serving.errors} errors "
+                        f"({serving.rate_limited} rate-limited), "
+                        f"{serving.bytes_in:,} bytes in / "
+                        f"{serving.bytes_out:,} out"
+                    )
+                plans = server.query_server.plans
+                print(
+                    f"plan cache: {plans.parses} parses, {plans.hits} "
+                    f"hits, {plans.evictions} evictions"
+                )
             for site_id, stats in sorted(server.stats().items()):
                 print(
                     f"{stats.role} {site_id}: "

@@ -18,6 +18,8 @@ __all__ = [
     "ExpressionError",
     "UnknownStreamError",
     "UnknownQueryError",
+    "UnknownTenantError",
+    "RateLimitedError",
     "DeltaSequenceError",
 ]
 
@@ -68,6 +70,25 @@ class UnknownStreamError(ReproError, KeyError):
 
 class UnknownQueryError(ReproError, KeyError):
     """A standing-query name with no registration was referenced."""
+
+
+class UnknownTenantError(ReproError, KeyError):
+    """A query named a tenant the serving front end does not know."""
+
+
+class RateLimitedError(ReproError, RuntimeError):
+    """A tenant exceeded its query-rate budget.
+
+    The serving layer answers an over-budget query immediately with this
+    typed error instead of queueing it — a slow client must never be able
+    to wedge the event loop behind a backlog of its own making.
+    ``retry_after`` is the earliest delay (seconds) after which the
+    token bucket will cover the rejected request.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class DeltaSequenceError(ReproError, ValueError):

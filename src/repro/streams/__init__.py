@@ -1,6 +1,6 @@
 """Update-stream processing substrate: data model, engine, exact store,
-sources, checkpointing, sharded parallel ingest, and the
-distributed-sites model."""
+sources, checkpointing, sharded parallel ingest, the distributed-sites
+model, and the multi-tenant query serving front end."""
 
 from repro.streams.checkpoint import (
     CheckpointError,
@@ -17,6 +17,14 @@ from repro.streams.continuous import (
 from repro.streams.distributed import Coordinator, StreamSite
 from repro.streams.engine import StreamEngine
 from repro.streams.exact import ExactStreamStore
+from repro.streams.serving import (
+    PlanCache,
+    QueryClient,
+    QueryServer,
+    ServingStats,
+    TenantSpec,
+    TokenBucket,
+)
 from repro.streams.sharded import ShardedEngine, shard_for, shard_vector
 from repro.streams.stats import IngestStats, ShardStats
 from repro.streams.sources import (
@@ -40,6 +48,12 @@ __all__ = [
     "Coordinator",
     "StreamSite",
     "StreamEngine",
+    "PlanCache",
+    "QueryClient",
+    "QueryServer",
+    "ServingStats",
+    "TenantSpec",
+    "TokenBucket",
     "ShardedEngine",
     "shard_for",
     "shard_vector",

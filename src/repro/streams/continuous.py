@@ -212,19 +212,26 @@ class ContinuousQueryProcessor:
         for callers that catch the builtin) naming the known queries
         when ``name`` was never registered.
         """
-        if name not in self._queries:
-            known = ", ".join(self.query_names()) or "<none>"
-            raise UnknownQueryError(
-                f"no standing query named {name!r}; registered queries: {known}"
-            )
-        del self._queries[name]
+        del self._queries[self._checked_name(name)]
 
     def query_names(self) -> list[str]:
         """Names of the registered standing queries."""
         return sorted(self._queries)
 
+    def _checked_name(self, name: str) -> str:
+        if name not in self._queries:
+            known = ", ".join(self.query_names()) or "<none>"
+            raise UnknownQueryError(
+                f"no standing query named {name!r}; registered queries: {known}"
+            )
+        return name
+
     def __getitem__(self, name: str) -> StandingQuery:
-        return self._queries[name]
+        """The registered query, or :class:`UnknownQueryError` (a
+        ``KeyError`` subclass) naming the registered queries — the same
+        typed error every lookup path raises, so a serving layer can map
+        it to one protocol error kind."""
+        return self._queries[self._checked_name(name)]
 
     # -- streaming ----------------------------------------------------------
 
@@ -291,8 +298,13 @@ class ContinuousQueryProcessor:
                 self._record(query, estimate, position)
 
     def evaluate_now(self, name: str) -> Observation:
-        """Force an immediate evaluation of one standing query."""
-        return self._evaluate(self._queries[name], self.engine.updates_processed)
+        """Force an immediate evaluation of one standing query.
+
+        Raises :class:`~repro.errors.UnknownQueryError` naming the
+        registered queries when ``name`` was never registered.
+        """
+        query = self._queries[self._checked_name(name)]
+        return self._evaluate(query, self.engine.updates_processed)
 
     # -- internals -------------------------------------------------------------
 

@@ -764,6 +764,65 @@ class Coordinator:
         families = [self._families[name] for name in names]
         return estimate_union(families, epsilon)
 
+    def query_many(
+        self,
+        expressions: Sequence[SetExpression | str],
+        epsilon: float = 0.1,
+        window: float | None = None,
+    ) -> list[WitnessEstimate]:
+        """Estimate many expressions in one pass over the merged synopses.
+
+        With a :class:`StreamEngine` fold target this delegates to its
+        batched :meth:`StreamEngine.query_many` (expressions over the
+        same stream set share one union estimate and one mask pass);
+        other targets fall back to per-expression :meth:`query`.  Either
+        way each answer is bit-identical to querying alone, and unknown
+        streams raise :class:`~repro.errors.UnknownStreamError` before
+        anything is evaluated.
+        """
+        self._check_windowed_query(window)
+        parsed = [
+            parse(expression) if isinstance(expression, str) else expression
+            for expression in expressions
+        ]
+        names: set[str] = set()
+        for expression in parsed:
+            names.update(expression.streams())
+        self._require_streams(names)
+        engine_many = getattr(self._engine, "query_many", None)
+        if engine_many is not None:
+            if window is not None:
+                return engine_many(parsed, epsilon, window=window)
+            return engine_many(parsed, epsilon)
+        if self._engine is not None:
+            return [
+                self.query(expression, epsilon, window=window)
+                for expression in parsed
+            ]
+        return [
+            estimate_expression(expression, self._families, epsilon)
+            for expression in parsed
+        ]
+
+    @property
+    def snapshot_position(self) -> tuple[int, int]:
+        """A monotone snapshot token for the merged view.
+
+        With a :class:`StreamEngine` fold target this is the engine's
+        own ``(updates_processed, mutation_epoch)`` pair; otherwise a
+        coordinator-level surrogate that advances with every applied
+        collect, so two queries answered at the same position saw the
+        same merged synopses.
+        """
+        position = getattr(self._engine, "snapshot_position", None)
+        if position is not None:
+            return tuple(position)
+        if self._engine is not None:
+            processed = getattr(self._engine, "updates_processed", 0)
+            merged = getattr(self._engine, "deltas_merged", 0)
+            return (processed + merged, 0)
+        return (self._collects_applied, 0)
+
     def to_engine(self, batch_size: int = 4096) -> StreamEngine:
         """Hand the merged global synopses to a live engine.
 

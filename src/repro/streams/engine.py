@@ -580,6 +580,19 @@ class StreamEngine:
     def updates_processed(self) -> int:
         return self._updates_processed
 
+    @property
+    def snapshot_position(self) -> tuple[int, int]:
+        """The ``(updates_processed, mutation_epoch)`` snapshot token.
+
+        Two reads at the same position are guaranteed to observe the
+        same synopsis state: every mutation — an ingested update, a
+        folded delta, a non-empty window expiry — advances one of the
+        components.  The serving layer stamps each answered query batch
+        with this token so clients can reason about read consistency
+        without the engine ever locking out ingest.
+        """
+        return self._position()
+
     def stream_names(self) -> list[str]:
         """Streams with a registered synopsis or buffered updates."""
         return sorted(set(self._families) | set(self._buffers))

@@ -124,6 +124,12 @@ class CoordinatorServer:
         back in the welcome; v1 hellos (no ``encodings`` field) get a
         v1-shaped welcome and plain dense frames.  Pass
         ``codec.DENSE_ONLY`` to force dense for every peer.
+    query_port:
+        Mount a :class:`~repro.streams.serving.QueryServer` on this
+        port (0 = ephemeral), serving set-expression queries over the
+        coordinator's merged synopses while ingest keeps running.
+        ``query_options`` forwards keyword arguments (tenants, rate
+        limits, ``batch_window``) to the query server.
     """
 
     def __init__(
@@ -144,6 +150,8 @@ class CoordinatorServer:
         uplink_options: dict | None = None,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         encodings: tuple = codec.PREFERRED_ENCODINGS,
+        query_port: int | None = None,
+        query_options: dict | None = None,
     ) -> None:
         if coordinator is None:
             if spec is None:
@@ -201,6 +209,21 @@ class CoordinatorServer:
             )
         elif uplink_site is not None or uplink_id is not None:
             raise ValueError("uplink_id/uplink_site need a parent_port")
+        # -- serving front end (query sessions) --
+        self._query_server = None
+        if query_port is not None:
+            # Imported lazily: serving builds on this module's protocol
+            # but the ingest path must not depend on the serving layer.
+            from repro.streams.serving import QueryServer
+
+            self._query_server = QueryServer(
+                self.coordinator,
+                host=host,
+                port=query_port,
+                **(query_options or {}),
+            )
+        elif query_options is not None:
+            raise ValueError("query_options need a query_port")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -291,6 +314,8 @@ class CoordinatorServer:
             self._handle_connection, self._host, self._port
         )
         self._port = self._server.sockets[0].getsockname()[1]
+        if self._query_server is not None:
+            await self._query_server.start()
 
     async def stop(self) -> None:
         """Stop accepting, drop live connections, and close the server.
@@ -315,6 +340,8 @@ class CoordinatorServer:
         self._uplink_tasks.clear()
         if self._uplink is not None:
             await self._uplink.close()
+        if self._query_server is not None:
+            await self._query_server.stop()
 
     async def __aenter__(self) -> "CoordinatorServer":
         await self.start()
@@ -331,6 +358,19 @@ class CoordinatorServer:
     def port(self) -> int:
         """The bound port (resolved after :meth:`start` when ``port=0``)."""
         return self._port
+
+    @property
+    def query_server(self):
+        """The mounted :class:`~repro.streams.serving.QueryServer`
+        (``None`` unless constructed with ``query_port=``)."""
+        return self._query_server
+
+    @property
+    def query_port(self) -> int | None:
+        """The serving front end's bound port (``None`` when unmounted)."""
+        if self._query_server is None:
+            return None
+        return self._query_server.port
 
     # -- introspection -----------------------------------------------------
 
@@ -534,6 +574,18 @@ class CoordinatorServer:
         if role not in protocol.ROLES:
             raise protocol.ProtocolError(
                 f"hello role {role!r} not one of {protocol.ROLES}"
+            )
+        if role == "query":
+            # A query client dialled the ingest port.  Fail loudly with
+            # a pointer instead of waiting forever for deltas that will
+            # never come.
+            where = (
+                f"the query port ({self._query_server.port})"
+                if self._query_server is not None
+                else "a coordinator started with query_port="
+            )
+            raise protocol.ProtocolError(
+                f"this is the delta-ingest port; query sessions connect to {where}"
             )
         # -- v2 negotiation.  A v1 hello carries neither field; the
         # welcome then answers without them and the session stays dense

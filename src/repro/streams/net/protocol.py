@@ -51,6 +51,28 @@ Message types
             re-ships from ``sequence``.
 ``error``   (either direction): ``message``; the connection closes.
 
+Query-session messages (client → query server on the coordinator's
+``query_port``; the handshake is the same hello/welcome, with
+``role: "query"``):
+
+``query``        ``id`` (client-chosen request id echoed in the
+                 answer), ``tenant``, exactly one of ``expressions``
+                 (set-expression texts) or ``streams`` (a plain union),
+                 ``epsilon``, optional ``window``.
+``query_result`` ``id``, ``kind`` (``"expression"``/``"union"``),
+                 ``results`` (one estimate object per input), and
+                 ``position`` — the engine's
+                 ``(updates_processed, mutation_epoch)`` snapshot token
+                 the whole batch was answered at.
+``query_error``  ``id`` (``-1`` when the request id could not be
+                 parsed), ``error`` (a machine-readable kind, e.g.
+                 ``"unknown-stream"``/``"rate-limited"``), ``message``,
+                 plus kind-specific payload fields (``unknown``/
+                 ``known`` name lists, ``retry_after``).  Unlike the
+                 ingest ``error`` frame this does **not** close the
+                 connection — framing is length-prefixed, so a bad
+                 request never corrupts the stream.
+
 All integers are big-endian.  Frames above ``max_bytes`` (default
 64 MiB) are rejected before allocation — a garbage length prefix cannot
 make either endpoint swallow gigabytes.
@@ -69,6 +91,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.errors import ReproError
@@ -92,6 +115,12 @@ __all__ = [
     "ack_message",
     "error_message",
     "export_from_message",
+    "MAX_QUERY_ITEMS",
+    "QueryRequest",
+    "query_message",
+    "query_result_message",
+    "query_error_message",
+    "query_from_message",
 ]
 
 PROTOCOL_VERSION = 2
@@ -208,10 +237,15 @@ async def read_message(
 
 #: Valid values for the hello ``role`` field.  ``"site"`` is a leaf
 #: observer; ``"uplink"`` is a child *coordinator* re-exporting its
-#: aggregated deltas up a federation tree.  The fold path is identical
-#: either way (deltas are deltas); the role only feeds transport stats
-#: and diagnostics, so version 1 peers that omit it stay compatible.
-ROLES = ("site", "uplink")
+#: aggregated deltas up a federation tree; ``"query"`` opens a
+#: query session against the serving front end
+#: (:mod:`repro.streams.serving`) — the ingest port refuses it with a
+#: pointer at the query port, so a misconfigured client fails loudly
+#: instead of shipping garbage deltas.  For the ingest roles the fold
+#: path is identical (deltas are deltas); the role only feeds transport
+#: stats and diagnostics, so version 1 peers that omit it stay
+#: compatible.
+ROLES = ("site", "uplink", "query")
 
 
 def hello_message(
@@ -389,4 +423,169 @@ def export_from_message(header: dict, blobs: Sequence[bytes]) -> DeltaExport:
         first_sequence=first_sequence,
         encodings=encodings,
         window_at=window_at,
+    )
+
+
+# -- query messages -----------------------------------------------------------
+
+
+#: Most expressions (or union stream names) one query frame may carry.
+#: Queries are evaluated synchronously on the server's event loop, so an
+#: unbounded batch would let a single frame stall every other session.
+MAX_QUERY_ITEMS = 64
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One validated ``query`` message.
+
+    ``kind`` is ``"expression"`` (``items`` are set-expression texts)
+    or ``"union"`` (``items`` are stream names for a plain distinct-
+    union estimate).  ``window`` is ``None`` for an all-time query.
+    """
+
+    id: int
+    tenant: str
+    kind: str
+    items: tuple[str, ...]
+    epsilon: float
+    window: float | None = None
+
+
+def query_message(
+    request_id: int,
+    tenant: str,
+    *,
+    expressions: Sequence[str] | None = None,
+    streams: Sequence[str] | None = None,
+    epsilon: float = 0.1,
+    window: float | None = None,
+) -> dict:
+    """A query frame: exactly one of ``expressions`` or ``streams``."""
+    if (expressions is None) == (streams is None):
+        raise ValueError("pass exactly one of expressions= or streams=")
+    header = {
+        "type": "query",
+        "id": int(request_id),
+        "tenant": tenant,
+        "epsilon": float(epsilon),
+    }
+    if expressions is not None:
+        header["expressions"] = list(expressions)
+    else:
+        header["streams"] = list(streams)
+    if window is not None:
+        header["window"] = float(window)
+    return header
+
+
+def query_result_message(
+    request_id: int,
+    kind: str,
+    results: Sequence[dict],
+    position: Sequence[int],
+) -> dict:
+    """The answer to one query frame; ``results`` align with its items.
+
+    ``position`` is the serving target's snapshot token — every result
+    in the frame (and every other frame answered in the same drain) was
+    computed against exactly this engine state.
+    """
+    return {
+        "type": "query_result",
+        "id": int(request_id),
+        "kind": kind,
+        "results": list(results),
+        "position": list(position),
+    }
+
+
+def query_error_message(
+    request_id: int,
+    kind: str,
+    message: str,
+    *,
+    details: dict | None = None,
+) -> dict:
+    """A typed per-request failure; the connection stays open.
+
+    ``kind`` is machine-readable (see
+    :data:`repro.streams.serving.QUERY_ERROR_KINDS`); ``details``
+    carries kind-specific payload fields such as the ``unknown``/
+    ``known`` name lists of an unknown-stream error or the
+    ``retry_after`` hint of a rate limit.
+    """
+    header = {
+        "type": "query_error",
+        "id": int(request_id),
+        "error": kind,
+        "message": message,
+    }
+    for key, value in (details or {}).items():
+        if key in header:
+            raise ValueError(f"details must not override the {key!r} field")
+        header[key] = value
+    return header
+
+
+def _query_number(header: dict, field: str) -> float | None:
+    value = header.get(field, None)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"query {field} must be a number when present")
+    value = float(value)
+    if value != value:  # NaN (JSON parsers that admit NaN literals)
+        raise ProtocolError(f"query {field} must not be NaN")
+    return value
+
+
+def query_from_message(header: dict) -> QueryRequest:
+    """Validate a decoded ``query`` header strictly.
+
+    Structural violations raise :class:`ProtocolError` (the frame is
+    malformed); *semantic* problems — unknown tenant or stream names,
+    out-of-range epsilon, rate limits — are the serving layer's job and
+    come back as typed ``query_error`` frames instead.
+    """
+    if header.get("type") != "query":
+        raise ProtocolError(
+            f"expected a query message, got {header.get('type')!r}"
+        )
+    request_id = header.get("id")
+    if isinstance(request_id, bool) or not isinstance(request_id, int):
+        raise ProtocolError("query id must be an integer")
+    if request_id < 0:
+        raise ProtocolError("query id must be non-negative")
+    tenant = header.get("tenant")
+    if not isinstance(tenant, str) or not tenant:
+        raise ProtocolError("query tenant must be a non-empty string")
+    expressions = header.get("expressions", None)
+    streams = header.get("streams", None)
+    if (expressions is None) == (streams is None):
+        raise ProtocolError(
+            "query must carry exactly one of 'expressions' or 'streams'"
+        )
+    kind = "expression" if expressions is not None else "union"
+    items = expressions if expressions is not None else streams
+    if not isinstance(items, list) or not items:
+        raise ProtocolError("query items must be a non-empty list")
+    if len(items) > MAX_QUERY_ITEMS:
+        raise ProtocolError(
+            f"query carries {len(items)} items; at most "
+            f"{MAX_QUERY_ITEMS} per frame"
+        )
+    if any(not isinstance(item, str) or not item for item in items):
+        raise ProtocolError("query items must be non-empty strings")
+    epsilon = _query_number(header, "epsilon")
+    if epsilon is None:
+        raise ProtocolError("query must carry an epsilon")
+    window = _query_number(header, "window")
+    return QueryRequest(
+        id=request_id,
+        tenant=tenant,
+        kind=kind,
+        items=tuple(items),
+        epsilon=epsilon,
+        window=window,
     )

@@ -58,6 +58,31 @@ class TestRegistration:
             processor.unregister("nope")
         assert processor.query_names() == ["cpu"]
 
+    def test_getitem_unknown_name_raises_typed_error(self):
+        """Every lookup path raises the typed error — a serving layer
+        maps it to one protocol error kind (ISSUE-10 audit)."""
+        processor = make_processor()
+        processor.register("cpu", "A", every=10)
+        with pytest.raises(UnknownQueryError, match="'nope'"):
+            processor["nope"]
+        with pytest.raises(ReproError, match="cpu"):
+            processor["nope"]
+        with pytest.raises(KeyError):
+            processor["nope"]
+        assert processor["cpu"].name == "cpu"
+
+    def test_evaluate_now_unknown_name_raises_typed_error(self):
+        processor = make_processor()
+        processor.register("cpu", "A", every=10)
+        feed(processor, "A", range(50))
+        with pytest.raises(UnknownQueryError, match="'nope'"):
+            processor.evaluate_now("nope")
+        with pytest.raises(ReproError, match="cpu"):
+            processor.evaluate_now("nope")
+        # The typed error did not disturb the registered query.
+        observation = processor.evaluate_now("cpu")
+        assert observation.at_update == 50
+
     def test_validation(self):
         processor = make_processor()
         with pytest.raises(ValueError):

@@ -1,0 +1,199 @@
+"""Prefix-consistency fuzz for the serving front end.
+
+The server's consistency claim: every served answer describes *some*
+engine state that actually existed — the one its ``position`` snapshot
+token names — never a torn read straddling a half-applied ingest batch
+or a window expiry.  The fuzz drives a seeded schedule of ingest
+batches, watermark advances (bucket expiries included), and concurrent
+client queries over a **windowed** engine, recording the engine's
+ground-truth answers immediately after every mutation.  A served answer
+must then be bit-identical to the recorded answers at its reported
+position; a position nobody recorded, or a value differing from the
+recorded one, is a torn read.
+
+The windowed queries deliberately straddle bucket expiries: the
+schedule advances the watermark far enough mid-run that earlier buckets
+fall out of the window while queries are in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.streams.engine import StreamEngine
+from repro.streams.serving import QueryClient, QueryServer
+from repro.streams.updates import Update
+
+SHAPE = SketchShape(domain_bits=14, num_second_level=8, independence=4)
+SPEC = SketchSpec(num_sketches=16, shape=SHAPE, seed=23)
+
+WINDOW_SPAN = 8.0
+BUCKET_WIDTH = 2.0
+STREAMS = "ABC"
+EPSILON = 0.25
+
+#: (expression text, window) pairs every consistency check evaluates.
+#: The windowed entries are the ones a bucket expiry can change without
+#: any update being processed — exactly the reads a torn fold would
+#: corrupt first.
+PROBES = [
+    ("A & B", None),
+    ("(A - B) | C", None),
+    ("A & B", 4.0),
+    ("A | C", WINDOW_SPAN),
+]
+
+FAST_SEEDS = [101, 202, 303]
+SLOW_SEEDS = [404, 505, 606, 707, 808]
+
+TIMEOUT = 60.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+def ground_truth(engine: StreamEngine) -> list:
+    return [
+        engine.query(text, EPSILON, window=window)
+        for text, window in PROBES
+    ]
+
+
+async def fuzz_schedule(seed: int) -> None:
+    rng = random.Random(seed)
+    engine = StreamEngine(
+        SPEC, window_span=WINDOW_SPAN, bucket_width=BUCKET_WIDTH
+    )
+    clock = 0.0
+
+    # Seed every stream so no probe hits an unknown name.
+    for stream in STREAMS:
+        engine.observe(Update(stream, rng.randrange(1, 4000), 1), clock)
+
+    # position -> the engine's own answers, recorded synchronously
+    # right after the mutation that created that position.
+    expected: dict[tuple[int, int], list] = {}
+
+    def record() -> None:
+        expected[tuple(engine.snapshot_position)] = ground_truth(engine)
+
+    record()
+
+    async with QueryServer(engine) as server:
+        mutations_done = asyncio.Event()
+        served = 0
+
+        async def mutate() -> None:
+            nonlocal clock
+            try:
+                for _ in range(30):
+                    op = rng.random()
+                    if op < 0.7:
+                        batch = []
+                        for _ in range(rng.randrange(1, 12)):
+                            # Timestamps must be monotone (the engine's
+                            # default clock_policy is "raise").
+                            clock += rng.random() * BUCKET_WIDTH * 0.1
+                            batch.append(
+                                (
+                                    Update(
+                                        rng.choice(STREAMS),
+                                        rng.randrange(1, 4000),
+                                        1,
+                                    ),
+                                    clock,
+                                )
+                            )
+                        engine.observe_many(batch)
+                    else:
+                        # Jump the watermark: expires whole buckets, so
+                        # in-flight windowed queries straddle an expiry.
+                        clock += BUCKET_WIDTH * rng.randrange(1, 3)
+                        engine.advance_to(clock)
+                    record()
+                    # Yield so parked queries drain between mutations.
+                    await asyncio.sleep(0)
+            finally:
+                mutations_done.set()
+
+        async def probe_client(offset: int) -> int:
+            answered = 0
+            async with QueryClient("127.0.0.1", server.port) as client:
+                while not mutations_done.is_set():
+                    text, window = PROBES[
+                        (offset + answered) % len(PROBES)
+                    ]
+                    estimate = await client.query(
+                        text, EPSILON, window=window
+                    )
+                    position = client.last_position
+                    assert position in expected, (
+                        f"seed {seed}: served position {position} was "
+                        f"never an engine state (torn read)"
+                    )
+                    index = PROBES.index((text, window))
+                    assert estimate == expected[position][index], (
+                        f"seed {seed}: answer at {position} for "
+                        f"{text!r} (window={window}) differs from the "
+                        f"engine's own answer at that position"
+                    )
+                    answered += 1
+            return answered
+
+        outcomes = await asyncio.gather(
+            mutate(), *(probe_client(index) for index in range(4))
+        )
+        served = sum(outcomes[1:])
+        assert served > 0
+
+    # The schedule must actually have exercised expiries.
+    assert engine.window_stats().buckets_expired > 0, seed
+
+
+class TestServedAnswersArePrefixConsistent:
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_fuzz_fast(self, seed):
+        run(fuzz_schedule(seed))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_fuzz_slow(self, seed):
+        run(fuzz_schedule(seed))
+
+    def test_windowed_answer_changes_across_an_expiry(self):
+        """A bucket expiry alone (no updates) moves the position and the
+        served windowed answer follows the ring, not a stale cache."""
+
+        async def scenario():
+            engine = StreamEngine(
+                SPEC, window_span=WINDOW_SPAN, bucket_width=BUCKET_WIDTH
+            )
+            for element in range(400):
+                engine.observe(Update("A", element, 1), 0.5)
+                engine.observe(Update("B", element % 100, 1), 0.5)
+            async with QueryServer(engine) as server:
+                async with QueryClient("127.0.0.1", server.port) as client:
+                    before = await client.query(
+                        "A | B", EPSILON, window=WINDOW_SPAN
+                    )
+                    position_before = client.last_position
+                    assert before.value > 0.0
+                    # Expire every bucket: the window empties without a
+                    # single update being processed.
+                    engine.advance_to(WINDOW_SPAN * 3)
+                    after = await client.query(
+                        "A | B", EPSILON, window=WINDOW_SPAN
+                    )
+                    assert client.last_position > position_before
+                    assert after == engine.query(
+                        "A | B", EPSILON, window=WINDOW_SPAN
+                    )
+                    assert after.value == 0.0
+
+        run(scenario())

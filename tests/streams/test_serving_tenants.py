@@ -1,0 +1,351 @@
+"""Tenant isolation, rate limiting, and the parse-once plan cache.
+
+The serving contracts under test (ISSUE-10 satellite 3):
+
+- a tenant over its token budget gets a **typed**
+  :class:`~repro.errors.RateLimitedError` with a ``retry_after`` hint —
+  never a hang, never a dropped connection;
+- two tenants issuing the same expression text share exactly one
+  compiled :class:`~repro.streams.serving.ServingPlan` (one parse) but
+  **not** cache entries: each namespace gets its own resolved physical
+  expression and its own engine-side estimates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.family import SketchSpec
+from repro.core.sketch import SketchShape
+from repro.errors import RateLimitedError, UnknownStreamError
+from repro.streams.engine import StreamEngine
+from repro.streams.serving import (
+    PlanCache,
+    QueryClient,
+    QueryServer,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.streams.updates import Update
+
+SHAPE = SketchShape(domain_bits=14, num_second_level=8, independence=4)
+SPEC = SketchSpec(num_sketches=32, shape=SHAPE, seed=47)
+
+TIMEOUT = 60.0
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, TIMEOUT))
+
+
+class FakeClock:
+    """Injectable monotonic clock for deterministic bucket tests."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def two_tenant_engine() -> StreamEngine:
+    """Engine with disjoint data under prefixes ``t1_`` and ``t2_``.
+
+    Tenant t1's streams A and B overlap heavily; tenant t2's are
+    disjoint — so the *same* expression text must produce visibly
+    different answers per namespace.
+    """
+    engine = StreamEngine(SPEC)
+    for element in range(400):
+        engine.process(Update("t1_A", element, 1))
+        engine.process(Update("t1_B", element + 100, 1))  # 300 overlap
+        engine.process(Update("t2_A", element, 1))
+        engine.process(Update("t2_B", element + 10_000, 1))  # disjoint
+    return engine
+
+
+class TestTokenBucket:
+    def test_burst_covers_initial_queries(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=FakeClock())
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_retry_after_is_the_exact_refill_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire(1.0) == 0.0
+        # Bucket is empty; one token at 2/s takes 0.5 s.
+        assert bucket.try_acquire(1.0) == pytest.approx(0.5)
+        clock.advance(0.25)
+        # Half a token has refilled; the other half takes 0.25 s more.
+        assert bucket.try_acquire(1.0) == pytest.approx(0.25)
+
+    def test_refill_restores_service(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire(2.0) == 0.0
+        assert bucket.try_acquire(1.0) > 0.0
+        clock.advance(0.25)  # refills one token
+        assert bucket.try_acquire(1.0) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(3600.0)
+        assert bucket.tokens == 2.0
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        clock.advance(1e9)
+        assert bucket.try_acquire() == float("inf")
+
+    def test_cost_scales_with_batch_size(self):
+        bucket = TokenBucket(rate=1.0, burst=4.0, clock=FakeClock())
+        assert bucket.try_acquire(cost=4.0) == 0.0  # one 4-expression batch
+        assert bucket.try_acquire(cost=1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=1.0, clock=FakeClock()).try_acquire(0)
+
+
+class TestTenantSpec:
+    def test_burst_defaults_to_rate_floored_at_one(self):
+        assert TenantSpec("t", rate=5.0).bucket_burst == 5.0
+        assert TenantSpec("t", rate=0.25).bucket_burst == 1.0
+        assert TenantSpec("t", rate=5.0, burst=2.0).bucket_burst == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec("")
+        with pytest.raises(ValueError):
+            TenantSpec("t", prefix="bad/prefix_")
+        with pytest.raises(ValueError):
+            TenantSpec("t", rate=-1.0)
+        with pytest.raises(ValueError):
+            TenantSpec("t", burst=0.0)
+
+
+class TestRateLimitE2E:
+    """Over-budget tenants get a typed error, not a hang."""
+
+    def test_rate_limit_is_a_typed_error_and_the_session_survives(self):
+        async def scenario():
+            engine = two_tenant_engine()
+            clock = FakeClock()
+            server = QueryServer(
+                engine,
+                tenants=[
+                    TenantSpec("metered", prefix="t1_", rate=1.0, burst=2.0),
+                ],
+                clock=clock,
+            )
+            async with server:
+                async with QueryClient(
+                    "127.0.0.1", server.port, tenant="metered"
+                ) as client:
+                    # Burst of 2 covers the first two single-expression
+                    # queries ...
+                    first = await client.query("A & B", 0.25)
+                    second = await client.query("A & B", 0.25)
+                    assert first == second  # same state, cached
+                    # ... the third is over budget: a typed error with a
+                    # retry hint, answered immediately (wait_for in the
+                    # client would raise TimeoutError on a hang).
+                    with pytest.raises(RateLimitedError) as excinfo:
+                        await client.query("A & B", 0.25)
+                    assert excinfo.value.retry_after == pytest.approx(1.0)
+                    assert "metered" in str(excinfo.value)
+                    assert "1/s" in str(excinfo.value)
+                    # The connection survived; refilling the bucket
+                    # restores service on the SAME session.
+                    clock.advance(1.0)
+                    third = await client.query("A & B", 0.25)
+                    assert third == first
+                stats = server.stats()["metered"]
+                assert stats.rate_limited == 1
+                assert stats.errors_by_kind == {"rate-limited": 1}
+                assert stats.queries == 3
+
+        run(scenario())
+
+    def test_batch_cost_counts_expressions_not_frames(self):
+        async def scenario():
+            engine = two_tenant_engine()
+            server = QueryServer(
+                engine,
+                tenants=[
+                    TenantSpec("metered", prefix="t1_", rate=0.001, burst=3.0),
+                ],
+                clock=FakeClock(),
+            )
+            async with server:
+                async with QueryClient(
+                    "127.0.0.1", server.port, tenant="metered"
+                ) as client:
+                    # One frame with 3 expressions drains the burst of 3.
+                    await client.query(["A", "B", "A | B"], 0.25)
+                    with pytest.raises(RateLimitedError):
+                        await client.query("A", 0.25)
+
+        run(scenario())
+
+    def test_rejected_requests_are_not_debited(self):
+        """An over-budget request must not push retry_after further out."""
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        for _ in range(5):  # hammering while broke changes nothing
+            assert bucket.try_acquire() == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert bucket.try_acquire() == 0.0
+
+    def test_unlimited_tenant_is_never_throttled(self):
+        async def scenario():
+            engine = two_tenant_engine()
+            server = QueryServer(
+                engine,
+                tenants=[TenantSpec("free", prefix="t1_")],
+                clock=FakeClock(),  # frozen clock: no refills ever
+            )
+            async with server:
+                async with QueryClient(
+                    "127.0.0.1", server.port, tenant="free"
+                ) as client:
+                    for _ in range(20):
+                        await client.query("A", 0.25)
+                assert server.stats()["free"].rate_limited == 0
+
+        run(scenario())
+
+
+class TestPlanCacheSharing:
+    """One parse across tenants; zero sharing of cache entries."""
+
+    def test_two_tenants_share_one_compiled_plan_but_not_answers(self):
+        async def scenario():
+            engine = two_tenant_engine()
+            server = QueryServer(
+                engine,
+                tenants=[
+                    TenantSpec("acme", prefix="t1_"),
+                    TenantSpec("globex", prefix="t2_"),
+                ],
+            )
+            async with server:
+                async with QueryClient(
+                    "127.0.0.1", server.port, tenant="acme"
+                ) as acme, QueryClient(
+                    "127.0.0.1", server.port, tenant="globex"
+                ) as globex:
+                    text = "A & B"
+                    ours = await acme.query(text, 0.25)
+                    theirs = await globex.query(text, 0.25)
+                    # Parse-once: the second tenant's identical text hit
+                    # the cache — one ServingPlan object serves both.
+                    assert server.plans.parses == 1
+                    assert server.plans.hits == 1
+                    assert len(server.plans) == 1
+                    # ... but the answers are the engine's answers for
+                    # each namespace, not a shared cache entry: t1's
+                    # streams overlap in 300 elements, t2's in none.
+                    assert ours == engine.query("t1_A & t1_B", 0.25)
+                    assert theirs == engine.query("t2_A & t2_B", 0.25)
+                    assert ours.value > 0.0
+                    assert ours.value != theirs.value
+
+        run(scenario())
+
+    def test_resolved_asts_are_memoised_per_prefix(self):
+        cache = PlanCache()
+        plan = cache.get("A & (B - C)")
+        t1 = plan.resolved("t1_")
+        t2 = plan.resolved("t2_")
+        assert plan.resolved("t1_") is t1  # memoised, not re-rewritten
+        assert t1 is not t2
+        assert t1.streams() == {"t1_A", "t1_B", "t1_C"}
+        assert t2.streams() == {"t2_A", "t2_B", "t2_C"}
+        # The empty prefix is the original immutable AST itself.
+        assert plan.resolved("") is plan.expression
+
+    def test_lru_eviction_is_bounded_and_counted(self):
+        cache = PlanCache(maxsize=2)
+        cache.get("A")
+        cache.get("B")
+        cache.get("A")  # refresh A
+        cache.get("C")  # evicts B (least recently used)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.parses == 3
+        cache.get("A")  # still cached
+        assert cache.parses == 3
+        cache.get("B")  # re-parse after eviction
+        assert cache.parses == 4
+
+    def test_unparseable_text_is_never_cached(self):
+        from repro.errors import ExpressionError
+
+        cache = PlanCache(maxsize=2)
+        for _ in range(5):
+            with pytest.raises(ExpressionError):
+                cache.get("A &")
+        assert len(cache) == 0
+        assert cache.parses == 0
+
+
+class TestNamespaceIsolation:
+    def test_tenants_cannot_see_or_name_each_others_streams(self):
+        async def scenario():
+            engine = two_tenant_engine()
+            server = QueryServer(
+                engine,
+                tenants=[
+                    TenantSpec("acme", prefix="t1_"),
+                    TenantSpec("globex", prefix="t2_"),
+                ],
+            )
+            async with server:
+                async with QueryClient(
+                    "127.0.0.1", server.port, tenant="acme"
+                ) as client:
+                    # Physical names of another namespace do not resolve:
+                    # "t2_A" parses fine but names no stream under t1_.
+                    with pytest.raises(UnknownStreamError) as excinfo:
+                        await client.query("t2_A", 0.25)
+                    details = excinfo.value.details
+                    assert details["unknown"] == ["t2_A"]
+                    # ... and the known-streams list leaks only acme's
+                    # own logical namespace.
+                    assert details["known"] == ["A", "B"]
+
+        run(scenario())
+
+    def test_union_queries_resolve_under_the_tenant_prefix(self):
+        async def scenario():
+            engine = two_tenant_engine()
+            server = QueryServer(
+                engine, tenants=[TenantSpec("acme", prefix="t1_")]
+            )
+            async with server:
+                async with QueryClient(
+                    "127.0.0.1", server.port, tenant="acme"
+                ) as client:
+                    served = await client.query_union(["A", "B"], 0.25)
+                    assert served == engine.query_union(
+                        ["t1_A", "t1_B"], 0.25
+                    )
+
+        run(scenario())
